@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure, prints it (run with
+``-s`` to see the ASCII artifact), and asserts the paper's qualitative
+*shapes* — who wins, trend directions, crossovers — not absolute
+numbers (DESIGN.md explains the substitutions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """One shared experiment configuration for all benchmarks."""
+    return ExperimentConfig(delta=1e-6, delta2=1e-6, seed=0)

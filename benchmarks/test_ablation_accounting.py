@@ -1,0 +1,66 @@
+"""Ablation — Equation 6 (KOV) vs Renyi-DP accounting.
+
+The paper's conclusion suggests privacy accounting "may be further
+tightened with more advanced techniques".  This bench tests the obvious
+candidate — Renyi-DP composition of the Theorem 6.1 per-output
+epsilons — against the Equation 6 route on realized allocations.
+
+Shapes asserted (the module's documented finding):
+
+* RDP matches Equation 6 within ~5% across eps0 — KOV is already
+  near-optimal for pure-DP composition, so this axis yields no
+  meaningful tightening;
+* both empirical accountants stay below the closed-form Theorem 5.3
+  bound (the tightening that *does* exist comes from skipping the
+  Lemma 5.1 concentration slack, not from a better composition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.amplification.network_shuffle import (
+    epsilon_all_stationary,
+    epsilon_from_report_sizes,
+)
+from repro.amplification.rdp import epsilon_from_report_sizes_rdp
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.spectral import spectral_summary
+from repro.graphs.walks import report_allocation
+
+
+def _run(config):
+    graph = random_regular_graph(8, 4096, rng=config.seed)
+    summary = spectral_summary(graph)
+    rounds = summary.mixing_time
+    allocation = report_allocation(graph, rounds, rng=config.seed)
+
+    rows = []
+    for eps0 in (0.25, 0.5, 1.0):
+        kov = epsilon_from_report_sizes(eps0, allocation, config.delta)
+        rdp = epsilon_from_report_sizes_rdp(eps0, allocation, config.delta)
+        closed = epsilon_all_stationary(
+            eps0,
+            graph.num_nodes,
+            summary.sum_squared_bound(rounds),
+            config.delta,
+            config.delta2,
+        ).epsilon
+        rows.append((eps0, kov, rdp, closed))
+    return rows
+
+
+def test_accounting_comparison(benchmark, config):
+    rows = benchmark(lambda: _run(config))
+    print("\neps0 | Eq.6 (KOV) | RDP | closed-form Thm 5.3")
+    for eps0, kov, rdp, closed in rows:
+        print(f"{eps0:4} | {kov:10.4f} | {rdp:7.4f} | {closed:10.4f}")
+
+    for eps0, kov, rdp, closed in rows:
+        # RDP ~= KOV: no meaningful tightening on this axis.
+        assert 0.9 * kov <= rdp <= 1.05 * kov, (
+            f"eps0={eps0}: RDP {rdp} vs KOV {kov}"
+        )
+        # Both empirical routes beat the closed form.
+        assert kov < closed
+        assert rdp < closed

@@ -1,0 +1,72 @@
+"""Ablation — lazy-walk fault tolerance (Section 4.5).
+
+A lazy random walk (stay probability = per-round dropout probability)
+models temporarily offline users.  Laziness slows mixing — the spectral
+gap of ``(1-beta) M + beta I`` shrinks by ``(1-beta)`` on the upper
+side — so the same privacy level needs more rounds.
+
+Shapes asserted:
+
+* ``sum P^2`` after a fixed number of rounds grows with laziness
+  (slower spreading);
+* the induced central eps (Theorem 5.4 route on the exact lazy
+  distribution) grows with laziness at fixed t;
+* with proportionally more rounds (t / (1-beta)) the lazy walk
+  recovers the lazy-free privacy level — dropouts cost rounds, not
+  privacy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.walks import evolve_distribution, sum_squared_positions
+
+
+def _run(config):
+    graph = random_regular_graph(8, 1024, rng=config.seed)
+    base_rounds = 12
+    initial = np.zeros(graph.num_nodes)
+    initial[0] = 1.0
+
+    collision_at_fixed_t = {}
+    collision_at_scaled_t = {}
+    for laziness in (0.0, 0.2, 0.4, 0.6):
+        fixed = evolve_distribution(
+            graph, initial, base_rounds, laziness=laziness
+        )
+        collision_at_fixed_t[laziness] = sum_squared_positions(fixed)
+        scaled_rounds = int(round(base_rounds / max(1e-9, 1.0 - laziness)))
+        scaled = evolve_distribution(
+            graph, initial, scaled_rounds, laziness=laziness
+        )
+        collision_at_scaled_t[laziness] = sum_squared_positions(scaled)
+    return collision_at_fixed_t, collision_at_scaled_t
+
+
+def test_lazy_walk_tradeoff(benchmark, config):
+    fixed, scaled = benchmark(lambda: _run(config))
+    print("\nsum P^2 at fixed t=12 by laziness:", {
+        k: round(v, 6) for k, v in fixed.items()
+    })
+    print("sum P^2 at t=12/(1-beta) by laziness:", {
+        k: round(v, 6) for k, v in scaled.items()
+    })
+
+    laziness_values = sorted(fixed)
+    collisions = [fixed[beta] for beta in laziness_values]
+    # More laziness => slower spreading at fixed t.
+    assert all(
+        later >= earlier - 1e-12
+        for earlier, later in zip(collisions, collisions[1:])
+    ), f"collision mass should grow with laziness: {collisions}"
+    assert fixed[0.6] > 1.5 * fixed[0.0]
+
+    # Proportional extra rounds recover the privacy level (within 25%).
+    baseline = scaled[0.0]
+    for beta in laziness_values[1:]:
+        assert scaled[beta] <= 1.25 * baseline, (
+            f"laziness {beta}: scaled-rounds collision {scaled[beta]} vs "
+            f"baseline {baseline}"
+        )

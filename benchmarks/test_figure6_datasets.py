@@ -1,0 +1,48 @@
+"""Figure 6 — amplified eps vs eps0 per dataset (A_all at mixing time).
+
+Shapes asserted:
+
+* every curve increases in eps0;
+* Google (largest n) is the lowest curve everywhere — "population size
+  matters the most";
+* at small eps0 every dataset amplifies (central eps < eps0);
+* among the similar-size social graphs, lower Gamma gives lower eps
+  (deezer < facebook) — the irregularity effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure6 import render_figure6, run_figure6
+
+
+def test_figure6_datasets(benchmark, config):
+    curves = benchmark(lambda: run_figure6(config=config))
+    print("\n" + render_figure6(curves))
+
+    by_name = {c.dataset: c for c in curves}
+    assert set(by_name) == {"facebook", "twitch", "deezer", "enron", "google"}
+
+    for c in curves:
+        assert np.all(np.diff(c.epsilon) > 0), f"{c.dataset}: not increasing"
+
+    google = by_name["google"]
+    for name, curve in by_name.items():
+        if name == "google":
+            continue
+        assert np.all(google.epsilon < curve.epsilon), (
+            f"google should amplify more than {name} everywhere"
+        )
+
+    # Amplification regime at eps0 = 0.1 for every dataset.
+    for name, curve in by_name.items():
+        assert curve.epsilon_at(0.1) < 0.1, (
+            f"{name} fails to amplify at eps0=0.1: {curve.epsilon_at(0.1)}"
+        )
+
+    # Deezer (Gamma=3.56, n=28k) below Facebook (Gamma=5.01, n=22k):
+    # smaller irregularity and larger n both help.
+    assert np.all(
+        by_name["deezer"].epsilon < by_name["facebook"].epsilon
+    )

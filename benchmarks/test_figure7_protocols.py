@@ -1,0 +1,43 @@
+"""Figure 7 — A_all vs A_single central eps (Twitch & Google).
+
+Shapes asserted:
+
+* A_single achieves larger amplification at large eps0 on both
+  datasets (the paper's headline observation), and the advantage *grows*
+  with eps0;
+* Google's curves sit below Twitch's protocol-for-protocol (n wins);
+* both protocols amplify at small eps0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure7 import render_figure7, run_figure7
+
+
+def test_figure7_protocols(benchmark, config):
+    comparisons = benchmark(lambda: run_figure7(config=config))
+    print("\n" + render_figure7(comparisons))
+
+    by_name = {c.dataset: c for c in comparisons}
+    assert set(by_name) == {"twitch", "google"}
+
+    for c in comparisons:
+        large = c.eps0_values >= 2.0
+        assert np.all(c.epsilon_single[large] < c.epsilon_all[large]), (
+            f"{c.dataset}: A_single should win at large eps0"
+        )
+        # The advantage grows with eps0.
+        ratio = c.epsilon_all / c.epsilon_single
+        assert ratio[-1] > ratio[0], (
+            f"{c.dataset}: A_single advantage should grow with eps0"
+        )
+        # Both protocols amplify at the smallest grid point.
+        smallest = float(c.eps0_values[0])
+        assert c.epsilon_all[0] < smallest
+        assert c.epsilon_single[0] < smallest
+
+    twitch, google = by_name["twitch"], by_name["google"]
+    assert np.all(google.epsilon_all < twitch.epsilon_all)
+    assert np.all(google.epsilon_single < twitch.epsilon_single)

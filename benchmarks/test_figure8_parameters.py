@@ -1,0 +1,56 @@
+"""Figure 8 — stationary-limit parameter dependencies.
+
+Shapes asserted, matching the paper's description of the figure:
+
+* regular graphs (Gamma=1, continuous lines) beat irregular ones
+  (Gamma=10, dashed) at equal (n, protocol);
+* n = 1e6 beats n = 1e4 at equal (Gamma, protocol);
+* every curve sits below the eps = eps0 line at eps0 = 0.2
+  (amplification regime);
+* the A_all / Gamma=10 / n=1e4 curve crosses *above* eps = eps0 by
+  eps0 = 2.0 (amplification lost), while A_single / Gamma=1 / n=1e6
+  stays below throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure8 import render_figure8, run_figure8
+
+
+def test_figure8_parameters(benchmark, config):
+    curves = benchmark(lambda: run_figure8(config=config))
+    print("\n" + render_figure8(curves))
+
+    indexed = {(c.protocol, c.gamma, c.n): c for c in curves}
+
+    # Gamma=1 beats Gamma=10.
+    for protocol in ("all", "single"):
+        for n in (10_000, 1_000_000):
+            regular = indexed[(protocol, 1.0, n)]
+            irregular = indexed[(protocol, 10.0, n)]
+            assert np.all(regular.epsilon < irregular.epsilon), (
+                f"{protocol}, n={n}: Gamma=1 should beat Gamma=10"
+            )
+
+    # Larger n beats smaller n.
+    for protocol in ("all", "single"):
+        for gamma in (1.0, 10.0):
+            small = indexed[(protocol, gamma, 10_000)]
+            big = indexed[(protocol, gamma, 1_000_000)]
+            assert np.all(big.epsilon < small.epsilon), (
+                f"{protocol}, Gamma={gamma}: n=1e6 should beat n=1e4"
+            )
+
+    # Amplification at eps0 = 0.2 everywhere.
+    for curve in curves:
+        assert curve.amplifies_at(0.2), f"{curve.label} fails at eps0=0.2"
+
+    # Crossovers at eps0 = 2.0.
+    assert not indexed[("all", 10.0, 10_000)].amplifies_at(2.0), (
+        "worst A_all configuration should lose amplification by eps0=2"
+    )
+    assert indexed[("single", 1.0, 1_000_000)].amplifies_at(2.0), (
+        "best A_single configuration should keep amplifying at eps0=2"
+    )

@@ -1,0 +1,54 @@
+"""Figure 9 — privacy-utility trade-off (PrivUnit mean estimation).
+
+Shapes asserted:
+
+* at every sampled eps0, A_all's expected squared error is below
+  A_single's — the dummy-report penalty the paper's counter-example is
+  about;
+* both error curves decrease as eps0 grows;
+* A_single's central eps is always below A_all's (its amplification
+  advantage — the *reason* the utility comparison is interesting);
+* A_single injects a large dummy fraction (the utility-loss mechanism).
+
+EXPERIMENTS.md discusses the matched-central-eps reading, where the
+substitution's milder degree tail makes the dummy penalty smaller than
+on the real Twitch graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure9 import render_figure9, run_figure9
+
+
+def test_figure9_utility(benchmark, config):
+    points = benchmark(
+        lambda: run_figure9(
+            eps0_values=(1.0, 2.0, 3.0, 4.0),
+            scale=0.5,
+            dimension=200,
+            repeats=3,
+            config=config,
+        )
+    )
+    print("\n" + render_figure9(points))
+
+    eps0_values = sorted({p.epsilon0 for p in points})
+    all_points = {p.epsilon0: p for p in points if p.protocol == "all"}
+    single_points = {p.epsilon0: p for p in points if p.protocol == "single"}
+
+    for eps0 in eps0_values:
+        assert all_points[eps0].squared_error < single_points[eps0].squared_error, (
+            f"A_all should have lower error at eps0={eps0}: "
+            f"{all_points[eps0].squared_error} vs "
+            f"{single_points[eps0].squared_error}"
+        )
+        assert single_points[eps0].central_epsilon < all_points[eps0].central_epsilon
+        assert all_points[eps0].dummy_count == 0
+        assert single_points[eps0].dummy_count > 0.2 * 4749  # >20% of users
+
+    # Error decreases with eps0 for both protocols.
+    for series in (all_points, single_points):
+        errors = [series[eps0].squared_error for eps0 in eps0_values]
+        assert errors[-1] < errors[0], f"error not decreasing: {errors}"

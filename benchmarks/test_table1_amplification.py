@@ -1,0 +1,51 @@
+"""Table 1 — privacy amplification comparison across mechanisms.
+
+Shapes asserted:
+
+* every amplified mechanism decays like ``n^{-1/2}`` (fitted exponent
+  within [-0.6, -0.4]);
+* the ``e^{c eps0}`` growth ordering matches the paper:
+  clones < subsampling < network (single) < uniform shuffling (EFMRTT);
+* at the reference point everything amplifies below ``eps0``.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_table1_amplification(benchmark, config):
+    rows = benchmark(lambda: run_table1(config=config))
+    print("\n" + render_table1(rows))
+
+    by_name = {row.mechanism: row for row in rows}
+
+    # 1/sqrt(n) decay for every amplified mechanism.
+    for name, row in by_name.items():
+        if name == "no amplification":
+            continue
+        assert -0.6 <= row.fitted_n_exponent <= -0.4, (
+            f"{name}: n-exponent {row.fitted_n_exponent} not ~ -1/2"
+        )
+
+    # eps0-exponent ordering (the Table 1 ranking).
+    clones = by_name["uniform shuffling w/ clones (FMT21)"].fitted_eps0_exponent
+    subsample = by_name["uniform subsampling"].fitted_eps0_exponent
+    network = by_name["network shuffling (single)"].fitted_eps0_exponent
+    efmrtt = by_name["uniform shuffling (EFMRTT19)"].fitted_eps0_exponent
+    assert clones < subsample < network, (
+        f"ordering violated: clones={clones}, subsample={subsample}, "
+        f"network={network}"
+    )
+    assert network < efmrtt + 1e-9, (
+        f"network ({network}) should not exceed EFMRTT ({efmrtt})"
+    )
+
+    # Everything amplifies at the reference point (n=1e5, eps0=1).
+    for name, row in by_name.items():
+        if name in ("no amplification", "network shuffling (all)"):
+            continue
+        assert row.epsilon_at_reference < 1.0, (
+            f"{name} fails to amplify at the reference point: "
+            f"{row.epsilon_at_reference}"
+        )

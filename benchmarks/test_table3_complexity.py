@@ -1,0 +1,61 @@
+"""Table 3 — space/traffic complexity, measured from instrumented runs.
+
+Shapes asserted (fitted growth exponents over n in a geometric range):
+
+* Prochlo: entity memory ~ n (exp ~ 1), user traffic flat (exp ~ 0);
+* mix-net: relay memory flat, user traffic ~ n;
+* network shuffling: user memory ~flat, per-round user traffic ~flat.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import render_table3, run_table3
+
+_LINEAR = (0.85, 1.15)
+_FLAT = (-0.15, 0.25)
+
+
+def test_table3_complexity(benchmark, config):
+    points, fits = benchmark(
+        lambda: run_table3(n_values=(256, 512, 1024, 2048), config=config)
+    )
+    print("\n" + render_table3(points, fits))
+
+    by_name = {fit.mechanism: fit for fit in fits}
+
+    prochlo = by_name["prochlo"]
+    assert _LINEAR[0] <= prochlo.memory_exponent <= _LINEAR[1], (
+        f"Prochlo memory should grow ~linearly, got {prochlo.memory_exponent}"
+    )
+    assert _FLAT[0] <= prochlo.traffic_exponent <= _FLAT[1], (
+        f"Prochlo user traffic should be flat, got {prochlo.traffic_exponent}"
+    )
+
+    mixnet = by_name["mixnet"]
+    assert _FLAT[0] <= mixnet.memory_exponent <= _FLAT[1], (
+        f"mix-net relay memory should be flat, got {mixnet.memory_exponent}"
+    )
+    assert _LINEAR[0] <= mixnet.traffic_exponent <= _LINEAR[1], (
+        f"mix-net user traffic should grow ~linearly, got {mixnet.traffic_exponent}"
+    )
+
+    shuffle = by_name["network shuffling"]
+    assert shuffle.memory_exponent <= 0.35, (
+        f"network shuffling user memory should be ~flat, got "
+        f"{shuffle.memory_exponent}"
+    )
+    assert shuffle.traffic_exponent <= 0.35, (
+        f"network shuffling per-round traffic should be ~flat, got "
+        f"{shuffle.traffic_exponent}"
+    )
+
+    # Cross-mechanism: at the largest n, the decentralized design holds
+    # every entity to a tiny fraction of Prochlo's central memory.
+    largest = max(p.n for p in points)
+    central = next(
+        p for p in points if p.mechanism == "prochlo" and p.n == largest
+    )
+    decentralized = next(
+        p for p in points if p.mechanism == "network shuffling" and p.n == largest
+    )
+    assert decentralized.entity_peak_memory * 10 < central.entity_peak_memory

@@ -1,0 +1,43 @@
+"""Table 4 — dataset statistics: published vs achieved on stand-ins.
+
+Shapes asserted:
+
+* every stand-in's LCC node count is within 5% of the published ``n``
+  (after Google's documented down-scaling);
+* every achieved ``Gamma_G`` is within 10% of the published value;
+* the category pattern holds: social graphs are "reasonably regular"
+  (``Gamma <~ 10``) while Enron/Google are not, and Enron has the
+  largest irregularity — exactly the paper's reading of the table.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table4 import render_table4, run_table4
+
+
+def test_table4_datasets(benchmark, config):
+    rows = benchmark(lambda: run_table4(config=config))
+    print("\n" + render_table4(rows))
+
+    by_name = {row.name: row for row in rows}
+    assert set(by_name) == {"facebook", "twitch", "deezer", "enron", "google"}
+
+    for row in rows:
+        expected_n = round(row.published_n * row.scale)
+        assert abs(row.achieved_n - expected_n) <= 0.05 * expected_n, (
+            f"{row.name}: LCC n={row.achieved_n} vs target {expected_n}"
+        )
+        assert row.gamma_relative_error <= 0.10, (
+            f"{row.name}: Gamma {row.achieved_gamma} vs published "
+            f"{row.published_gamma} ({row.gamma_relative_error:.1%})"
+        )
+        assert 0.0 < row.spectral_gap < 1.0
+        assert row.mixing_time >= 1
+
+    # The paper's qualitative reading of the table.
+    for social in ("facebook", "twitch", "deezer"):
+        assert by_name[social].achieved_gamma < 10.0
+    assert by_name["enron"].achieved_gamma > by_name["google"].achieved_gamma
+    assert by_name["enron"].achieved_gamma == max(
+        row.achieved_gamma for row in rows
+    )

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Federated mean estimation with PrivUnit — the Figure 9 workload.
+
+Each client holds a high-dimensional model update (here: a normalized
+bimodal sample exactly as in the paper's Section 5.6 experiment),
+perturbs it with PrivUnit at eps0-LDP, and the updates are network-
+shuffled on the Twitch stand-in before the server averages them.
+
+Compares A_all (all reports delivered) against A_single (one report per
+user, missing ones replaced by N(5,1)^d dummies) at several eps0.
+
+Run:  python examples/federated_mean_estimation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import build_dataset
+from repro.estimation import generate_bimodal_unit_vectors, run_mean_estimation
+from repro.graphs.spectral import spectral_summary
+
+DIMENSION = 200
+EPS0_GRID = (1.0, 2.0, 4.0)
+
+
+def main() -> None:
+    dataset = build_dataset("twitch", scale=0.5, seed=0)
+    graph = dataset.graph
+    summary = spectral_summary(graph)
+    print(f"twitch stand-in at half scale: n={graph.num_nodes}, "
+          f"rounds={summary.mixing_time}")
+
+    values = generate_bimodal_unit_vectors(
+        graph.num_nodes, DIMENSION, rng=0
+    )
+    print(f"clients hold d={DIMENSION} unit vectors "
+          f"(half N(1,1)^d, half N(10,1)^d, normalized)\n")
+
+    header = f"{'eps0':>5} {'protocol':>9} {'sq.error':>10} {'dummies':>8}"
+    print(header)
+    print("-" * len(header))
+    for eps0 in EPS0_GRID:
+        for protocol in ("all", "single"):
+            result = run_mean_estimation(
+                graph, values, eps0,
+                protocol=protocol, rounds=summary.mixing_time, rng=3,
+            )
+            print(f"{eps0:>5.1f} {protocol:>9} "
+                  f"{result.squared_error:>10.4f} {result.dummy_count:>8}")
+    print("\nA_all is unbiased (every report arrives); A_single pays the")
+    print("dummy-substitution penalty but gives a stronger central bound")
+    print("at the same eps0 (see benchmarks/test_figure9_utility.py).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Auditing network shuffling: measure the privacy you actually get.
+
+The theorems bound the central privacy loss from above; this example
+attacks the deployment from below with the distinguishing game
+(``repro.audit``): run the protocol repeatedly on two worlds that
+differ only in one victim's bit, and see how well the strongest
+statistic the paper's threat model allows can tell them apart.
+
+The measured lower bound eps_hat starts near the local eps0 (no rounds:
+the final-round link is fully identifying) and collapses as exchange
+rounds accumulate — privacy amplification you can *see*, not just
+prove.
+
+Run:  python examples/privacy_audit.py        (~1 minute)
+"""
+
+from __future__ import annotations
+
+from repro.amplification import epsilon_all_stationary
+from repro.audit import audit_local_randomizer, audit_network_shuffle
+from repro.graphs import random_regular_graph
+from repro.graphs.spectral import spectral_summary
+from repro.ldp import BinaryRandomizedResponse
+
+EPSILON0 = 1.0
+NUM_USERS = 200
+TRIALS = 2000
+
+
+def main() -> None:
+    # Sanity: auditing the bare randomizer recovers eps0.
+    local = audit_local_randomizer(
+        BinaryRandomizedResponse(EPSILON0), 0, 1, trials=20_000, rng=0
+    )
+    print(f"bare randomized response: eps0 = {EPSILON0}, "
+          f"measured eps_hat = {local.epsilon_lower_bound:.3f}")
+
+    graph = random_regular_graph(6, NUM_USERS, rng=0)
+    summary = spectral_summary(graph)
+    print(f"\ngraph: n={NUM_USERS}, 6-regular, "
+          f"mixing time = {summary.mixing_time}\n")
+
+    print(f"{'rounds':>7} {'measured eps_hat':>17} {'Thm 5.3 bound':>14}")
+    for rounds in (0, 2, 6, summary.mixing_time):
+        audit = audit_network_shuffle(
+            graph, EPSILON0, rounds, trials=TRIALS, rng=1
+        )
+        upper = epsilon_all_stationary(
+            EPSILON0,
+            NUM_USERS,
+            summary.sum_squared_bound(rounds),
+            1e-6,
+            1e-6,
+        ).epsilon
+        print(f"{rounds:>7} {audit.epsilon_lower_bound:>17.3f} "
+              f"{upper:>14.3f}")
+
+    print("\nthe attacker's certified loss collapses with rounds — the")
+    print("closed-form bound is loose at this small n, but the *measured*")
+    print("privacy is excellent; see the Theorem 6.1 empirical accountant")
+    print("for the tight intermediate story.")
+
+
+if __name__ == "__main__":
+    main()

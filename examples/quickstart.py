@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: network shuffling in ~40 lines.
+
+A thousand users on an 8-regular communication graph each hold one
+private bit.  Everyone randomizes locally (eps0 = 1 randomized
+response), reports are exchanged in a random walk for the graph's
+mixing time, and the untrusted server estimates the population rate.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import NetworkShuffler
+from repro.graphs import random_regular_graph
+from repro.ldp import BinaryRandomizedResponse
+
+EPSILON0 = 1.0
+DELTA = 1e-6
+NUM_USERS = 10_000
+
+
+def main() -> None:
+    # 1. The communication network — e.g. a peer-discovery overlay where
+    #    every client connects to 8 peers (Section 4.2 of the paper).
+    graph = random_regular_graph(8, NUM_USERS, rng=0)
+
+    # 2. Configure network shuffling.  The number of exchange rounds
+    #    defaults to the mixing time alpha^{-1} log n.
+    shuffler = NetworkShuffler(graph, epsilon0=EPSILON0, delta=DELTA)
+    print(f"graph: n={NUM_USERS}, spectral gap={shuffler.spectral.spectral_gap:.3f}, "
+          f"rounds={shuffler.rounds}")
+
+    # 3. What the theorems promise for this deployment (Theorem 5.3).
+    guarantee = shuffler.central_guarantee()
+    print(f"local guarantee : eps0 = {EPSILON0}")
+    print(f"central (paper) : eps  = {guarantee.epsilon:.3f} "
+          f"(delta = {guarantee.delta:.1e}, {guarantee.theorem})")
+
+    # 4. Run the protocol: 30% of users hold bit 1.
+    true_rate = 0.3
+    bits = (np.arange(NUM_USERS) < true_rate * NUM_USERS).astype(int)
+    randomizer = BinaryRandomizedResponse(EPSILON0)
+    result = shuffler.run(list(bits), randomizer, rng=1)
+
+    # 5. The server debiases the randomized-response reports.
+    reports = np.array(result.payloads())
+    estimate = randomizer.debias(reports.mean())
+    print(f"true rate = {true_rate:.3f}, private estimate = {estimate:.3f}")
+
+    # 6. Empirical accounting from the realized allocation (Theorem 6.1)
+    #    is tighter than the closed-form worst case.
+    print(f"empirical eps for this run: "
+          f"{shuffler.empirical_guarantee(result):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim (the environment lacks the `wheel` package, so the
+PEP 660 editable path is unavailable; `pip install -e . --no-use-pep517`
+uses this file instead)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,48 @@
+"""repro — Network Shuffling: Privacy Amplification via Random Walks.
+
+A full reproduction of Liew, Takahashi, Takagi, Kato, Cao & Yoshikawa
+(SIGMOD 2022): decentralized privacy amplification where users exchange
+locally randomized reports in a random-walk fashion on a communication
+graph, achieving shuffle-model-like central DP guarantees *without any
+trusted centralized entity*.
+
+Quick start::
+
+    from repro import NetworkShuffler
+    from repro.graphs import random_regular_graph
+    from repro.ldp import BinaryRandomizedResponse
+
+    graph = random_regular_graph(8, 1000, rng=0)
+    shuffler = NetworkShuffler(graph, epsilon0=1.0, delta=1e-6)
+    print(shuffler.central_guarantee())     # amplified central epsilon
+    result = shuffler.run([0, 1] * 500, BinaryRandomizedResponse(1.0), rng=1)
+
+Package map (see DESIGN.md for the full inventory):
+
+========================  ==============================================
+``repro.core``            NetworkShuffler facade, privacy accountant
+``repro.graphs``          graph substrate, spectra, random walks
+``repro.datasets``        calibrated Table 4 stand-in graphs
+``repro.ldp``             local randomizers (RR, Laplace, PrivUnit, ...)
+``repro.amplification``   Theorems 5.3-5.6 + baseline bounds
+``repro.protocols``       Algorithms 1-3 + secure (encrypted) variant
+``repro.netsim``          metered round-based network simulator
+``repro.crypto``          simulation-grade PKI / double envelope
+``repro.baselines``       Prochlo & mix-net simulators, central DP
+``repro.estimation``      private mean / frequency estimation
+``repro.experiments``     one module per paper table & figure
+========================  ==============================================
+"""
+
+from repro.core.accounting import PrivacyAccountant
+from repro.core.shuffler import NetworkShuffler
+from repro.exceptions import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NetworkShuffler",
+    "PrivacyAccountant",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,82 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Print the library version and package map.
+``table1 | table3 | table4 | figure4 .. figure9``
+    Regenerate one paper artifact (same as
+    ``python -m repro.experiments.<id>``).
+``runall [dir] [--full]``
+    Regenerate every artifact into a directory.
+``plan <n> <target_eps>``
+    Deployment planning: local budgets achieving a central target on a
+    regular graph of ``n`` users (both protocols).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+from repro.exceptions import ReproError
+
+_ARTIFACTS = (
+    "table1", "table3", "table4",
+    "figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
+)
+
+
+def _info() -> None:
+    print(f"repro {repro.__version__} — Network Shuffling (SIGMOD 2022) reproduction")
+    print(repro.__doc__)
+
+
+def _artifact(name: str) -> None:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    module.main()
+
+
+def _plan(arguments: list[str]) -> None:
+    from repro.amplification.planning import required_epsilon0
+
+    if len(arguments) != 2:
+        raise SystemExit("usage: python -m repro plan <n> <target_eps>")
+    n = int(arguments[0])
+    target = float(arguments[1])
+    delta = 1e-6
+    sum_squared = 1.0 / n
+    print(f"planning for n={n}, target central eps={target}, delta={delta}")
+    print("(regular communication graph, Gamma = 1, at the mixing time)")
+    for protocol in ("all", "single"):
+        try:
+            eps0 = required_epsilon0(target, protocol, n, sum_squared, delta)
+            print(f"  A_{protocol:<6}: local eps0 <= {eps0:.4f}")
+        except ReproError as error:
+            print(f"  A_{protocol:<6}: unreachable — {error}")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Dispatch the CLI."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if not arguments or arguments[0] in ("info", "-h", "--help"):
+        _info()
+        return
+    command, rest = arguments[0], arguments[1:]
+    if command in _ARTIFACTS:
+        _artifact(command)
+    elif command == "runall":
+        from repro.experiments.runall import main as runall_main
+
+        runall_main(rest)
+    elif command == "plan":
+        _plan(rest)
+    else:
+        known = ", ".join(("info", *_ARTIFACTS, "runall", "plan"))
+        raise SystemExit(f"unknown command {command!r}; known: {known}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Amplification by subsampling (Balle, Barthe & Gaboardi 2018).
+
+Included as a Table 1 baseline: a trusted server samples each user with
+probability ``q`` and hides who was sampled, which amplifies an
+``eps0``-DP mechanism to
+
+    eps' = log(1 + q (e^{eps0} - 1)).
+
+The Table 1 row "uniform subsampling — O(e^{eps0}/sqrt(n))" corresponds
+to the regime ``q ~ 1/sqrt(n)`` (e.g. subsampling sqrt(n) of n users per
+round), which :func:`subsampling_epsilon` exposes directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_epsilon, check_positive_int, check_probability
+
+
+def subsampled_epsilon(epsilon0: float, q: float) -> float:
+    """Exact amplification-by-subsampling bound
+    ``eps' = log(1 + q (e^{eps0} - 1))`` for sampling rate ``q``."""
+    check_epsilon(epsilon0, "epsilon0")
+    check_probability(q, "q")
+    return math.log1p(q * math.expm1(epsilon0))
+
+
+def subsampling_epsilon(epsilon0: float, n: int) -> float:
+    """Table 1 scaling row: subsampling at rate ``q = 1/sqrt(n)``,
+
+        eps' = log(1 + (e^{eps0} - 1)/sqrt(n))  ~  e^{eps0}/sqrt(n).
+    """
+    check_epsilon(epsilon0, "epsilon0")
+    check_positive_int(n, "n")
+    return subsampled_epsilon(epsilon0, 1.0 / math.sqrt(n))

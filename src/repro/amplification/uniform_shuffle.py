@@ -1,0 +1,88 @@
+"""Amplification by *uniform* shuffling — the centralized baselines.
+
+Two published bounds, both rows of the paper's Table 1:
+
+* **Erlingsson et al. (SODA 2019)** — the original amplification-by-
+  shuffling result.  In its stated regime (``eps0 < 1/2``) the shuffled
+  collection is ``(12 eps0 sqrt(log(1/delta)/n), delta)``-DP; the
+  general-``eps0`` extension scales as ``O(e^{3 eps0} sqrt(log(1/delta)/n))``.
+  :func:`uniform_shuffle_epsilon` implements the stated small-``eps0``
+  bound and continues it with the ``e^{3 eps0}`` scaling (constant
+  chosen for continuity at ``eps0 = 1/2``), since Table 1 compares
+  scalings rather than constants.
+
+* **Feldman, McMillan & Talwar (FOCS 2021)** — "Hiding Among the
+  Clones", the nearly optimal closed form
+
+      eps' = log(1 + (e^{eps0}-1)/(e^{eps0}+1) *
+                 (8 sqrt(e^{eps0} log(4/delta)) / sqrt(n) + 8 e^{eps0}/n)),
+
+  valid for ``eps0 <= log(n / (16 log(2/delta)))`` — the
+  ``O(e^{eps0/2}/sqrt(n))`` row.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ValidationError
+from repro.utils.validation import check_delta, check_epsilon, check_positive_int
+
+#: Constant of the Erlingsson et al. small-eps0 statement.
+_EFMRTT_CONSTANT = 12.0
+#: Regime boundary of the stated SODA'19 theorem.
+_EFMRTT_SMALL_EPS = 0.5
+
+
+def uniform_shuffle_epsilon(epsilon0: float, n: int, delta: float) -> float:
+    """Erlingsson et al. amplification-by-shuffling bound.
+
+    ``eps0 < 1/2``: the stated ``12 eps0 sqrt(log(1/delta)/n)``.
+    ``eps0 >= 1/2``: continued with the general ``e^{3 eps0}`` scaling,
+    matched for continuity at the regime boundary:
+
+        eps' = 6 e^{3 (eps0 - 1/2)} sqrt(log(1/delta)/n).
+    """
+    check_epsilon(epsilon0, "epsilon0")
+    check_positive_int(n, "n")
+    check_delta(delta, "delta")
+    root = math.sqrt(math.log(1.0 / delta) / n)
+    if epsilon0 < _EFMRTT_SMALL_EPS:
+        return _EFMRTT_CONSTANT * epsilon0 * root
+    boundary = _EFMRTT_CONSTANT * _EFMRTT_SMALL_EPS
+    return boundary * math.exp(3.0 * (epsilon0 - _EFMRTT_SMALL_EPS)) * root
+
+
+def clones_max_epsilon0(n: int, delta: float) -> float:
+    """Validity ceiling of the clones bound:
+    ``eps0 <= log(n / (16 log(2/delta)))``."""
+    check_positive_int(n, "n")
+    check_delta(delta, "delta")
+    argument = n / (16.0 * math.log(2.0 / delta))
+    if argument <= 1.0:
+        raise ValidationError(
+            f"n={n} too small for the clones bound at delta={delta}"
+        )
+    return math.log(argument)
+
+
+def clones_epsilon(epsilon0: float, n: int, delta: float) -> float:
+    """Feldman-McMillan-Talwar "Hiding Among the Clones" closed form.
+
+    Raises if ``eps0`` exceeds the bound's validity ceiling.
+    """
+    check_epsilon(epsilon0, "epsilon0")
+    check_positive_int(n, "n")
+    check_delta(delta, "delta")
+    if epsilon0 > clones_max_epsilon0(n, delta):
+        raise ValidationError(
+            f"eps0={epsilon0} exceeds the clones validity ceiling "
+            f"{clones_max_epsilon0(n, delta):.3f} for n={n}, delta={delta}"
+        )
+    exp_eps = math.exp(epsilon0)
+    prefactor = math.expm1(epsilon0) / (exp_eps + 1.0)
+    inner = (
+        8.0 * math.sqrt(exp_eps * math.log(4.0 / delta)) / math.sqrt(n)
+        + 8.0 * exp_eps / n
+    )
+    return math.log1p(prefactor * inner)

@@ -1,0 +1,30 @@
+"""Empirical privacy auditing: measured lower bounds on epsilon.
+
+The theorems give *upper* bounds on the central privacy loss; auditing
+gives *lower* bounds from the attacker's side, via the standard
+distinguishing game (Kairouz-Oh-Viswanath hypothesis-testing view of
+DP): run the mechanism many times on adjacent inputs ``D`` / ``D'``,
+threshold a test statistic, and convert the achieved false-positive /
+false-negative rates into
+
+    eps_hat = max( log((1 - delta - FNR) / FPR),
+                   log((1 - delta - FPR) / FNR) ),
+
+which every ``(eps, delta)``-DP mechanism must exceed.  Sandwiching the
+mechanism between ``eps_hat`` and the theorem bound is the strongest
+correctness evidence a reproduction can offer.
+"""
+
+from repro.audit.auditor import (
+    AuditResult,
+    audit_local_randomizer,
+    audit_network_shuffle,
+    epsilon_lower_bound,
+)
+
+__all__ = [
+    "AuditResult",
+    "audit_local_randomizer",
+    "audit_network_shuffle",
+    "epsilon_lower_bound",
+]

@@ -1,0 +1,24 @@
+"""Centralized baselines the paper compares against.
+
+* :mod:`repro.baselines.prochlo` — a Prochlo-style central batch
+  shuffler (collect all, permute, release): entity memory ``O(n)``;
+* :mod:`repro.baselines.mixnet` — a mix-net relay chain with cover
+  traffic to all users: user traffic ``O(n)``;
+* :mod:`repro.baselines.central` — the trusted-curator central-DP
+  baseline (for utility comparisons).
+
+All are counter-instrumented so the Table 3 complexity comparison is
+*measured* from runs rather than asserted.
+"""
+
+from repro.baselines.prochlo import ProchloResult, run_prochlo
+from repro.baselines.mixnet import MixnetResult, run_mixnet
+from repro.baselines.central import central_laplace_mean
+
+__all__ = [
+    "ProchloResult",
+    "run_prochlo",
+    "MixnetResult",
+    "run_mixnet",
+    "central_laplace_mean",
+]

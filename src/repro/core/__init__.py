@@ -1,0 +1,25 @@
+"""High-level public API.
+
+:class:`~repro.core.shuffler.NetworkShuffler` bundles the whole stack —
+graph analysis, protocol choice, round selection, privacy accounting —
+behind a few calls:
+
+    >>> from repro.core import NetworkShuffler
+    >>> from repro.graphs import random_regular_graph
+    >>> shuffler = NetworkShuffler(random_regular_graph(8, 1000, rng=0),
+    ...                            epsilon0=1.0, delta=1e-6)
+    >>> guarantee = shuffler.central_guarantee()       # Theorem 5.3 bound
+    >>> result = shuffler.run(values, randomizer)      # simulate A_all
+"""
+
+from repro.core.accounting import PrivacyAccountant
+from repro.core.campaign import Campaign, CampaignSummary, CollectionRecord
+from repro.core.shuffler import NetworkShuffler
+
+__all__ = [
+    "PrivacyAccountant",
+    "Campaign",
+    "CampaignSummary",
+    "CollectionRecord",
+    "NetworkShuffler",
+]

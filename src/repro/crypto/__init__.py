@@ -1,0 +1,42 @@
+"""Simulation-grade cryptography for the Section 4.4 protocol.
+
+.. warning::
+   This is a *teaching/simulation* implementation: small toy parameters,
+   no padding, no constant-time arithmetic, no authentication.  It
+   exists so that the communication protocol of the paper (two keypairs:
+   user-to-user E2E layer ``c1`` and a server layer ``c2``) can be run
+   and property-tested end to end.  Never use it to protect real data.
+
+Components:
+
+* :mod:`repro.crypto.elgamal` — ElGamal-style KEM over a fixed prime
+  group, with a hash-derived XOR stream for payload bytes;
+* :mod:`repro.crypto.keys` — keypairs and a public-key infrastructure
+  directory (only authenticated users may participate);
+* :mod:`repro.crypto.envelope` — the double envelope: server layer
+  applied first, per-hop E2E layer applied/stripped on every relay.
+"""
+
+from repro.crypto.elgamal import ElGamalKeyPair, decrypt, encrypt, generate_keypair
+from repro.crypto.keys import PublicKeyInfrastructure, UserKeyring
+from repro.crypto.envelope import (
+    Envelope,
+    open_envelope,
+    seal_for_server,
+    server_open,
+    wrap_for_hop,
+)
+
+__all__ = [
+    "ElGamalKeyPair",
+    "decrypt",
+    "encrypt",
+    "generate_keypair",
+    "PublicKeyInfrastructure",
+    "UserKeyring",
+    "Envelope",
+    "open_envelope",
+    "seal_for_server",
+    "server_open",
+    "wrap_for_hop",
+]

@@ -1,0 +1,75 @@
+"""Keyrings and the public-key infrastructure of Section 4.4.
+
+Every user holds two keypairs:
+
+* ``c1`` — for end-to-end encryption of user-to-user relays (protects
+  the in-flight report from the possibly adversarial *server* carrying
+  the traffic);
+* ``c2`` — a keypair whose private half only the *server* knows; the
+  report itself stays encrypted under the server's ``c2`` public key
+  for the entire walk (protects content from honest-but-curious users).
+
+The PKI distributes public keys and gates participation: only
+registered users can be selected as relay targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.crypto.elgamal import ElGamalKeyPair, generate_keypair
+from repro.exceptions import CryptoError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class UserKeyring:
+    """A user's end-to-end (``c1``) keypair."""
+
+    user_id: int
+    e2e: ElGamalKeyPair
+
+
+class PublicKeyInfrastructure:
+    """Registry of authenticated users' public keys plus the server key."""
+
+    def __init__(self, rng: RngLike = None):
+        self._rng = ensure_rng(rng)
+        self._user_public: Dict[int, int] = {}
+        self._server_keypair = generate_keypair(self._rng)
+
+    @property
+    def server_public_key(self) -> int:
+        """The server's ``c2`` public key (broadcast to all users)."""
+        return self._server_keypair.public_key
+
+    @property
+    def server_private_key(self) -> int:
+        """The server's ``c2`` private key — held by the server only."""
+        return self._server_keypair.private_key
+
+    def register_user(self, user_id: int) -> UserKeyring:
+        """Generate and register a user's E2E keypair."""
+        if user_id in self._user_public:
+            raise CryptoError(f"user {user_id} already registered")
+        keyring = UserKeyring(user_id=user_id, e2e=generate_keypair(self._rng))
+        self._user_public[user_id] = keyring.e2e.public_key
+        return keyring
+
+    def register_all(self, num_users: int) -> List[UserKeyring]:
+        """Register users ``0 .. num_users - 1`` and return their keyrings."""
+        return [self.register_user(user_id) for user_id in range(num_users)]
+
+    def public_key_of(self, user_id: int) -> int:
+        """Public ``c1`` key of a registered user."""
+        if user_id not in self._user_public:
+            raise CryptoError(f"user {user_id} is not registered with the PKI")
+        return self._user_public[user_id]
+
+    def is_registered(self, user_id: int) -> bool:
+        """Whether ``user_id`` may participate in the exchange."""
+        return user_id in self._user_public
+
+    def __len__(self) -> int:
+        return len(self._user_public)

@@ -1,0 +1,40 @@
+"""Utility/estimation layer: what the server computes from the reports.
+
+* :mod:`repro.estimation.mean` — private mean estimation with PrivUnit,
+  the Figure 9 privacy-utility experiment;
+* :mod:`repro.estimation.frequency` — private frequency estimation with
+  k-ary randomized response over network shuffling;
+* :mod:`repro.estimation.metrics` — error metrics.
+"""
+
+from repro.estimation.mean import (
+    MeanEstimationResult,
+    generate_bimodal_unit_vectors,
+    make_dummy_factory,
+    run_mean_estimation,
+    true_mean,
+)
+from repro.estimation.frequency import (
+    FrequencyEstimationResult,
+    correct_for_dummies,
+    run_frequency_estimation,
+)
+from repro.estimation.metrics import (
+    max_absolute_error,
+    mean_squared_error,
+    squared_l2_error,
+)
+
+__all__ = [
+    "MeanEstimationResult",
+    "generate_bimodal_unit_vectors",
+    "make_dummy_factory",
+    "run_mean_estimation",
+    "true_mean",
+    "FrequencyEstimationResult",
+    "correct_for_dummies",
+    "run_frequency_estimation",
+    "max_absolute_error",
+    "mean_squared_error",
+    "squared_l2_error",
+]

@@ -1,0 +1,42 @@
+"""Error metrics for estimation experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+
+def squared_l2_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """``||estimate - truth||_2^2`` — Figure 9's utility measure."""
+    estimate = np.asarray(estimate, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimate.shape != truth.shape:
+        raise ValidationError(
+            f"shape mismatch: {estimate.shape} vs {truth.shape}"
+        )
+    difference = estimate - truth
+    return float(np.dot(difference.ravel(), difference.ravel()))
+
+
+def mean_squared_error(estimates: np.ndarray, truths: np.ndarray) -> float:
+    """Mean of per-row squared L2 errors."""
+    estimates = np.atleast_2d(np.asarray(estimates, dtype=np.float64))
+    truths = np.atleast_2d(np.asarray(truths, dtype=np.float64))
+    if estimates.shape != truths.shape:
+        raise ValidationError(
+            f"shape mismatch: {estimates.shape} vs {truths.shape}"
+        )
+    difference = estimates - truths
+    return float(np.mean(np.sum(difference * difference, axis=1)))
+
+
+def max_absolute_error(estimate: np.ndarray, truth: np.ndarray) -> float:
+    """``||estimate - truth||_inf`` — used by frequency estimation."""
+    estimate = np.asarray(estimate, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimate.shape != truth.shape:
+        raise ValidationError(
+            f"shape mismatch: {estimate.shape} vs {truth.shape}"
+        )
+    return float(np.max(np.abs(estimate - truth)))

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library errors derive from :class:`ReproError` so that callers can
+catch a single base class.  Subclasses are grouped by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape, or type)."""
+
+
+class GraphError(ReproError):
+    """Base class for graph-substrate errors."""
+
+
+class DisconnectedGraphError(GraphError):
+    """The operation requires a connected graph, but the graph is not.
+
+    The paper analyzes connected graphs only; disconnected graphs are a
+    parallel composition of their components (Section 4.2).
+    """
+
+
+class BipartiteGraphError(GraphError):
+    """The operation requires a non-bipartite graph (ergodicity,
+    Theorem 4.3), but the graph is bipartite."""
+
+
+class NotErgodicError(GraphError):
+    """A random walk on the graph does not converge to a stationary
+    distribution (the graph is disconnected or bipartite)."""
+
+
+class CalibrationError(ReproError):
+    """A synthetic dataset could not be calibrated to its target
+    irregularity within tolerance."""
+
+
+class PrivacyError(ReproError):
+    """Base class for privacy-accounting errors."""
+
+
+class InvalidPrivacyParameterError(PrivacyError, ValidationError):
+    """An ``epsilon`` or ``delta`` value is outside its valid range."""
+
+
+class BudgetExceededError(PrivacyError):
+    """A privacy accountant's budget has been exhausted."""
+
+
+class ProtocolError(ReproError):
+    """A distributed-protocol simulation reached an invalid state."""
+
+
+class CryptoError(ReproError):
+    """A (simulated) cryptographic operation failed, e.g. decrypting a
+    ciphertext with the wrong private key."""
+
+
+class SimulationError(ReproError):
+    """The network simulator reached an inconsistent state."""

@@ -1,0 +1,26 @@
+"""Experiment harness: one module per paper table and figure.
+
+Each module exposes a ``run_*`` function returning structured rows and a
+``main()`` that renders them as the ASCII counterpart of the paper's
+artifact.  The benchmarks in ``benchmarks/`` call these same functions
+and assert the paper's qualitative shapes (who wins, direction of
+trends, crossovers).
+
+=============  ====================================================
+module         paper artifact
+=============  ====================================================
+``table1``     Table 1 — amplification comparison across mechanisms
+``table3``     Table 3 — space/traffic complexity (measured)
+``table4``     Table 4 — dataset statistics
+``figure4``    Figure 4 — privacy vs. communication rounds
+``figure5``    Figure 5 — k-regular exact tracking
+``figure6``    Figure 6 — amplified eps vs eps0 per dataset
+``figure7``    Figure 7 — A_all vs A_single
+``figure8``    Figure 8 — stationary-limit parameter dependencies
+``figure9``    Figure 9 — privacy-utility trade-off (PrivUnit)
+=============  ====================================================
+"""
+
+from repro.experiments.config import ExperimentConfig, DEFAULT_CONFIG
+
+__all__ = ["ExperimentConfig", "DEFAULT_CONFIG"]

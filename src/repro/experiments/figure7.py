@@ -1,0 +1,136 @@
+"""Figure 7 — ``A_all`` vs ``A_single`` central ``eps``.
+
+The paper compares the two protocols on Twitch (n = 9,498) and Google
+(n = 855,802) and observes that ``A_single`` achieves larger
+amplification at large ``eps0`` (its amplification factor is
+``e^{eps0}(e^{eps0}-1)`` versus ``A_all``'s ``e^{2 eps0}(e^{eps0}-1)``),
+while at small ``eps0`` the two are comparable (where ``A_all``'s
+Lemma 5.1 slack term actually matters more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.amplification.network_shuffle import (
+    epsilon_all_stationary,
+    epsilon_single_stationary,
+)
+from repro.datasets.registry import get_dataset
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.reporting import format_table
+
+FIGURE7_DATASETS = ("twitch", "google")
+
+
+@dataclass(frozen=True)
+class ProtocolComparison:
+    """eps-vs-eps0 curves for both protocols on one dataset."""
+
+    dataset: str
+    n: int
+    gamma: float
+    eps0_values: np.ndarray
+    epsilon_all: np.ndarray
+    epsilon_single: np.ndarray
+
+    def crossover_eps0(self) -> Optional[float]:
+        """Smallest grid ``eps0`` from which ``A_single`` stays better."""
+        single_wins = self.epsilon_single < self.epsilon_all
+        for start in range(len(single_wins)):
+            if bool(np.all(single_wins[start:])):
+                return float(self.eps0_values[start])
+        return None
+
+
+def run_figure7(
+    *,
+    eps0_values: Optional[Sequence[float]] = None,
+    datasets: Sequence[str] = FIGURE7_DATASETS,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[ProtocolComparison]:
+    """Both protocol bounds at the stationary limit per dataset."""
+    if eps0_values is None:
+        eps0_values = np.linspace(0.2, 5.0, 25)
+    eps0_array = np.asarray(eps0_values, dtype=np.float64)
+
+    comparisons: List[ProtocolComparison] = []
+    for name in datasets:
+        spec = get_dataset(name)
+        sum_squared = spec.gamma / spec.num_nodes
+        eps_all = np.array(
+            [
+                epsilon_all_stationary(
+                    eps0, spec.num_nodes, sum_squared, config.delta, config.delta2
+                ).epsilon
+                for eps0 in eps0_array
+            ]
+        )
+        eps_single = np.array(
+            [
+                epsilon_single_stationary(
+                    eps0, spec.num_nodes, sum_squared, config.delta
+                ).epsilon
+                for eps0 in eps0_array
+            ]
+        )
+        comparisons.append(
+            ProtocolComparison(
+                dataset=name,
+                n=spec.num_nodes,
+                gamma=spec.gamma,
+                eps0_values=eps0_array,
+                epsilon_all=eps_all,
+                epsilon_single=eps_single,
+            )
+        )
+    return comparisons
+
+
+def render_figure7(comparisons: Sequence[ProtocolComparison]) -> str:
+    """ASCII rendering with the A_single-wins crossover point."""
+    probes = [0.2, 1.0, 2.0, 5.0]
+    rows = []
+    for c in comparisons:
+        for protocol, curve in (("all", c.epsilon_all), ("single", c.epsilon_single)):
+            values = [
+                curve[int(np.argmin(np.abs(c.eps0_values - p)))] for p in probes
+            ]
+            rows.append((c.dataset, protocol, *[round(v, 4) for v in values]))
+    table = format_table(
+        ["dataset", "protocol"] + [f"eps @ eps0={p}" for p in probes], rows
+    )
+    crossings = "\n".join(
+        f"{c.dataset}: A_single wins from eps0 ~= {c.crossover_eps0()}"
+        for c in comparisons
+    )
+    return table + "\n" + crossings
+
+
+def main() -> None:
+    """Regenerate and print Figure 7's comparison (table + ASCII chart)."""
+    comparisons = run_figure7()
+    print(render_figure7(comparisons))
+    from repro.experiments.plotting import Series, ascii_chart
+
+    chart_series = []
+    for c in comparisons:
+        chart_series.append(
+            Series(f"{c.dataset}/all", c.eps0_values, c.epsilon_all)
+        )
+        chart_series.append(
+            Series(f"{c.dataset}/single", c.eps0_values, c.epsilon_single)
+        )
+    print()
+    print(ascii_chart(
+        chart_series, log_y=True,
+        title="Figure 7 — A_all (continuous) vs A_single (dashed)",
+        x_label="eps0", y_label="central eps",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,140 @@
+"""Figure 8 — stationary-limit parameter dependencies.
+
+Closed-form sweep with no dataset assumptions: central ``eps`` versus
+``eps0 in [0.2, 2.0]`` at the stationary limit ``sum P^2 = Gamma / n``
+for every combination of
+
+* ``Gamma in {1, 10}``  (regular vs irregular graph),
+* ``n in {1e4, 1e6}``,
+* protocol ``in {all, single}``,
+
+against the black ``eps = eps0`` no-amplification line.  Expected
+shapes: ``Gamma = 1`` beats ``Gamma = 10``; ``n = 1e6`` beats
+``n = 1e4``; every curve sits below ``eps = eps0`` in the small-``eps0``
+regime (amplification), with the ``A_all`` curves crossing above it as
+``eps0`` grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.amplification.network_shuffle import (
+    epsilon_all_stationary,
+    epsilon_single_stationary,
+)
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.reporting import format_table
+
+
+@dataclass(frozen=True)
+class ParameterCurve:
+    """One (Gamma, n, protocol) curve."""
+
+    gamma: float
+    n: int
+    protocol: str
+    eps0_values: np.ndarray
+    epsilon: np.ndarray
+
+    @property
+    def label(self) -> str:
+        """Legend label matching the paper's figure."""
+        return f"{self.protocol}, Gamma={self.gamma:g}, n={self.n:.0e}"
+
+    def amplifies_at(self, eps0: float) -> bool:
+        """Whether the curve is below the eps = eps0 line at ``eps0``."""
+        index = int(np.argmin(np.abs(self.eps0_values - eps0)))
+        return bool(self.epsilon[index] < eps0)
+
+
+def run_figure8(
+    *,
+    eps0_values: Optional[Sequence[float]] = None,
+    gammas: Sequence[float] = (1.0, 10.0),
+    n_values: Sequence[int] = (10_000, 1_000_000),
+    protocols: Sequence[str] = ("all", "single"),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[ParameterCurve]:
+    """Sweep the stationary-limit bounds over the parameter grid."""
+    if eps0_values is None:
+        eps0_values = np.linspace(0.2, 2.0, 19)
+    eps0_array = np.asarray(eps0_values, dtype=np.float64)
+
+    curves: List[ParameterCurve] = []
+    for protocol in protocols:
+        for gamma in gammas:
+            for n in n_values:
+                sum_squared = gamma / n
+                if protocol == "all":
+                    epsilon = np.array(
+                        [
+                            epsilon_all_stationary(
+                                eps0, n, sum_squared, config.delta, config.delta2
+                            ).epsilon
+                            for eps0 in eps0_array
+                        ]
+                    )
+                else:
+                    epsilon = np.array(
+                        [
+                            epsilon_single_stationary(
+                                eps0, n, sum_squared, config.delta
+                            ).epsilon
+                            for eps0 in eps0_array
+                        ]
+                    )
+                curves.append(
+                    ParameterCurve(
+                        gamma=gamma,
+                        n=n,
+                        protocol=protocol,
+                        eps0_values=eps0_array,
+                        epsilon=epsilon,
+                    )
+                )
+    return curves
+
+
+def render_figure8(curves: Sequence[ParameterCurve]) -> str:
+    """ASCII rendering at a few eps0 probes, plus the eps0 line."""
+    probes = [0.2, 1.0, 2.0]
+    rows = [("eps = eps0 (none)", "-", "-", *probes)]
+    for c in curves:
+        values = [
+            float(c.epsilon[int(np.argmin(np.abs(c.eps0_values - p)))])
+            for p in probes
+        ]
+        rows.append(
+            (c.protocol, f"{c.gamma:g}", f"{c.n:.0e}", *[round(v, 4) for v in values])
+        )
+    return format_table(
+        ["protocol", "Gamma", "n"] + [f"eps @ eps0={p}" for p in probes], rows
+    )
+
+
+def main() -> None:
+    """Regenerate and print Figure 8's curves (table + ASCII chart)."""
+    curves = run_figure8()
+    print(render_figure8(curves))
+    from repro.experiments.plotting import Series, ascii_chart
+
+    chart_series = [
+        Series(c.label, c.eps0_values, c.epsilon) for c in curves
+    ]
+    chart_series.append(
+        Series("eps=eps0", curves[0].eps0_values, curves[0].eps0_values)
+    )
+    print()
+    print(ascii_chart(
+        chart_series, log_y=True,
+        title="Figure 8 — stationary-limit parameter dependencies",
+        x_label="eps0", y_label="central eps",
+    ))
+
+
+if __name__ == "__main__":
+    main()

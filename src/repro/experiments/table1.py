@@ -1,0 +1,165 @@
+"""Table 1 — comparison of privacy-amplification mechanisms.
+
+The paper's Table 1 lists asymptotic forms:
+
+======================================  =======================
+mechanism                               amplification
+======================================  =======================
+no amplification                        eps0
+uniform subsampling                     O(e^{eps0} / sqrt(n))
+uniform shuffling (Erlingsson et al.)   O(e^{3 eps0} / sqrt(n))
+uniform shuffling w/ clones (FMT'21)    O(e^{0.5 eps0} / sqrt(n))
+network shuffling (this paper)          O(e^{1.5 eps0} / sqrt(n))
+======================================  =======================
+
+This experiment evaluates every mechanism's *actual closed form* over a
+grid of ``(n, eps0)`` and fits the two scalings: the ``x^{-1/2}`` decay
+in ``n`` (at fixed ``eps0``) and the ``e^{c eps0}`` growth (at fixed
+``n``), then prints them next to the claimed exponents.
+
+The network-shuffling row uses the ``A_single`` theorem on a regular
+graph (``Gamma = 1``) — the configuration whose dominant factor
+``e^{eps0}(e^{eps0}-1) ~ e^{1.5 eps0} * 2 sinh(eps0/2)`` matches the
+paper's ``e^{1.5 eps0}`` gloss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.amplification.network_shuffle import (
+    epsilon_all_stationary,
+    epsilon_single_stationary,
+)
+from repro.amplification.subsampling import subsampling_epsilon
+from repro.amplification.uniform_shuffle import clones_epsilon, uniform_shuffle_epsilon
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.reporting import fit_exponential_rate, fit_power_law, format_table
+
+
+@dataclass(frozen=True)
+class MechanismRow:
+    """Fitted scalings for one mechanism."""
+
+    mechanism: str
+    claimed_eps0_exponent: float
+    fitted_eps0_exponent: float
+    fitted_n_exponent: float
+    epsilon_at_reference: float
+    """Central eps at the reference point (n=1e5, eps0=1)."""
+
+
+def _network_sum_squared(n: int, gamma: float = 1.0) -> float:
+    """Stationary collision mass of a Gamma-irregularity graph."""
+    return gamma / n
+
+
+def mechanism_functions(config: ExperimentConfig) -> Dict[str, Callable[[float, int], float]]:
+    """Central-epsilon evaluators ``f(eps0, n)`` for every Table 1 row."""
+    delta = config.delta
+
+    def network_single(eps0: float, n: int) -> float:
+        return epsilon_single_stationary(
+            eps0, n, _network_sum_squared(n), delta
+        ).epsilon
+
+    def network_all(eps0: float, n: int) -> float:
+        return epsilon_all_stationary(
+            eps0, n, _network_sum_squared(n), delta, config.delta2
+        ).epsilon
+
+    return {
+        "no amplification": lambda eps0, n: eps0,
+        "uniform subsampling": lambda eps0, n: subsampling_epsilon(eps0, n),
+        "uniform shuffling (EFMRTT19)": lambda eps0, n: uniform_shuffle_epsilon(
+            eps0, n, delta
+        ),
+        "uniform shuffling w/ clones (FMT21)": lambda eps0, n: clones_epsilon(
+            eps0, n, delta
+        ),
+        "network shuffling (single)": network_single,
+        "network shuffling (all)": network_all,
+    }
+
+
+#: Table 1's claimed e^{c eps0} exponents (the "(all)" row is this
+#: implementation's addendum; the paper's gloss covers the single row).
+CLAIMED_EPS0_EXPONENTS = {
+    "no amplification": 0.0,
+    "uniform subsampling": 1.0,
+    "uniform shuffling (EFMRTT19)": 3.0,
+    "uniform shuffling w/ clones (FMT21)": 0.5,
+    "network shuffling (single)": 1.5,
+    "network shuffling (all)": 3.0,
+}
+
+
+def run_table1(
+    *,
+    n_values: Sequence[int] = (10_000, 31_623, 100_000, 316_228, 1_000_000),
+    eps0_values: Sequence[float] = (1.5, 2.0, 2.5, 3.0, 3.5, 4.0),
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> List[MechanismRow]:
+    """Evaluate all mechanisms and fit both Table 1 scalings.
+
+    ``eps0_values`` defaults to the moderately-large regime where the
+    ``e^{c eps0}`` factor dominates the polynomial-in-``eps0`` parts (the
+    big-O claims are large-``eps0`` statements; the paper makes its
+    comparison "assuming eps0 > 1").
+    """
+    functions = mechanism_functions(config)
+    reference_n = 100_000
+    rows: List[MechanismRow] = []
+    for name, function in functions.items():
+        # eps0 exponent at fixed (large) n.
+        eps_curve = [function(eps0, reference_n) for eps0 in eps0_values]
+        if name == "no amplification":
+            fitted_rate = 0.0
+        else:
+            _, fitted_rate = fit_exponential_rate(eps0_values, eps_curve)
+        # n exponent at fixed eps0 = 1.
+        n_curve = [function(1.0, n) for n in n_values]
+        if name == "no amplification":
+            n_exponent = 0.0
+        else:
+            _, n_exponent = fit_power_law(n_values, n_curve)
+        rows.append(
+            MechanismRow(
+                mechanism=name,
+                claimed_eps0_exponent=CLAIMED_EPS0_EXPONENTS[name],
+                fitted_eps0_exponent=fitted_rate,
+                fitted_n_exponent=n_exponent,
+                epsilon_at_reference=function(1.0, reference_n),
+            )
+        )
+    return rows
+
+
+def render_table1(rows: Sequence[MechanismRow]) -> str:
+    """ASCII rendering of the Table 1 reproduction."""
+    return format_table(
+        ["mechanism", "claimed e^{c eps0}", "fitted c", "fitted n-exponent",
+         "eps @ (n=1e5, eps0=1)"],
+        [
+            (
+                row.mechanism,
+                f"c={row.claimed_eps0_exponent}",
+                round(row.fitted_eps0_exponent, 3),
+                round(row.fitted_n_exponent, 3),
+                row.epsilon_at_reference,
+            )
+            for row in rows
+        ],
+    )
+
+
+def main() -> None:
+    """Regenerate and print Table 1."""
+    print(render_table1(run_table1()))
+
+
+if __name__ == "__main__":
+    main()

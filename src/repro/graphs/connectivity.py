@@ -1,0 +1,113 @@
+"""Connectivity, bipartiteness, and ergodicity predicates.
+
+Theorem 4.3 of the paper: a random walk on a graph ``G`` is ergodic if
+and only if ``G`` is connected and not bipartite.  The privacy theorems
+assume ergodic graphs (Section 4.2); disconnected graphs are a parallel
+composition of their components, so the library analyzes the largest
+connected component, exactly as the paper does for Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.exceptions import NotErgodicError
+from repro.graphs.graph import Graph
+
+
+def connected_components(graph: Graph) -> List[np.ndarray]:
+    """Connected components as arrays of node ids, largest first.
+
+    Implemented as an iterative BFS over the CSR structure (no recursion
+    limits, no networkx overhead on large graphs).
+    """
+    n = graph.num_nodes
+    labels = -np.ones(n, dtype=np.int64)
+    indptr, indices = graph.indptr, graph.indices
+    current_label = 0
+    stack: List[int] = []
+    for source in range(n):
+        if labels[source] >= 0:
+            continue
+        labels[source] = current_label
+        stack.append(source)
+        while stack:
+            node = stack.pop()
+            for neighbor in indices[indptr[node]: indptr[node + 1]]:
+                if labels[neighbor] < 0:
+                    labels[neighbor] = current_label
+                    stack.append(int(neighbor))
+        current_label += 1
+    components = [np.flatnonzero(labels == label) for label in range(current_label)]
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Whether the graph has exactly one connected component."""
+    if graph.num_nodes == 0:
+        return False
+    return len(connected_components(graph)) == 1
+
+
+def largest_connected_component(graph: Graph) -> Graph:
+    """Induced subgraph on the largest connected component.
+
+    Matches the paper's Table 4 convention: "the largest connected
+    graphs are chosen when calculating the values of n and Gamma_G".
+    """
+    components = connected_components(graph)
+    if not components:
+        return graph
+    return graph.subgraph(components[0])
+
+
+def is_bipartite(graph: Graph) -> bool:
+    """2-colorability via BFS; vacuously true for edgeless graphs."""
+    n = graph.num_nodes
+    color = -np.ones(n, dtype=np.int8)
+    indptr, indices = graph.indptr, graph.indices
+    stack: List[int] = []
+    for source in range(n):
+        if color[source] >= 0:
+            continue
+        color[source] = 0
+        stack.append(source)
+        while stack:
+            node = stack.pop()
+            node_color = color[node]
+            for neighbor in indices[indptr[node]: indptr[node + 1]]:
+                if color[neighbor] < 0:
+                    color[neighbor] = 1 - node_color
+                    stack.append(int(neighbor))
+                elif color[neighbor] == node_color:
+                    return False
+    return True
+
+
+def is_ergodic(graph: Graph) -> bool:
+    """Theorem 4.3: ergodic iff connected and not bipartite.
+
+    An isolated node or an edgeless graph is not ergodic.
+    """
+    if graph.num_nodes == 0 or graph.num_edges == 0:
+        return False
+    return is_connected(graph) and not is_bipartite(graph)
+
+
+def require_ergodic(graph: Graph) -> None:
+    """Raise :class:`NotErgodicError` with a diagnostic if not ergodic."""
+    if graph.num_nodes == 0 or graph.num_edges == 0:
+        raise NotErgodicError("graph has no edges; the walk cannot mix")
+    if not is_connected(graph):
+        raise NotErgodicError(
+            "graph is disconnected; analyze each connected component "
+            "separately (parallel composition, Section 4.2)"
+        )
+    if is_bipartite(graph):
+        raise NotErgodicError(
+            "graph is bipartite; the walk oscillates between the two sides "
+            "and never converges (Theorem 4.3) — consider a lazy walk"
+        )

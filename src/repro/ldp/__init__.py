@@ -1,0 +1,32 @@
+"""Local differential privacy randomizers (the ``A_ldp`` of the paper).
+
+Network shuffling composes with *any* ``eps0``-LDP local randomizer;
+this package supplies the standard ones plus **PrivUnit** (Bhowmick et
+al. 2018), which the Figure 9 mean-estimation experiment perturbs unit
+vectors with.
+
+All randomizers implement :class:`~repro.ldp.base.LocalRandomizer`:
+``randomize(value, rng)`` plus ``epsilon``/``delta`` metadata, so the
+amplification machinery can read off the local guarantee.
+"""
+
+from repro.ldp.base import DebiasingRandomizer, LocalRandomizer
+from repro.ldp.randomized_response import (
+    BinaryRandomizedResponse,
+    KaryRandomizedResponse,
+)
+from repro.ldp.laplace import LaplaceMechanism
+from repro.ldp.gaussian import GaussianMechanism
+from repro.ldp.histogram import UnaryEncoding
+from repro.ldp.privunit import PrivUnit
+
+__all__ = [
+    "DebiasingRandomizer",
+    "LocalRandomizer",
+    "BinaryRandomizedResponse",
+    "KaryRandomizedResponse",
+    "LaplaceMechanism",
+    "GaussianMechanism",
+    "UnaryEncoding",
+    "PrivUnit",
+]

@@ -1,0 +1,209 @@
+"""PrivUnit: eps-LDP randomizer for unit vectors (Bhowmick et al. 2018).
+
+Used by the paper's Figure 9 privacy-utility experiment to perturb
+``d = 200``-dimensional normalized samples before network shuffling.
+
+Mechanism (``PrivUnit(p, gamma)``): given a unit vector ``u``, draw the
+report ``V`` uniformly from the spherical cap
+``C = {v : <v, u> >= gamma}`` with probability ``p``, else uniformly
+from its complement; output ``V / m`` where ``m`` is the exact
+expectation scale so the report is an unbiased estimate of ``u``.
+
+Privacy: the density ratio between inputs is at most
+
+    (p / q) / ((1 - p) / (1 - q)) = p (1 - q) / (q (1 - p)),
+
+where ``q`` is the uniform measure of the cap.  This implementation
+splits the budget evenly — ``p = sigmoid(eps/2)`` and ``gamma`` chosen
+so that ``(1 - q)/q = e^{eps/2}`` — giving *exactly* ``eps``-LDP.
+
+All cap geometry uses the Beta representation of ``T = <V, u>`` for a
+uniform ``V`` on the sphere: ``(T + 1)/2 ~ Beta((d-1)/2, (d-1)/2)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special
+
+from repro.exceptions import ValidationError
+from repro.ldp.base import DebiasingRandomizer
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive_int
+
+#: Numerical floor/ceiling for probabilities fed into Beta inversions.
+_PROB_EPS = 1e-14
+
+
+def cap_mass(gamma: float, dimension: int) -> float:
+    """Uniform measure of the cap ``{v in S^{d-1} : <v, u> >= gamma}``.
+
+    Computed via ``P(T >= gamma)`` with ``(T+1)/2 ~ Beta(a, a)``,
+    ``a = (d-1)/2``.
+    """
+    if not -1.0 <= gamma <= 1.0:
+        raise ValidationError(f"gamma must lie in [-1, 1], got {gamma}")
+    a = (dimension - 1) / 2.0
+    # P(T >= gamma) = 1 - I_{(gamma+1)/2}(a, a)
+    return float(1.0 - special.betainc(a, a, (gamma + 1.0) / 2.0))
+
+
+def cap_threshold(mass: float, dimension: int) -> float:
+    """Inverse of :func:`cap_mass`: the ``gamma`` whose cap has ``mass``."""
+    if not 0.0 < mass < 1.0:
+        raise ValidationError(f"mass must lie in (0, 1), got {mass}")
+    a = (dimension - 1) / 2.0
+    x = special.betaincinv(a, a, 1.0 - mass)
+    return float(2.0 * x - 1.0)
+
+
+def _log_alpha(gamma: float, dimension: int) -> float:
+    """``log E[T * 1{T >= gamma}]`` for uniform ``V``, in log space.
+
+    With ``a = (d-1)/2``: ``E[T 1{T>=gamma}] = (1-gamma^2)^a / (2a B(a, 1/2))``.
+    """
+    a = (dimension - 1) / 2.0
+    return (
+        a * math.log1p(-gamma * gamma)
+        - math.log(2.0 * a)
+        - special.betaln(a, 0.5)
+    )
+
+
+class PrivUnit(DebiasingRandomizer):
+    """Exactly ``eps``-LDP unbiased randomizer for vectors on ``S^{d-1}``.
+
+    Parameters
+    ----------
+    epsilon:
+        Local privacy budget ``eps0``.
+    dimension:
+        Ambient dimension ``d >= 2``.
+    budget_split:
+        Fraction of ``eps`` spent on the cap-selection coin ``p`` (the
+        remainder shapes the cap threshold ``gamma``).  0.5 — an even
+        split — is the default and a solid all-round choice.
+    """
+
+    def __init__(self, epsilon: float, dimension: int, *, budget_split: float = 0.5):
+        super().__init__(epsilon)
+        self._dimension = check_positive_int(dimension, "dimension")
+        if self._dimension < 2:
+            raise ValidationError("PrivUnit requires dimension >= 2")
+        if not 0.0 < budget_split < 1.0:
+            raise ValidationError(
+                f"budget_split must lie in (0, 1), got {budget_split}"
+            )
+        eps_coin = budget_split * epsilon
+        eps_cap = epsilon - eps_coin
+        # p / (1 - p) = e^{eps_coin}
+        self._cap_probability = 1.0 / (1.0 + math.exp(-eps_coin))
+        # (1 - q) / q = e^{eps_cap}  =>  q = sigmoid(-eps_cap)
+        self._cap_mass = max(1.0 / (1.0 + math.exp(eps_cap)), _PROB_EPS)
+        self._gamma = cap_threshold(self._cap_mass, self._dimension)
+        self._scale = self._expectation_scale()
+
+    # ------------------------------------------------------------------
+    # Parameters
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        """Ambient dimension ``d``."""
+        return self._dimension
+
+    @property
+    def gamma(self) -> float:
+        """Cap threshold ``gamma``."""
+        return self._gamma
+
+    @property
+    def cap_probability(self) -> float:
+        """Probability ``p`` of drawing from the cap."""
+        return self._cap_probability
+
+    @property
+    def scale(self) -> float:
+        """Unbiasing scale ``m``: ``E[V] = m u``, reports are ``V / m``."""
+        return self._scale
+
+    def _expectation_scale(self) -> float:
+        """``m = alpha (p/q - (1-p)/(1-q))`` with ``alpha = E[T 1{T>=gamma}]``.
+
+        Uses ``E[T 1{T<gamma}] = -E[T 1{T>=gamma}]`` (the full mean is 0).
+        """
+        alpha = math.exp(_log_alpha(self._gamma, self._dimension))
+        p, q = self._cap_probability, self._cap_mass
+        return alpha * (p / q - (1.0 - p) / (1.0 - q))
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _sample_dot(self, in_cap: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Sample ``T = <V, u>`` conditioned on cap membership.
+
+        Inverse-CDF through the Beta representation: if ``F`` is the CDF
+        of ``(T+1)/2 ~ Beta(a, a)`` and ``F(g)`` the threshold quantile,
+        cap draws take ``F^{-1}(U(F(g), 1))`` and complement draws
+        ``F^{-1}(U(0, F(g)))``.
+        """
+        a = (self._dimension - 1) / 2.0
+        threshold_quantile = float(special.betainc(a, a, (self._gamma + 1.0) / 2.0))
+        uniforms = rng.random(in_cap.shape)
+        quantiles = np.where(
+            in_cap,
+            threshold_quantile + uniforms * (1.0 - threshold_quantile),
+            uniforms * threshold_quantile,
+        )
+        quantiles = np.clip(quantiles, _PROB_EPS, 1.0 - _PROB_EPS)
+        return 2.0 * special.betaincinv(a, a, quantiles) - 1.0
+
+    def _randomize(self, value: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return self.randomize_batch(np.asarray(value)[None, :], rng)[0]
+
+    def randomize_batch(self, values, rng: RngLike = None) -> np.ndarray:
+        """Randomize an ``(n, d)`` batch of unit vectors.
+
+        Returns the *debiased* reports ``V / m`` (shape ``(n, d)``), so
+        averaging reports estimates the mean of the inputs.
+        """
+        generator = ensure_rng(rng)
+        vectors = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        if vectors.shape[1] != self._dimension:
+            raise ValidationError(
+                f"vectors must have dimension {self._dimension}, "
+                f"got {vectors.shape[1]}"
+            )
+        norms = np.linalg.norm(vectors, axis=1)
+        if np.any(np.abs(norms - 1.0) > 1e-6):
+            raise ValidationError("PrivUnit inputs must be unit vectors")
+
+        count = vectors.shape[0]
+        in_cap = generator.random(count) < self._cap_probability
+        dots = self._sample_dot(in_cap, generator)
+
+        # Decompose V = t*u + sqrt(1-t^2)*w with w uniform on the sphere
+        # orthogonal to u.
+        raw = generator.normal(size=(count, self._dimension))
+        raw -= (np.sum(raw * vectors, axis=1, keepdims=True)) * vectors
+        raw_norms = np.linalg.norm(raw, axis=1, keepdims=True)
+        raw_norms[raw_norms == 0.0] = 1.0
+        tangent = raw / raw_norms
+        reports = (
+            dots[:, None] * vectors
+            + np.sqrt(np.clip(1.0 - dots * dots, 0.0, 1.0))[:, None] * tangent
+        )
+        return reports / self._scale
+
+    def debias(self, report: np.ndarray) -> np.ndarray:
+        """Reports from :meth:`randomize_batch` are already debiased."""
+        return np.asarray(report, dtype=np.float64)
+
+    def expected_squared_error(self) -> float:
+        """``E ||A(u) - u||^2`` for any unit input ``u``.
+
+        ``E||V/m||^2 = 1/m^2`` (V is a unit vector) and ``E[V/m] = u``,
+        so the error is ``1/m^2 - 1``.  Decreases as ``eps`` grows.
+        """
+        return 1.0 / (self._scale * self._scale) - 1.0

@@ -1,0 +1,43 @@
+"""Round-based message-passing network simulator.
+
+The substrate the protocol simulators run on: nodes exchange
+:class:`~repro.netsim.message.Message` objects in synchronous rounds, a
+:class:`~repro.netsim.server.Server` collects final reports, and every
+entity is metered (messages sent/received, peak queue memory) so the
+Table 3 complexity comparison can be *measured* rather than asserted.
+
+An :class:`~repro.netsim.adversary.AdversaryView` records exactly what
+the paper's threat model grants the central adversary: the linkage of
+each final-round report to the user who sent it (but not to the report's
+originator).
+"""
+
+from repro.netsim.message import Message
+from repro.netsim.metrics import EntityMeter, MeterBoard
+from repro.netsim.network import RoundBasedNetwork
+from repro.netsim.node import Node
+from repro.netsim.server import Server
+from repro.netsim.adversary import AdversaryView
+from repro.netsim.faults import AdversarialDropout, DropoutModel, NoFaults, IndependentDropout
+from repro.netsim.collusion import (
+    CollusionAttackResult,
+    run_collusion_attack,
+    simulate_walk_trajectories,
+)
+
+__all__ = [
+    "Message",
+    "EntityMeter",
+    "MeterBoard",
+    "RoundBasedNetwork",
+    "Node",
+    "Server",
+    "AdversaryView",
+    "DropoutModel",
+    "NoFaults",
+    "IndependentDropout",
+    "AdversarialDropout",
+    "CollusionAttackResult",
+    "run_collusion_attack",
+    "simulate_walk_trajectories",
+]

@@ -1,0 +1,69 @@
+"""Fault models: which users are offline in a given round.
+
+Section 4.5 of the paper models temporary user unavailability (battery
+depletion, network outage) as a *lazy random walk*: an offline holder
+keeps her reports for the round.  :class:`IndependentDropout` realizes
+exactly that — each user is independently offline with probability
+``dropout_probability`` per round, matching a lazy walk with laziness
+equal to that probability.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+class DropoutModel(abc.ABC):
+    """Strategy interface: which users are offline each round."""
+
+    @abc.abstractmethod
+    def offline_mask(self, num_users: int, round_index: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Boolean mask of shape ``(num_users,)`` — True = offline."""
+
+
+class NoFaults(DropoutModel):
+    """Every user is online every round (the paper's base assumption)."""
+
+    def offline_mask(self, num_users: int, round_index: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        return np.zeros(num_users, dtype=bool)
+
+
+class IndependentDropout(DropoutModel):
+    """Each user offline independently with a fixed per-round probability."""
+
+    def __init__(self, dropout_probability: float):
+        self.dropout_probability = check_probability(
+            dropout_probability, "dropout_probability"
+        )
+
+    def offline_mask(self, num_users: int, round_index: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        return rng.random(num_users) < self.dropout_probability
+
+
+class AdversarialDropout(DropoutModel):
+    """A fixed set of users is *always* offline.
+
+    Models targeted outages; with enough always-offline users the graph
+    effectively fragments, which the integration tests use to show
+    privacy degrading toward the LDP baseline.
+    """
+
+    def __init__(self, offline_users: np.ndarray):
+        self.offline_users = np.asarray(offline_users, dtype=np.int64)
+
+    def offline_mask(self, num_users: int, round_index: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        mask = np.zeros(num_users, dtype=bool)
+        valid = self.offline_users[
+            (self.offline_users >= 0) & (self.offline_users < num_users)
+        ]
+        mask[valid] = True
+        return mask

@@ -1,0 +1,117 @@
+"""The synchronous round-based network.
+
+One round = every online node forwards each held item to a uniformly
+random neighbor; deliveries land in inboxes and become visible at the
+start of the next round.  This is a *faithful* (per-message, metered)
+realization of the random walk; the vectorized fast path lives in
+:mod:`repro.graphs.walks` and the two are cross-validated in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError
+from repro.graphs.graph import Graph
+from repro.netsim.faults import DropoutModel, NoFaults
+from repro.netsim.message import SERVER_ID
+from repro.netsim.metrics import MeterBoard
+from repro.netsim.node import Node
+from repro.netsim.server import Server
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class RoundBasedNetwork:
+    """Simulated network of ``graph.num_nodes`` users plus one server."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        faults: Optional[DropoutModel] = None,
+        rng: RngLike = None,
+    ):
+        self.graph = graph
+        self.meters = MeterBoard()
+        self.faults = faults if faults is not None else NoFaults()
+        self.rng = ensure_rng(rng)
+        self.nodes: Dict[int, Node] = {
+            node_id: Node(node_id, graph.neighbors(node_id), self.meters.meter(node_id))
+            for node_id in range(graph.num_nodes)
+        }
+        self.server = Server(self.meters.meter(SERVER_ID))
+        self.round_index = 0
+
+    @property
+    def num_users(self) -> int:
+        """Number of user nodes."""
+        return self.graph.num_nodes
+
+    def seed_items(self, items_per_node: Dict[int, List[Any]]) -> None:
+        """Place initial items (randomized reports) into nodes."""
+        for node_id, items in items_per_node.items():
+            node = self.nodes[node_id]
+            node.held.extend(items)
+            node.meter.record_store(len(items))
+
+    def run_exchange_round(self) -> None:
+        """One synchronous exchange round (lines 4-8 of Algorithms 1/2).
+
+        Every online node sends each held item to a uniformly random
+        neighbor; offline nodes keep their items (lazy-walk fault model).
+        """
+        offline = self.faults.offline_mask(
+            self.num_users, self.round_index, self.rng
+        )
+        sends: List[tuple[int, Any]] = []
+        for node_id, node in self.nodes.items():
+            node.online = not bool(offline[node_id])
+            if not node.online:
+                continue
+            for item in node.take_all():
+                recipient = node.sample_neighbor(self.rng)
+                # An offline recipient still receives: the message waits
+                # in her inbox (she is unavailable to *forward*, matching
+                # the lazy-walk model).
+                node.meter.record_send()
+                sends.append((recipient, item))
+        for recipient, item in sends:
+            self.nodes[recipient].receive(item)
+        for node in self.nodes.values():
+            node.collect_inbox()
+        self.round_index += 1
+
+    def run_exchange(self, rounds: int) -> None:
+        """Run ``rounds`` exchange rounds."""
+        if rounds < 0:
+            raise SimulationError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.run_exchange_round()
+
+    def deliver_to_server(
+        self,
+        select: Optional[Callable[[int, List[Any], np.random.Generator], List[Any]]] = None,
+    ) -> None:
+        """Final round: each user sends her (selected) items to the server.
+
+        ``select(node_id, held_items, rng)`` chooses what to deliver;
+        the default delivers everything (the "all" protocol).  The
+        selection sees the full held list so the "single" protocol can
+        sample or substitute a dummy.
+        """
+        for node_id in range(self.num_users):
+            node = self.nodes[node_id]
+            held = node.take_all()
+            chosen = held if select is None else select(node_id, held, self.rng)
+            for item in chosen:
+                node.meter.record_send()
+                self.server.deliver(node_id, item)
+
+    def held_counts(self) -> np.ndarray:
+        """Current items held per user — the allocation vector ``L``."""
+        counts = np.zeros(self.num_users, dtype=np.int64)
+        for node_id, node in self.nodes.items():
+            counts[node_id] = len(node.held)
+        return counts

@@ -1,0 +1,54 @@
+"""Client node in the simulated network."""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+import numpy as np
+
+from repro.netsim.metrics import EntityMeter
+
+
+class Node:
+    """A user/client: an id, a neighbor list, an inbox, and held items.
+
+    The node itself is policy-free — protocol logic lives in
+    :mod:`repro.protocols`; the node only tracks state and meters.
+    """
+
+    def __init__(self, node_id: int, neighbors: np.ndarray, meter: EntityMeter):
+        self.node_id = int(node_id)
+        self.neighbors = np.asarray(neighbors, dtype=np.int64)
+        self.meter = meter
+        self.inbox: List[Any] = []
+        self.held: List[Any] = []
+        self.online = True
+
+    def receive(self, payload: Any) -> None:
+        """Accept a payload into the inbox (delivered next round)."""
+        self.inbox.append(payload)
+        self.meter.record_receive()
+        self.meter.record_store()
+
+    def collect_inbox(self) -> None:
+        """Move inbox contents into held items (start-of-round step)."""
+        self.held.extend(self.inbox)
+        self.inbox.clear()
+
+    def take_all(self) -> List[Any]:
+        """Remove and return all held items."""
+        items, self.held = self.held, []
+        self.meter.record_release(len(items))
+        return items
+
+    def sample_neighbor(self, rng: np.random.Generator) -> int:
+        """A uniformly random neighbor (the walk's next hop)."""
+        if self.neighbors.size == 0:
+            raise ValueError(f"node {self.node_id} has no neighbors")
+        return int(self.neighbors[rng.integers(0, self.neighbors.size)])
+
+    def __repr__(self) -> str:
+        return (
+            f"Node(id={self.node_id}, degree={self.neighbors.size}, "
+            f"held={len(self.held)}, online={self.online})"
+        )

@@ -1,0 +1,90 @@
+"""Algorithm 3 — ``A_fix``: local responses with fixed report sizes.
+
+This is the *analysis device* at the heart of the Theorem 6.1 proof:
+condition network shuffling's output on the realized allocation vector
+``L = l``; the conditioned distribution equals Algorithm 3 run on a
+uniformly permuted dataset.  The swap reduction then replaces the full
+permutation with a single swap of the first element
+(:func:`swap_first_element`), which the overlapping-mixtures argument
+can handle.
+
+The implementation here lets tests *execute* the reduction: run
+``A_fix(sigma(D), l)`` and verify output-distribution properties the
+proof relies on (report ``k`` is produced by the user whose block
+contains position ``k``, blocks partition ``[n]``, etc.).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.ldp.base import LocalRandomizer
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def swap_first_element(
+    dataset: Sequence[Any], rng: RngLike = None
+) -> List[Any]:
+    """The ``sigma(D)`` operation: swap ``x_1`` with ``x_I`` for ``I``
+    uniform on ``[n]`` (possibly a no-op when ``I = 1``)."""
+    data = list(dataset)
+    if not data:
+        raise ValidationError("dataset must be non-empty")
+    generator = ensure_rng(rng)
+    index = int(generator.integers(0, len(data)))
+    data[0], data[index] = data[index], data[0]
+    return data
+
+
+def fixed_size_responses(
+    dataset: Sequence[Any],
+    report_sizes: Sequence[int],
+    randomizer: Optional[LocalRandomizer] = None,
+    rng: RngLike = None,
+) -> List[List[Any]]:
+    """Algorithm 3: produce the sequence ``S_1 .. S_n`` of report sets.
+
+    User ``i`` outputs the randomized reports of the ``l_i`` consecutive
+    dataset elements starting at position ``sum_{k<i} l_k``.
+
+    Parameters
+    ----------
+    dataset:
+        The (possibly permuted/swapped) values ``x_1 .. x_n``.
+    report_sizes:
+        ``l`` with ``sum_i l_i = n`` — the conditioned allocation.
+    randomizer:
+        Optional ``A_ldp``; identity when omitted (useful in tests).
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    list[list]
+        ``S_i`` per user; empty lists where ``l_i = 0``.
+    """
+    data = list(dataset)
+    sizes = np.asarray(list(report_sizes), dtype=np.int64)
+    if sizes.ndim != 1 or sizes.size == 0:
+        raise ValidationError("report_sizes must be a non-empty 1-D sequence")
+    if np.any(sizes < 0):
+        raise ValidationError("report sizes must be non-negative")
+    if int(sizes.sum()) != len(data):
+        raise ValidationError(
+            f"report sizes must sum to the dataset size {len(data)}, "
+            f"got {int(sizes.sum())}"
+        )
+    generator = ensure_rng(rng)
+    outputs: List[List[Any]] = []
+    cursor = 0
+    for size in sizes:
+        block = data[cursor: cursor + int(size)]
+        if randomizer is None:
+            outputs.append(list(block))
+        else:
+            outputs.append([randomizer.randomize(x, generator) for x in block])
+        cursor += int(size)
+    return outputs

@@ -1,0 +1,30 @@
+"""Shared utilities: RNG plumbing, validation, and numerically stable math."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.validation import (
+    check_delta,
+    check_epsilon,
+    check_positive_int,
+    check_probability,
+    check_probability_vector,
+)
+from repro.utils.mathutils import (
+    log1mexp,
+    log_add_exp,
+    log_sub_exp,
+    stable_expm1,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "check_delta",
+    "check_epsilon",
+    "check_positive_int",
+    "check_probability",
+    "check_probability_vector",
+    "log1mexp",
+    "log_add_exp",
+    "log_sub_exp",
+    "stable_expm1",
+]

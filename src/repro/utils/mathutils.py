@@ -1,0 +1,99 @@
+"""Numerically stable math helpers used by the privacy bounds.
+
+The amplification theorems involve expressions like ``e^{32 eps0}`` that
+overflow ordinary floats for large ``eps0``; these helpers keep such
+computations in log space where possible.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+_LOG_HALF = math.log(0.5)
+
+
+def stable_expm1(x: float) -> float:
+    """``e^x - 1`` computed without cancellation for small ``x``."""
+    return math.expm1(x)
+
+
+def log1mexp(x: float) -> float:
+    """Compute ``log(1 - e^{x})`` for ``x < 0`` stably.
+
+    Uses the standard two-branch trick (Maechler 2012): for
+    ``x > -log 2`` use ``log(-expm1(x))``, otherwise ``log1p(-exp(x))``.
+    """
+    if x >= 0.0:
+        raise ValueError(f"log1mexp requires x < 0, got {x}")
+    if x > _LOG_HALF:
+        return math.log(-math.expm1(x))
+    return math.log1p(-math.exp(x))
+
+
+def log_add_exp(a: float, b: float) -> float:
+    """``log(e^a + e^b)`` without overflow."""
+    if a == -math.inf:
+        return b
+    if b == -math.inf:
+        return a
+    hi, lo = (a, b) if a >= b else (b, a)
+    return hi + math.log1p(math.exp(lo - hi))
+
+
+def log_sub_exp(a: float, b: float) -> float:
+    """``log(e^a - e^b)`` for ``a > b`` without overflow."""
+    if b == -math.inf:
+        return a
+    if a <= b:
+        raise ValueError(f"log_sub_exp requires a > b, got a={a}, b={b}")
+    return a + log1mexp(b - a)
+
+
+def softplus_inverse(y: float) -> float:
+    """Inverse of ``softplus(x) = log(1 + e^x)``; helper for bound inversion."""
+    if y <= 0.0:
+        raise ValueError(f"softplus_inverse requires y > 0, got {y}")
+    return y + math.log(-math.expm1(-y))
+
+
+def binary_search_monotone(
+    function,
+    target: float,
+    lower: float,
+    upper: float,
+    *,
+    increasing: bool = True,
+    tolerance: float = 1e-12,
+    max_iterations: int = 200,
+) -> float:
+    """Solve ``function(x) = target`` for a monotone ``function`` on
+    ``[lower, upper]`` by bisection.
+
+    Returns the midpoint of the final bracket.  Used e.g. to invert
+    amplification bounds (find the ``eps0`` achieving a desired central
+    ``eps``) and to calibrate synthetic datasets.
+    """
+    if lower >= upper:
+        raise ValueError(f"need lower < upper, got [{lower}, {upper}]")
+    lo, hi = float(lower), float(upper)
+    for _ in range(max_iterations):
+        mid = 0.5 * (lo + hi)
+        value = function(mid)
+        if abs(value - target) <= tolerance:
+            return mid
+        too_small = value < target if increasing else value > target
+        if too_small:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo <= tolerance * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)
+
+
+def l2_norm_squared(vector: np.ndarray) -> float:
+    """Squared Euclidean norm as a plain float."""
+    vector = np.asarray(vector, dtype=float)
+    return float(np.dot(vector, vector))

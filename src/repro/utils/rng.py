@@ -1,0 +1,54 @@
+"""Random-number-generator plumbing.
+
+Every stochastic API in the library accepts either a
+:class:`numpy.random.Generator`, an integer seed, or ``None`` and funnels
+it through :func:`ensure_rng`.  Nothing in the library touches NumPy's
+global RNG state, which keeps experiments reproducible and parallelizable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh unpredictable generator), an ``int`` seed, or an
+        existing generator (returned unchanged).
+
+    Returns
+    -------
+    numpy.random.Generator
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator; got {type(rng)!r}"
+    )
+
+
+def spawn_rngs(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Children are produced with the SeedSequence spawning protocol, so
+    streams do not overlap even for adjacent seeds.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    parent = ensure_rng(rng)
+    return [
+        np.random.default_rng(seq)
+        for seq in parent.bit_generator.seed_seq.spawn(count)  # type: ignore[union-attr]
+    ]

@@ -1,0 +1,120 @@
+"""Tests for the baseline amplification bounds (Table 1 rows)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.amplification.subsampling import subsampled_epsilon, subsampling_epsilon
+from repro.amplification.uniform_shuffle import (
+    clones_epsilon,
+    clones_max_epsilon0,
+    uniform_shuffle_epsilon,
+)
+from repro.exceptions import ValidationError
+
+
+class TestSubsampling:
+    def test_exact_formula(self):
+        assert subsampled_epsilon(1.0, 0.1) == pytest.approx(
+            math.log1p(0.1 * math.expm1(1.0))
+        )
+
+    def test_q_one_no_amplification(self):
+        assert subsampled_epsilon(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_q_zero_full_privacy(self):
+        assert subsampled_epsilon(1.0, 0.0) == 0.0
+
+    def test_monotone_in_q(self):
+        values = [subsampled_epsilon(1.0, q) for q in (0.01, 0.1, 0.5, 1.0)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_table1_scaling(self):
+        """At the q=1/sqrt(n) rate, eps' ~ e^{eps0}/sqrt(n) for large eps0."""
+        eps0, n = 3.0, 1_000_000
+        value = subsampling_epsilon(eps0, n)
+        assert value == pytest.approx(math.expm1(eps0) / math.sqrt(n), rel=0.05)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValidationError):
+            subsampled_epsilon(1.0, 1.5)
+
+
+class TestUniformShuffleEFMRTT:
+    def test_small_regime_formula(self):
+        eps0, n, delta = 0.3, 100_000, 1e-6
+        assert uniform_shuffle_epsilon(eps0, n, delta) == pytest.approx(
+            12 * eps0 * math.sqrt(math.log(1 / delta) / n)
+        )
+
+    def test_continuity_at_boundary(self):
+        n, delta = 100_000, 1e-6
+        below = uniform_shuffle_epsilon(0.499999, n, delta)
+        above = uniform_shuffle_epsilon(0.500001, n, delta)
+        assert above == pytest.approx(below, rel=1e-3)
+
+    def test_general_regime_exponential(self):
+        n, delta = 100_000, 1e-6
+        ratio = uniform_shuffle_epsilon(2.0, n, delta) / uniform_shuffle_epsilon(
+            1.0, n, delta
+        )
+        assert ratio == pytest.approx(math.exp(3.0), rel=1e-6)
+
+    def test_sqrt_n_decay(self):
+        delta = 1e-6
+        small = uniform_shuffle_epsilon(0.3, 10_000, delta)
+        large = uniform_shuffle_epsilon(0.3, 1_000_000, delta)
+        assert small / large == pytest.approx(10.0, rel=1e-9)
+
+
+class TestClones:
+    def test_closed_form(self):
+        eps0, n, delta = 1.0, 100_000, 1e-6
+        exp_eps = math.exp(eps0)
+        expected = math.log1p(
+            (exp_eps - 1)
+            / (exp_eps + 1)
+            * (
+                8 * math.sqrt(exp_eps * math.log(4 / delta)) / math.sqrt(n)
+                + 8 * exp_eps / n
+            )
+        )
+        assert clones_epsilon(eps0, n, delta) == pytest.approx(expected)
+
+    def test_validity_ceiling(self):
+        n, delta = 10_000, 1e-6
+        ceiling = clones_max_epsilon0(n, delta)
+        assert ceiling == pytest.approx(
+            math.log(n / (16 * math.log(2 / delta)))
+        )
+        with pytest.raises(ValidationError):
+            clones_epsilon(ceiling + 0.5, n, delta)
+
+    def test_ceiling_rejects_tiny_n(self):
+        with pytest.raises(ValidationError):
+            clones_max_epsilon0(10, 0.5)
+
+    def test_beats_efmrtt_everywhere(self):
+        """FMT'21 is the tighter analysis of the same mechanism."""
+        n, delta = 100_000, 1e-6
+        for eps0 in (0.3, 0.5, 1.0, 2.0):
+            assert clones_epsilon(eps0, n, delta) < uniform_shuffle_epsilon(
+                eps0, n, delta
+            )
+
+    def test_amplifies(self):
+        for eps0 in (0.5, 1.0, 2.0):
+            assert clones_epsilon(eps0, 100_000, 1e-6) < eps0
+
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.sampled_from([10_000, 100_000, 1_000_000]),
+    )
+    @settings(max_examples=40)
+    def test_positive_and_monotone_envelope(self, eps0, n):
+        value = clones_epsilon(eps0, n, 1e-6)
+        assert 0.0 < value < eps0 + 1e-9

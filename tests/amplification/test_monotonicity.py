@@ -1,0 +1,95 @@
+"""Property-based monotonicity tests on the amplification bounds.
+
+The planning module (bisection) and every figure's interpretation rely
+on these monotonicities; hypothesis sweeps the parameter space for
+counterexamples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.amplification.network_shuffle import (
+    epsilon_all_stationary,
+    epsilon_single_stationary,
+)
+from repro.amplification.subsampling import subsampled_epsilon
+from repro.amplification.uniform_shuffle import clones_epsilon, clones_max_epsilon0
+
+DELTA = 1e-6
+
+eps0_pairs = st.tuples(
+    st.floats(min_value=0.05, max_value=3.0),
+    st.floats(min_value=0.05, max_value=3.0),
+).filter(lambda pair: abs(pair[0] - pair[1]) > 1e-6)
+
+n_values = st.sampled_from([1_000, 10_000, 100_000, 1_000_000])
+
+
+class TestNetworkBoundsMonotone:
+    @given(eps0_pairs, n_values)
+    @settings(max_examples=40, deadline=None)
+    def test_all_monotone_in_eps0(self, pair, n):
+        low, high = sorted(pair)
+        s = 1.0 / n
+        assert (
+            epsilon_all_stationary(low, n, s, DELTA, DELTA).epsilon
+            < epsilon_all_stationary(high, n, s, DELTA, DELTA).epsilon
+        )
+
+    @given(eps0_pairs, n_values)
+    @settings(max_examples=40, deadline=None)
+    def test_single_monotone_in_eps0(self, pair, n):
+        low, high = sorted(pair)
+        s = 1.0 / n
+        assert (
+            epsilon_single_stationary(low, n, s, DELTA).epsilon
+            < epsilon_single_stationary(high, n, s, DELTA).epsilon
+        )
+
+    @given(
+        st.floats(min_value=0.1, max_value=2.0),
+        n_values,
+        st.floats(min_value=1.5, max_value=40.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_gamma(self, eps0, n, gamma):
+        base = epsilon_single_stationary(eps0, n, 1.0 / n, DELTA).epsilon
+        irregular = epsilon_single_stationary(
+            eps0, n, min(1.0, gamma / n), DELTA
+        ).epsilon
+        assert irregular > base
+
+    @given(st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=30, deadline=None)
+    def test_single_below_all_everywhere(self, eps0):
+        n = 100_000
+        s = 1.0 / n
+        single = epsilon_single_stationary(eps0, n, s, DELTA).epsilon
+        both = epsilon_all_stationary(eps0, n, s, DELTA, DELTA).epsilon
+        assert single < both
+
+
+class TestBaselinesMonotone:
+    @given(eps0_pairs, st.floats(min_value=0.001, max_value=1.0))
+    @settings(max_examples=40)
+    def test_subsampling_monotone_in_eps0(self, pair, q):
+        low, high = sorted(pair)
+        assert subsampled_epsilon(low, q) < subsampled_epsilon(high, q)
+
+    @given(eps0_pairs, n_values)
+    @settings(max_examples=40)
+    def test_clones_monotone_in_eps0(self, pair, n):
+        low, high = sorted(pair)
+        ceiling = clones_max_epsilon0(n, DELTA)
+        assume(high < ceiling)
+        assert clones_epsilon(low, n, DELTA) < clones_epsilon(high, n, DELTA)
+
+    @given(st.floats(min_value=0.1, max_value=2.0))
+    @settings(max_examples=30)
+    def test_clones_monotone_in_n(self, eps0):
+        small = clones_epsilon(eps0, 10_000, DELTA)
+        large = clones_epsilon(eps0, 1_000_000, DELTA)
+        assert large < small

@@ -1,0 +1,116 @@
+"""Tests for deployment planning (bound inversion)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amplification.network_shuffle import (
+    epsilon_all_stationary,
+    epsilon_single_stationary,
+    sum_squared_bound,
+)
+from repro.amplification.planning import (
+    minimum_central_epsilon,
+    required_epsilon0,
+    required_rounds,
+)
+from repro.exceptions import ValidationError
+
+N = 100_000
+S = 1.0 / N
+DELTA = 1e-6
+
+
+class TestRequiredEpsilon0:
+    @pytest.mark.parametrize("protocol", ["all", "single"])
+    def test_inversion_is_consistent(self, protocol):
+        target = 0.5
+        eps0 = required_epsilon0(target, protocol, N, S, DELTA)
+        if protocol == "all":
+            achieved = epsilon_all_stationary(eps0, N, S, DELTA, DELTA).epsilon
+        else:
+            achieved = epsilon_single_stationary(eps0, N, S, DELTA).epsilon
+        assert achieved == pytest.approx(target, rel=1e-4)
+
+    def test_single_allows_larger_eps0(self):
+        """At the same central target, A_single affords more local
+        budget (its amplification is stronger)."""
+        target = 0.5
+        all_budget = required_epsilon0(target, "all", N, S, DELTA)
+        single_budget = required_epsilon0(target, "single", N, S, DELTA)
+        assert single_budget > all_budget
+
+    def test_larger_target_more_budget(self):
+        tight = required_epsilon0(0.2, "all", N, S, DELTA)
+        loose = required_epsilon0(1.0, "all", N, S, DELTA)
+        assert loose > tight
+
+    def test_unreachable_target_raises(self):
+        floor = minimum_central_epsilon("all", 1000, 1.0 / 1000, DELTA)
+        with pytest.raises(ValidationError, match="floor"):
+            required_epsilon0(floor / 2, "all", 1000, 1.0 / 1000, DELTA)
+
+    def test_huge_target_returns_bracket_ceiling(self):
+        # At the bracket ceiling eps0=20 the single bound is ~1e29;
+        # anything above that returns the ceiling directly.
+        eps0 = required_epsilon0(1e40, "single", N, S, DELTA)
+        assert eps0 == 20.0
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ValidationError):
+            required_epsilon0(0.5, "both", N, S, DELTA)
+
+
+class TestMinimumCentralEpsilon:
+    def test_positive(self):
+        assert minimum_central_epsilon("all", N, S, DELTA) > 0.0
+
+    def test_shrinks_with_n(self):
+        small = minimum_central_epsilon("all", 10_000, 1e-4, DELTA)
+        large = minimum_central_epsilon("all", 1_000_000, 1e-6, DELTA)
+        assert large < small
+
+
+class TestRequiredRounds:
+    def test_meets_target(self):
+        gap, pi2 = 0.3, 1.0 / 10_000
+        eps0 = 0.5
+        target = 1.05 * epsilon_all_stationary(
+            eps0, 10_000, pi2, DELTA, DELTA
+        ).epsilon
+        rounds = required_rounds(
+            target, "all", eps0, 10_000, pi2, gap, DELTA
+        )
+        achieved = epsilon_all_stationary(
+            eps0, 10_000, sum_squared_bound(pi2, gap, rounds), DELTA, DELTA
+        ).epsilon
+        assert achieved <= target
+
+    def test_minimality(self):
+        gap, pi2 = 0.3, 1.0 / 10_000
+        eps0 = 0.5
+        target = 1.05 * epsilon_all_stationary(
+            eps0, 10_000, pi2, DELTA, DELTA
+        ).epsilon
+        rounds = required_rounds(
+            target, "all", eps0, 10_000, pi2, gap, DELTA
+        )
+        if rounds > 0:
+            before = epsilon_all_stationary(
+                eps0, 10_000,
+                sum_squared_bound(pi2, gap, rounds - 1), DELTA, DELTA,
+            ).epsilon
+            assert before > target
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(ValidationError, match="reduce eps0"):
+            required_rounds(1e-6, "all", 2.0, 10_000, 1e-4, 0.3, DELTA)
+
+    def test_smaller_gap_more_rounds(self):
+        pi2, eps0 = 1.0 / 10_000, 0.5
+        target = 1.1 * epsilon_all_stationary(
+            eps0, 10_000, pi2, DELTA, DELTA
+        ).epsilon
+        fast = required_rounds(target, "all", eps0, 10_000, pi2, 0.4, DELTA)
+        slow = required_rounds(target, "all", eps0, 10_000, pi2, 0.02, DELTA)
+        assert slow > fast

@@ -1,0 +1,129 @@
+"""Tests for the empirical privacy auditor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.audit.auditor import (
+    audit_local_randomizer,
+    audit_network_shuffle,
+    epsilon_lower_bound,
+)
+from repro.exceptions import ValidationError
+from repro.graphs.generators import random_regular_graph
+from repro.ldp.laplace import LaplaceMechanism
+from repro.ldp.randomized_response import BinaryRandomizedResponse
+
+
+class TestEpsilonLowerBound:
+    def test_identical_distributions_give_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=2000)
+        b = rng.normal(size=2000)
+        eps, _ = epsilon_lower_bound(a, b, 0.0)
+        assert eps < 0.2
+
+    def test_disjoint_distributions_capped_by_min_count(self):
+        """Perfectly separable worlds: the bound is limited only by the
+        min_count guard, not by log(0)."""
+        a = np.zeros(1000)
+        b = np.ones(1000)
+        eps, _ = epsilon_lower_bound(a, b, 0.0)
+        assert np.isfinite(eps)
+
+    def test_known_ratio(self):
+        """Bernoulli worlds with ratio e: eps_hat ~ 1."""
+        rng = np.random.default_rng(1)
+        p = np.e / (1 + np.e)
+        a = (rng.random(50_000) < 1 - p).astype(float)
+        b = (rng.random(50_000) < p).astype(float)
+        eps, _ = epsilon_lower_bound(a, b, 0.0)
+        assert eps == pytest.approx(1.0, abs=0.1)
+
+    def test_orientation_invariance(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0.0, 1.0, 5000)
+        b = rng.normal(1.0, 1.0, 5000)
+        forward, _ = epsilon_lower_bound(a, b, 0.0)
+        backward, _ = epsilon_lower_bound(b, a, 0.0)
+        assert forward == pytest.approx(backward, rel=0.25)
+
+    def test_rejects_too_few_trials(self):
+        with pytest.raises(ValidationError):
+            epsilon_lower_bound(np.zeros(3), np.ones(3), 0.0)
+
+    def test_delta_slack_reduces_bound(self):
+        rng = np.random.default_rng(3)
+        p = np.e / (1 + np.e)
+        a = (rng.random(20_000) < 1 - p).astype(float)
+        b = (rng.random(20_000) < p).astype(float)
+        strict, _ = epsilon_lower_bound(a, b, 0.0)
+        slack, _ = epsilon_lower_bound(a, b, 0.2)
+        assert slack < strict
+
+
+class TestAuditLocalRandomizer:
+    def test_rr_audit_matches_eps0(self):
+        for eps0 in (0.5, 1.0, 2.0):
+            result = audit_local_randomizer(
+                BinaryRandomizedResponse(eps0), 0, 1, trials=30_000, rng=0
+            )
+            # Plug-in estimate: within 15% of the true loss.
+            assert result.epsilon_lower_bound == pytest.approx(eps0, rel=0.15)
+
+    def test_audit_never_wildly_exceeds_guarantee(self):
+        """Soundness (up to estimation noise): eps_hat <~ eps0."""
+        result = audit_local_randomizer(
+            BinaryRandomizedResponse(1.0), 0, 1, trials=30_000, rng=1
+        )
+        assert result.epsilon_lower_bound <= 1.25
+
+    def test_laplace_audit(self):
+        mechanism = LaplaceMechanism(1.0, 0.0, 1.0)
+        result = audit_local_randomizer(
+            mechanism, 0.0, 1.0, trials=20_000, rng=0
+        )
+        assert 0.3 <= result.epsilon_lower_bound <= 1.25
+
+    def test_mechanism_label(self):
+        result = audit_local_randomizer(
+            BinaryRandomizedResponse(1.0), 0, 1, trials=500, rng=0
+        )
+        assert "BinaryRandomizedResponse" in result.mechanism
+
+
+class TestAuditNetworkShuffle:
+    @pytest.fixture
+    def graph(self):
+        return random_regular_graph(6, 200, rng=0)
+
+    def test_no_mixing_recovers_local_loss(self, graph):
+        result = audit_network_shuffle(
+            graph, 1.0, 0, trials=3000, rng=0
+        )
+        assert result.epsilon_lower_bound == pytest.approx(1.0, abs=0.35)
+
+    def test_mixing_amplifies_empirically(self, graph):
+        unmixed = audit_network_shuffle(graph, 1.0, 0, trials=3000, rng=0)
+        mixed = audit_network_shuffle(graph, 1.0, 12, trials=3000, rng=0)
+        assert mixed.epsilon_lower_bound < 0.7 * unmixed.epsilon_lower_bound
+        assert mixed.certifies_amplification(1.0)
+
+    def test_lower_bound_respects_theorem(self, graph):
+        """eps_hat must stay below the Theorem 6.1-style accounting for
+        the same run configuration (validity sandwich)."""
+        from repro.amplification.network_shuffle import epsilon_all_stationary
+        from repro.graphs.spectral import spectral_summary
+
+        rounds = 12
+        summary = spectral_summary(graph)
+        upper = epsilon_all_stationary(
+            1.0,
+            graph.num_nodes,
+            summary.sum_squared_bound(rounds),
+            1e-6,
+            1e-6,
+        ).epsilon
+        audit = audit_network_shuffle(graph, 1.0, rounds, trials=3000, rng=0)
+        assert audit.epsilon_lower_bound < upper

@@ -1,0 +1,138 @@
+"""Tests for the Prochlo, mix-net, and central-DP baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.central import central_laplace_mean
+from repro.baselines.mixnet import run_mixnet
+from repro.baselines.prochlo import run_prochlo
+from repro.exceptions import ValidationError
+from repro.ldp.randomized_response import BinaryRandomizedResponse
+
+
+class TestProchlo:
+    def test_output_is_permutation(self):
+        values = list(range(50))
+        result = run_prochlo(values, rng=0)
+        assert sorted(result.shuffled_reports) == values
+
+    def test_permutation_recorded(self):
+        values = list(range(20))
+        result = run_prochlo(values, rng=0)
+        reconstructed = [values[i] for i in result.permutation]
+        assert reconstructed == result.shuffled_reports
+
+    def test_shuffler_memory_is_n(self):
+        result = run_prochlo(list(range(100)), rng=0)
+        assert result.shuffler_peak_memory == 100
+
+    def test_user_traffic_is_one(self):
+        result = run_prochlo(list(range(100)), rng=0)
+        assert result.max_user_traffic == 1
+
+    def test_batched_mode_still_full_collection(self):
+        """Even with TEE batching, Prochlo collects everything first —
+        the O(n) bottleneck the paper points out."""
+        result = run_prochlo(list(range(64)), batch_size=16, rng=0)
+        assert result.shuffler_peak_memory == 64
+        assert sorted(result.shuffled_reports) == list(range(64))
+
+    def test_batched_shuffle_is_per_batch(self):
+        values = list(range(8))
+        result = run_prochlo(values, batch_size=4, rng=0)
+        first_half = set(result.shuffled_reports[:4])
+        assert first_half == {0, 1, 2, 3}
+
+    def test_randomizer_applied(self):
+        result = run_prochlo(
+            [0] * 200, randomizer=BinaryRandomizedResponse(1.0), rng=0
+        )
+        assert 0 < sum(result.shuffled_reports) < 200
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            run_prochlo([], rng=0)
+
+    def test_actually_shuffles(self):
+        values = list(range(100))
+        result = run_prochlo(values, rng=0)
+        assert result.shuffled_reports != values
+
+
+class TestMixnet:
+    def test_delivery_complete(self):
+        values = list(range(30))
+        result = run_mixnet(values, rng=0)
+        assert sorted(result.delivered_reports) == values
+
+    def test_relay_memory_constant(self):
+        small = run_mixnet(list(range(10)), rng=0)
+        large = run_mixnet(list(range(500)), rng=0)
+        assert small.relay_peak_memory() == large.relay_peak_memory() == 1
+
+    def test_cover_traffic_scales_with_n(self):
+        n = 50
+        result = run_mixnet(list(range(n)), rng=0)
+        # 1 genuine + (n-1) cover messages.
+        assert result.max_user_traffic() == n
+
+    def test_partial_cover(self):
+        n = 50
+        result = run_mixnet(list(range(n)), cover_fraction=0.5, rng=0)
+        assert result.max_user_traffic() == pytest.approx(
+            1 + 0.5 * (n - 1), abs=1
+        )
+
+    def test_zero_cover(self):
+        result = run_mixnet(list(range(20)), cover_fraction=0.0, rng=0)
+        assert result.max_user_traffic() == 1
+
+    def test_rejects_bad_cover(self):
+        with pytest.raises(ValidationError):
+            run_mixnet([1], cover_fraction=2.0, rng=0)
+
+    def test_rejects_zero_relays(self):
+        with pytest.raises(ValidationError):
+            run_mixnet([1], num_relays=0, rng=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            run_mixnet([], rng=0)
+
+
+class TestCentralLaplace:
+    def test_unbiased(self):
+        values = np.full(1000, 0.4)
+        estimates = [
+            central_laplace_mean(values, 1.0, rng=seed) for seed in range(200)
+        ]
+        assert np.mean(estimates) == pytest.approx(0.4, abs=0.01)
+
+    def test_error_shrinks_with_n(self):
+        rng_values = np.random.default_rng(0)
+        small = np.abs([
+            central_laplace_mean(np.full(100, 0.5), 1.0, rng=s) - 0.5
+            for s in range(100)
+        ]).mean()
+        large = np.abs([
+            central_laplace_mean(np.full(10_000, 0.5), 1.0, rng=s) - 0.5
+            for s in range(100)
+        ]).mean()
+        assert large < small / 10
+
+    def test_rejects_out_of_bounds(self):
+        with pytest.raises(ValidationError):
+            central_laplace_mean(np.array([2.0]), 1.0, rng=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            central_laplace_mean(np.array([]), 1.0, rng=0)
+
+    def test_custom_bounds(self):
+        values = np.full(500, 5.0)
+        estimate = central_laplace_mean(
+            values, 2.0, lower=0.0, upper=10.0, rng=0
+        )
+        assert estimate == pytest.approx(5.0, abs=0.5)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+)
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for the test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_regular() -> Graph:
+    """A small ergodic 4-regular graph."""
+    return random_regular_graph(4, 50, rng=7)
+
+
+@pytest.fixture
+def medium_regular() -> Graph:
+    """A medium 8-regular graph for walk statistics."""
+    return random_regular_graph(8, 400, rng=7)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The smallest ergodic graph (odd cycle)."""
+    return cycle_graph(3)
+
+
+@pytest.fixture
+def k4() -> Graph:
+    """Complete graph on four nodes."""
+    return complete_graph(4)

@@ -1,0 +1,95 @@
+"""Tests for multi-collection campaigns."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.accounting import PrivacyAccountant
+from repro.core.campaign import Campaign
+from repro.core.shuffler import NetworkShuffler
+from repro.graphs.generators import random_regular_graph
+from repro.ldp.randomized_response import BinaryRandomizedResponse
+
+
+@pytest.fixture
+def shuffler():
+    graph = random_regular_graph(8, 300, rng=0)
+    return NetworkShuffler(
+        graph, epsilon0=0.3, delta=1e-8, protocol="single", rounds=20
+    )
+
+
+def _values(index, rng):
+    return [int(b) for b in rng.integers(0, 2, size=300)]
+
+
+class TestCampaign:
+    def test_runs_to_max_collections(self, shuffler):
+        accountant = PrivacyAccountant(100.0, 1e-2)
+        campaign = Campaign(shuffler, accountant)
+        summary = campaign.run(_values, max_collections=3, rng=1)
+        assert summary.num_collections == 3
+        assert summary.stopped_reason == "max collections reached"
+        assert accountant.num_recorded == 3
+
+    def test_stops_at_budget(self, shuffler):
+        eps, _ = Campaign(
+            shuffler, PrivacyAccountant(100.0, 1e-2)
+        ).per_collection_guarantee
+        accountant = PrivacyAccountant(2.5 * eps, 1e-2)
+        campaign = Campaign(shuffler, accountant)
+        summary = campaign.run(_values, max_collections=10, rng=1)
+        assert summary.num_collections == 2
+        assert summary.stopped_reason == "budget exhausted"
+
+    def test_affordable_collections_prediction(self, shuffler):
+        eps, _ = Campaign(
+            shuffler, PrivacyAccountant(100.0, 1e-2)
+        ).per_collection_guarantee
+        accountant = PrivacyAccountant(3.5 * eps, 1e-2)
+        campaign = Campaign(shuffler, accountant)
+        predicted = campaign.affordable_collections()
+        summary = campaign.run(_values, max_collections=50, rng=1)
+        assert summary.num_collections == predicted == 3
+
+    def test_advanced_composition_affords_more(self, shuffler):
+        """Advanced composition's sqrt(k) scaling wins once the budget
+        covers many repetitions (for a handful, basic is tighter)."""
+        eps, _ = Campaign(
+            shuffler, PrivacyAccountant(100.0, 1e-2)
+        ).per_collection_guarantee
+        budget = 200 * eps
+        basic = Campaign(
+            shuffler, PrivacyAccountant(budget, 1e-2, composition="basic")
+        ).affordable_collections(limit=2000)
+        advanced = Campaign(
+            shuffler, PrivacyAccountant(budget, 1e-2, composition="advanced")
+        ).affordable_collections(limit=2000)
+        assert basic == 200
+        assert advanced > basic
+
+    def test_collections_carry_results(self, shuffler):
+        accountant = PrivacyAccountant(100.0, 1e-2)
+        campaign = Campaign(shuffler, accountant)
+        summary = campaign.run(
+            _values,
+            randomizer=BinaryRandomizedResponse(0.3),
+            max_collections=2,
+            rng=1,
+        )
+        for record in summary.collections:
+            assert record.result.protocol == "single"
+            assert len(record.result.server_reports) == 300
+
+    def test_value_source_receives_index(self, shuffler):
+        seen = []
+
+        def source(index, rng):
+            seen.append(index)
+            return [0] * 300
+
+        Campaign(shuffler, PrivacyAccountant(100.0, 1e-2)).run(
+            source, max_collections=3, rng=0
+        )
+        assert seen == [0, 1, 2]

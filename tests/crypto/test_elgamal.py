@@ -1,0 +1,98 @@
+"""Tests for the toy ElGamal KEM."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.elgamal import (
+    GENERATOR,
+    PRIME,
+    decrypt,
+    encrypt,
+    generate_keypair,
+)
+from repro.exceptions import CryptoError
+
+
+class TestKeypair:
+    def test_public_matches_private(self):
+        keypair = generate_keypair(rng=0)
+        assert keypair.public_key == pow(GENERATOR, keypair.private_key, PRIME)
+
+    def test_distinct_keypairs(self):
+        a = generate_keypair(rng=1)
+        b = generate_keypair(rng=2)
+        assert a.private_key != b.private_key
+
+    def test_deterministic_with_seed(self):
+        assert generate_keypair(rng=7) == generate_keypair(rng=7)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self):
+        keypair = generate_keypair(rng=0)
+        ciphertext = encrypt(keypair.public_key, b"hello world", rng=1)
+        assert decrypt(keypair.private_key, ciphertext) == b"hello world"
+
+    def test_empty_message(self):
+        keypair = generate_keypair(rng=0)
+        ciphertext = encrypt(keypair.public_key, b"", rng=1)
+        assert decrypt(keypair.private_key, ciphertext) == b""
+
+    def test_long_message(self):
+        keypair = generate_keypair(rng=0)
+        message = bytes(range(256)) * 40
+        ciphertext = encrypt(keypair.public_key, message, rng=1)
+        assert decrypt(keypair.private_key, ciphertext) == message
+
+    def test_wrong_key_rejected(self):
+        alice = generate_keypair(rng=0)
+        eve = generate_keypair(rng=1)
+        ciphertext = encrypt(alice.public_key, b"secret", rng=2)
+        with pytest.raises(CryptoError):
+            decrypt(eve.private_key, ciphertext)
+
+    def test_ciphertext_differs_from_plaintext(self):
+        keypair = generate_keypair(rng=0)
+        ciphertext = encrypt(keypair.public_key, b"secret", rng=1)
+        assert b"secret" not in ciphertext.body
+
+    def test_randomized_encryption(self):
+        """Same plaintext encrypts differently (fresh ephemeral key)."""
+        keypair = generate_keypair(rng=0)
+        a = encrypt(keypair.public_key, b"m", rng=1)
+        b = encrypt(keypair.public_key, b"m", rng=2)
+        assert a.kem_share != b.kem_share
+        assert a.body != b.body
+
+    def test_tampered_ciphertext_rejected(self):
+        keypair = generate_keypair(rng=0)
+        ciphertext = encrypt(keypair.public_key, b"secret data", rng=1)
+        from repro.crypto.elgamal import Ciphertext
+
+        tampered = Ciphertext(
+            kem_share=ciphertext.kem_share,
+            body=bytes([ciphertext.body[0] ^ 1]) + ciphertext.body[1:],
+        )
+        with pytest.raises(CryptoError):
+            decrypt(keypair.private_key, tampered)
+
+    def test_rejects_non_bytes(self):
+        keypair = generate_keypair(rng=0)
+        with pytest.raises(CryptoError):
+            encrypt(keypair.public_key, "string")  # type: ignore[arg-type]
+
+    def test_rejects_short_ciphertext(self):
+        keypair = generate_keypair(rng=0)
+        from repro.crypto.elgamal import Ciphertext
+
+        with pytest.raises(CryptoError):
+            decrypt(keypair.private_key, Ciphertext(kem_share=2, body=b"abc"))
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, message):
+        keypair = generate_keypair(rng=0)
+        ciphertext = encrypt(keypair.public_key, message, rng=1)
+        assert decrypt(keypair.private_key, ciphertext) == message

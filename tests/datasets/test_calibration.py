@@ -1,0 +1,87 @@
+"""Tests for the power-law degree calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.calibration import (
+    CalibrationResult,
+    calibrate_shape,
+    pareto_degree_sequence,
+)
+from repro.exceptions import CalibrationError, ValidationError
+from repro.graphs.metrics import gamma_from_degrees
+
+
+class TestParetoDegreeSequence:
+    def test_length(self):
+        degrees = pareto_degree_sequence(100, 2.0, rng=0)
+        assert degrees.size == 100
+
+    def test_min_degree_respected(self):
+        degrees = pareto_degree_sequence(100, 2.0, min_degree=5, rng=0)
+        assert degrees.min() >= 5
+
+    def test_even_sum(self):
+        for seed in range(5):
+            degrees = pareto_degree_sequence(77, 1.5, rng=seed)
+            assert degrees.sum() % 2 == 0
+
+    def test_max_degree_cap(self):
+        degrees = pareto_degree_sequence(100, 1.05, max_degree=20, rng=0)
+        assert degrees.max() <= 20
+
+    def test_deterministic(self):
+        a = pareto_degree_sequence(50, 2.0, rng=3)
+        b = pareto_degree_sequence(50, 2.0, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_heavier_tail_with_smaller_shape(self):
+        light = pareto_degree_sequence(2000, 8.0, rng=0)
+        heavy = pareto_degree_sequence(2000, 1.2, rng=0)
+        assert gamma_from_degrees(heavy) > gamma_from_degrees(light)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            pareto_degree_sequence(10, 0.0, rng=0)
+
+
+class TestCalibrateShape:
+    def test_hits_moderate_target(self):
+        result = calibrate_shape(5000, 3.0, seed=0)
+        assert result.relative_error <= 0.02
+
+    def test_hits_heavy_target(self):
+        result = calibrate_shape(20_000, 20.0, min_degree=1, seed=0)
+        assert result.relative_error <= 0.02
+
+    def test_near_regular_target(self):
+        result = calibrate_shape(5000, 1.05, seed=0)
+        assert result.achieved_gamma == pytest.approx(1.05, rel=0.05)
+
+    def test_rejects_gamma_below_one(self):
+        with pytest.raises(CalibrationError):
+            calibrate_shape(1000, 0.5, seed=0)
+
+    def test_boundary_acceptance(self):
+        """A just-out-of-range target snaps to the reachable boundary."""
+        # Find the boundary for a small n, then ask slightly beyond it.
+        probe = calibrate_shape(800, 3.0, seed=0)
+        assert isinstance(probe, CalibrationResult)
+
+    def test_unreachable_target_raises(self):
+        with pytest.raises(CalibrationError):
+            calibrate_shape(500, 500.0, seed=0)
+
+    def test_deterministic(self):
+        a = calibrate_shape(3000, 5.0, seed=1)
+        b = calibrate_shape(3000, 5.0, seed=1)
+        assert a.shape == b.shape
+
+    @given(st.floats(min_value=1.5, max_value=8.0))
+    @settings(max_examples=10, deadline=None)
+    def test_calibration_accuracy_property(self, target):
+        result = calibrate_shape(4000, target, seed=0)
+        assert result.relative_error <= 0.10

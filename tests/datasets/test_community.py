@@ -1,0 +1,94 @@
+"""Tests for community-structured stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.community import (
+    build_community_dataset,
+    planted_partition_from_degrees,
+)
+from repro.exceptions import ValidationError
+from repro.graphs.connectivity import is_connected
+from repro.graphs.spectral import spectral_gap
+from repro.graphs.metrics import gamma_from_degrees, irregularity_gamma
+
+
+class TestPlantedPartition:
+    def test_basic_construction(self):
+        degrees = np.full(200, 6)
+        graph = planted_partition_from_degrees(degrees, 4, 0.1, rng=0)
+        assert graph.num_nodes == 200
+        assert graph.num_edges > 0
+
+    def test_degrees_roughly_preserved(self):
+        degrees = np.full(400, 8)
+        graph = planted_partition_from_degrees(degrees, 4, 0.1, rng=0)
+        assert graph.degrees().mean() == pytest.approx(8.0, rel=0.1)
+
+    def test_zero_inter_fraction_disconnects_communities(self):
+        degrees = np.full(100, 6)
+        graph = planted_partition_from_degrees(degrees, 2, 0.0, rng=0)
+        # No cross edges: nodes 0,2,4,... (community 0) never touch
+        # community 1 (nodes 1,3,5,...).
+        communities = np.arange(100) % 2
+        for u, v in graph.edges():
+            assert communities[u] == communities[v]
+
+    def test_full_inter_fraction_is_plain_configuration_model(self):
+        degrees = np.full(100, 6)
+        graph = planted_partition_from_degrees(degrees, 2, 1.0, rng=0)
+        cross = sum(
+            1 for u, v in graph.edges() if (u % 2) != (v % 2)
+        )
+        assert cross > 0.3 * graph.num_edges
+
+    def test_smaller_inter_fraction_smaller_gap(self):
+        """The headline property: community structure slows mixing."""
+        degrees = np.full(600, 8)
+        weak = planted_partition_from_degrees(degrees, 6, 0.03, rng=0)
+        strong = planted_partition_from_degrees(degrees, 6, 0.5, rng=0)
+        if is_connected(weak) and is_connected(strong):
+            assert spectral_gap(weak, validate=False) < spectral_gap(
+                strong, validate=False
+            )
+
+    def test_rejects_too_many_communities(self):
+        with pytest.raises(ValidationError):
+            planted_partition_from_degrees(np.full(3, 2), 5, 0.1, rng=0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValidationError):
+            planted_partition_from_degrees(np.full(10, 2), 2, 1.5, rng=0)
+
+
+class TestBuildCommunityDataset:
+    def test_slower_mixing_than_plain_standin(self):
+        from repro.datasets.synthetic import build_dataset
+
+        plain = build_dataset("twitch", scale=0.3, seed=0)
+        community = build_community_dataset(
+            "twitch", scale=0.3, inter_fraction=0.03, seed=0
+        )
+        plain_gap = spectral_gap(plain.graph, validate=False)
+        community_gap = spectral_gap(community.graph, validate=False)
+        assert community_gap < plain_gap / 3
+
+    def test_metadata(self):
+        dataset = build_community_dataset(
+            "deezer", scale=0.1, num_communities=10, inter_fraction=0.05,
+            seed=0,
+        )
+        assert dataset.name == "deezer"
+        assert dataset.num_communities == 10
+        assert dataset.inter_fraction == 0.05
+        assert dataset.achieved_gamma == pytest.approx(
+            irregularity_gamma(dataset.graph)
+        )
+
+    def test_lcc_connected(self):
+        dataset = build_community_dataset(
+            "deezer", scale=0.1, inter_fraction=0.05, seed=0
+        )
+        assert is_connected(dataset.graph)

@@ -1,0 +1,123 @@
+"""Tests for synthetic dataset materialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import DATASETS, dataset_names, get_dataset
+from repro.datasets.synthetic import (
+    SyntheticDataset,
+    build_dataset,
+    configuration_model_graph,
+)
+from repro.exceptions import ValidationError
+from repro.graphs.connectivity import is_connected
+from repro.graphs.metrics import irregularity_gamma
+
+
+class TestRegistry:
+    def test_all_five_datasets(self):
+        assert dataset_names() == [
+            "facebook", "twitch", "deezer", "enron", "google",
+        ]
+
+    def test_published_values_match_paper(self):
+        assert DATASETS["facebook"].num_nodes == 22_470
+        assert DATASETS["twitch"].gamma == pytest.approx(7.584)
+        assert DATASETS["google"].num_nodes == 855_802
+        assert DATASETS["enron"].gamma == pytest.approx(36.866)
+
+    def test_lookup_case_insensitive(self):
+        assert get_dataset("FaceBook").name == "facebook"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValidationError, match="unknown dataset"):
+            get_dataset("myspace")
+
+    def test_scaled_nodes(self):
+        spec = get_dataset("twitch")
+        assert spec.scaled_nodes(0.5) == round(9_498 * 0.5)
+        assert spec.scaled_nodes(1e-9) == 100  # floor
+
+    def test_scaled_nodes_rejects_bad_scale(self):
+        with pytest.raises(ValidationError):
+            get_dataset("twitch").scaled_nodes(1.5)
+
+
+class TestConfigurationModel:
+    def test_no_self_loops_or_duplicates(self):
+        degrees = np.array([3, 3, 2, 2, 2])
+        graph = configuration_model_graph(degrees, rng=0)
+        for u, v in graph.edges():
+            assert u != v
+        # Graph dedupes by construction; edge count is at most sum/2.
+        assert graph.num_edges <= degrees.sum() // 2
+
+    def test_degrees_close_to_prescribed(self):
+        degrees = np.full(500, 6)
+        graph = configuration_model_graph(degrees, rng=0)
+        realized = graph.degrees()
+        # Erasure loses a few percent at most for bounded degrees.
+        assert realized.mean() == pytest.approx(6.0, rel=0.05)
+
+    def test_rejects_odd_sum(self):
+        with pytest.raises(ValidationError):
+            configuration_model_graph(np.array([1, 1, 1]), rng=0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            configuration_model_graph(np.array([-1, 1]), rng=0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            configuration_model_graph(np.array([]), rng=0)
+
+    def test_deterministic(self):
+        degrees = np.full(100, 4)
+        a = configuration_model_graph(degrees, rng=9)
+        b = configuration_model_graph(degrees, rng=9)
+        assert a == b
+
+
+class TestBuildDataset:
+    @pytest.mark.parametrize("name", ["twitch", "deezer"])
+    def test_full_scale_matches_published(self, name):
+        dataset = build_dataset(name, seed=0)
+        assert dataset.num_nodes == dataset.published_num_nodes
+        assert dataset.gamma_relative_error <= 0.10
+
+    def test_scaled_build(self):
+        dataset = build_dataset("twitch", scale=0.25, seed=0)
+        assert dataset.num_nodes == pytest.approx(9498 * 0.25, rel=0.1)
+
+    def test_lcc_is_connected(self):
+        dataset = build_dataset("twitch", scale=0.3, seed=0)
+        assert is_connected(dataset.graph)
+
+    def test_gamma_matches_graph(self):
+        dataset = build_dataset("deezer", scale=0.3, seed=0)
+        assert dataset.achieved_gamma == pytest.approx(
+            irregularity_gamma(dataset.graph)
+        )
+
+    def test_google_uses_default_scale(self):
+        dataset = build_dataset("google", seed=0)
+        assert dataset.scale == 0.05
+        assert dataset.num_nodes < 100_000
+
+    def test_caching_returns_same_object(self):
+        a = build_dataset("twitch", scale=0.3, seed=0)
+        b = build_dataset("twitch", scale=0.3, seed=0)
+        assert a is b
+
+    def test_different_seeds_differ(self):
+        a = build_dataset("twitch", scale=0.3, seed=1)
+        b = build_dataset("twitch", scale=0.3, seed=2)
+        assert a.graph != b.graph
+
+    def test_result_type(self):
+        dataset = build_dataset("facebook", scale=0.2, seed=0)
+        assert isinstance(dataset, SyntheticDataset)
+        assert dataset.name == "facebook"
+        assert dataset.published_gamma == pytest.approx(5.0064)

@@ -1,0 +1,148 @@
+"""Smoke + shape tests for the experiment modules (fast configurations).
+
+The full-size shape assertions live in ``benchmarks/``; here we verify
+the experiment APIs run, return well-formed rows, and respect their
+parameters, at small scales suitable for the unit suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.figure8 import run_figure8
+from repro.experiments.table1 import (
+    CLAIMED_EPS0_EXPONENTS,
+    mechanism_functions,
+    render_table1,
+    run_table1,
+)
+from repro.experiments.table3 import fit_complexity, measure_complexity
+from repro.experiments.table4 import run_table4
+
+
+class TestConfig:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.delta == 1e-6
+        assert DEFAULT_CONFIG.seed == 0
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_CONFIG.delta = 0.5  # type: ignore[misc]
+
+
+class TestTable1:
+    def test_all_mechanisms_present(self):
+        functions = mechanism_functions(DEFAULT_CONFIG)
+        assert set(functions) == set(CLAIMED_EPS0_EXPONENTS)
+
+    def test_small_run(self):
+        rows = run_table1(
+            n_values=(10_000, 100_000),
+            eps0_values=(1.5, 2.0, 2.5),
+        )
+        assert len(rows) == 6
+        rendered = render_table1(rows)
+        assert "network shuffling (single)" in rendered
+
+    def test_no_amplification_row_flat(self):
+        rows = run_table1(n_values=(10_000, 100_000), eps0_values=(1.5, 2.0))
+        none = next(r for r in rows if r.mechanism == "no amplification")
+        assert none.fitted_eps0_exponent == 0.0
+        assert none.fitted_n_exponent == 0.0
+
+
+class TestTable3:
+    def test_points_per_mechanism(self):
+        points = measure_complexity((64, 128))
+        assert len(points) == 6
+        fits = fit_complexity(points)
+        assert len(fits) == 3
+
+    def test_prochlo_memory_exact(self):
+        points = measure_complexity((64, 128))
+        prochlo = [p for p in points if p.mechanism == "prochlo"]
+        assert [p.entity_peak_memory for p in prochlo] == [64, 128]
+
+
+class TestTable4:
+    def test_subset_run(self):
+        rows = run_table4(
+            names=("twitch",),
+            config=ExperimentConfig(dataset_scale=0.3),
+        )
+        assert len(rows) == 1
+        assert rows[0].name == "twitch"
+        assert rows[0].scale == 0.3
+
+
+class TestFigure4:
+    def test_series_structure(self):
+        series = run_figure4(
+            datasets=("twitch",), max_steps=20, num_points=10,
+        )
+        assert len(series) == 1
+        s = series[0]
+        assert s.steps[0] == 0
+        assert len(s.steps) == len(s.epsilon)
+        assert s.converged_step >= 0
+
+
+class TestFigure5:
+    def test_series_structure(self):
+        series = run_figure5(degrees=(4, 8), num_nodes=256, max_steps=10)
+        assert [s.degree for s in series] == [4, 8]
+        assert all(len(s.epsilon) == 10 for s in series)
+
+    def test_convergence_ordering_small(self):
+        series = run_figure5(degrees=(4, 16), num_nodes=256, max_steps=15)
+        by_degree = {s.degree: s for s in series}
+        assert (
+            by_degree[16].converged_step <= by_degree[4].converged_step
+        )
+
+
+class TestFigure6:
+    def test_uses_published_values(self):
+        curves = run_figure6(eps0_values=(0.5, 1.0), datasets=("google",))
+        assert curves[0].n == 855_802
+        assert curves[0].gamma == pytest.approx(20.642)
+
+    def test_epsilon_at_lookup(self):
+        curves = run_figure6(eps0_values=(0.5, 1.0), datasets=("twitch",))
+        assert curves[0].epsilon_at(0.5) == pytest.approx(
+            float(curves[0].epsilon[0])
+        )
+
+
+class TestFigure7:
+    def test_crossover_detection(self):
+        comparisons = run_figure7(
+            eps0_values=np.linspace(0.5, 4.0, 8), datasets=("twitch",)
+        )
+        crossover = comparisons[0].crossover_eps0()
+        assert crossover is not None
+        assert 0.5 <= crossover <= 4.0
+
+
+class TestFigure8:
+    def test_grid_size(self):
+        curves = run_figure8(
+            eps0_values=(0.5, 1.0),
+            gammas=(1.0,),
+            n_values=(10_000,),
+            protocols=("all", "single"),
+        )
+        assert len(curves) == 2
+
+    def test_labels(self):
+        curves = run_figure8(
+            eps0_values=(0.5,), gammas=(1.0,), n_values=(10_000,),
+            protocols=("all",),
+        )
+        assert "Gamma=1" in curves[0].label

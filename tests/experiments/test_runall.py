@@ -1,0 +1,54 @@
+"""Tests for the runall artifact regenerator (with stubbed generators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import runall
+
+
+class TestArtifactGenerators:
+    def test_covers_every_artifact(self):
+        generators = runall.artifact_generators(full=False)
+        assert set(generators) == {
+            "table1", "table3", "table4",
+            "figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
+        }
+
+    def test_generators_are_callables(self):
+        for generate in runall.artifact_generators(full=False).values():
+            assert callable(generate)
+
+
+class TestMain:
+    def test_writes_one_file_per_artifact(self, tmp_path, monkeypatch, capsys):
+        fake = {name: (lambda n=name: f"content of {n}")
+                for name in runall.artifact_generators(False)}
+        monkeypatch.setattr(
+            runall, "artifact_generators", lambda full: fake
+        )
+        runall.main([str(tmp_path)])
+        written = sorted(p.name for p in tmp_path.glob("*.txt"))
+        assert written == sorted(f"{name}.txt" for name in fake)
+        assert (tmp_path / "table1.txt").read_text() == "content of table1\n"
+        assert "all artifacts regenerated" in capsys.readouterr().out
+
+    def test_full_flag_parsed(self, tmp_path, monkeypatch):
+        seen = {}
+
+        def fake_generators(full):
+            seen["full"] = full
+            return {"table1": lambda: "x"}
+
+        monkeypatch.setattr(runall, "artifact_generators", fake_generators)
+        runall.main([str(tmp_path), "--full"])
+        assert seen["full"] is True
+
+    def test_default_directory(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(
+            runall, "artifact_generators",
+            lambda full: {"table1": lambda: "x"},
+        )
+        runall.main([])
+        assert (tmp_path / "experiments_output" / "table1.txt").exists()

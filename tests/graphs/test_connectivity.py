@@ -1,0 +1,156 @@
+"""Tests for connectivity / bipartiteness / ergodicity (Theorem 4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import NotErgodicError
+from repro.graphs.connectivity import (
+    connected_components,
+    is_bipartite,
+    is_connected,
+    is_ergodic,
+    largest_connected_component,
+    require_ergodic,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    random_regular_graph,
+    star_graph,
+)
+from repro.graphs.graph import Graph
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        components = connected_components(cycle_graph(5))
+        assert len(components) == 1
+        assert len(components[0]) == 5
+
+    def test_two_components(self):
+        graph = Graph(5, [(0, 1), (2, 3)])
+        components = connected_components(graph)
+        assert len(components) == 3  # {0,1}, {2,3}, {4}
+        assert len(components[0]) == 2
+
+    def test_largest_first(self):
+        graph = Graph(6, [(0, 1), (2, 3), (3, 4)])
+        components = connected_components(graph)
+        assert len(components[0]) == 3
+
+    def test_isolated_nodes(self):
+        graph = Graph(3, [])
+        assert len(connected_components(graph)) == 3
+
+
+class TestIsConnected:
+    def test_connected(self):
+        assert is_connected(complete_graph(4))
+
+    def test_disconnected(self):
+        assert not is_connected(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_empty_graph_not_connected(self):
+        assert not is_connected(Graph(0, []))
+
+    def test_single_node_connected(self):
+        assert is_connected(Graph(1, []))
+
+
+class TestLargestConnectedComponent:
+    def test_extracts_largest(self):
+        graph = Graph(7, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        lcc = largest_connected_component(graph)
+        assert lcc.num_nodes == 3
+        assert lcc.num_edges == 3
+
+    def test_connected_graph_unchanged_size(self):
+        graph = cycle_graph(5)
+        assert largest_connected_component(graph).num_nodes == 5
+
+
+class TestIsBipartite:
+    def test_even_cycle(self):
+        assert is_bipartite(cycle_graph(8))
+
+    def test_odd_cycle(self):
+        assert not is_bipartite(cycle_graph(9))
+
+    def test_star(self):
+        assert is_bipartite(star_graph(5))
+
+    def test_path(self):
+        assert is_bipartite(path_graph(6))
+
+    def test_triangle_plus_isolated(self):
+        graph = Graph(4, [(0, 1), (1, 2), (0, 2)])
+        assert not is_bipartite(graph)
+
+    def test_edgeless_vacuously_bipartite(self):
+        assert is_bipartite(Graph(3, []))
+
+    def test_disconnected_mixed(self):
+        # One bipartite component + one odd cycle => not bipartite.
+        graph = Graph(7, [(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert not is_bipartite(graph)
+
+
+class TestIsErgodic:
+    """Theorem 4.3: ergodic iff connected and not bipartite."""
+
+    def test_odd_cycle_ergodic(self):
+        assert is_ergodic(cycle_graph(5))
+
+    def test_even_cycle_not_ergodic(self):
+        assert not is_ergodic(cycle_graph(6))
+
+    def test_disconnected_not_ergodic(self):
+        assert not is_ergodic(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_complete_ergodic(self):
+        assert is_ergodic(complete_graph(5))
+
+    def test_star_not_ergodic(self):
+        assert not is_ergodic(star_graph(4))
+
+    def test_edgeless_not_ergodic(self):
+        assert not is_ergodic(Graph(3, []))
+
+    def test_random_regular_ergodic(self):
+        assert is_ergodic(random_regular_graph(4, 50, rng=0))
+
+
+class TestRequireErgodic:
+    def test_passes_for_ergodic(self):
+        require_ergodic(cycle_graph(5))
+
+    def test_disconnected_message(self):
+        with pytest.raises(NotErgodicError, match="disconnected"):
+            require_ergodic(Graph(4, [(0, 1), (2, 3)]))
+
+    def test_bipartite_message(self):
+        with pytest.raises(NotErgodicError, match="bipartite"):
+            require_ergodic(cycle_graph(4))
+
+    def test_edgeless_message(self):
+        with pytest.raises(NotErgodicError, match="no edges"):
+            require_ergodic(Graph(2, []))
+
+
+class TestPropertyBased:
+    @given(st.integers(min_value=3, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_cycle_parity(self, n):
+        assert is_bipartite(cycle_graph(n)) == (n % 2 == 0)
+
+    @given(st.integers(min_value=3, max_value=40))
+    @settings(max_examples=30, deadline=None)
+    def test_components_partition_nodes(self, n):
+        graph = Graph(n, [(i, (i + 2) % n) for i in range(n)])
+        components = connected_components(graph)
+        all_nodes = np.concatenate(components)
+        assert sorted(all_nodes.tolist()) == list(range(n))

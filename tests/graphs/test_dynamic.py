@@ -1,0 +1,132 @@
+"""Tests for dynamic-graph walks (Section 4.5 extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs.dynamic import (
+    DynamicGraphSchedule,
+    evolve_on_schedule,
+    simulate_tokens_on_schedule,
+    trace_collision_on_schedule,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+)
+from repro.graphs.walks import evolve_distribution
+
+
+@pytest.fixture
+def two_graphs():
+    return [
+        random_regular_graph(4, 60, rng=0),
+        random_regular_graph(6, 60, rng=1),
+    ]
+
+
+class TestSchedule:
+    def test_round_robin_default(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        assert schedule.graph_at(0) is two_graphs[0]
+        assert schedule.graph_at(1) is two_graphs[1]
+        assert schedule.graph_at(2) is two_graphs[0]
+
+    def test_custom_selector(self, two_graphs):
+        schedule = DynamicGraphSchedule(
+            two_graphs, selector=lambda r: 0 if r < 3 else 1
+        )
+        assert schedule.graph_at(2) is two_graphs[0]
+        assert schedule.graph_at(3) is two_graphs[1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            DynamicGraphSchedule([])
+
+    def test_rejects_mismatched_sizes(self):
+        with pytest.raises(ValidationError):
+            DynamicGraphSchedule([complete_graph(5), complete_graph(6)])
+
+    def test_rejects_bad_selector_output(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs, selector=lambda r: 7)
+        with pytest.raises(ValidationError):
+            schedule.graph_at(0)
+
+    def test_rejects_negative_round(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        with pytest.raises(ValidationError):
+            schedule.graph_at(-1)
+
+
+class TestEvolveOnSchedule:
+    def test_static_schedule_matches_plain_walk(self):
+        graph = random_regular_graph(4, 40, rng=0)
+        schedule = DynamicGraphSchedule([graph])
+        initial = np.zeros(40)
+        initial[0] = 1.0
+        dynamic = evolve_on_schedule(schedule, initial, 8)
+        static = evolve_distribution(graph, initial, 8)
+        np.testing.assert_allclose(dynamic, static, atol=1e-12)
+
+    def test_mass_preserved(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        initial = np.full(60, 1.0 / 60)
+        result = evolve_on_schedule(schedule, initial, 10)
+        assert result.sum() == pytest.approx(1.0)
+
+    def test_alternating_bipartite_never_converges(self):
+        """Two complementary bipartite graphs keep the parity alive —
+        the convergence caveat the module documents."""
+        even_cycle = cycle_graph(6)
+        schedule = DynamicGraphSchedule([even_cycle])
+        initial = np.zeros(6)
+        initial[0] = 1.0
+        result = evolve_on_schedule(schedule, initial, 100)
+        # Parity preserved: odd nodes never reached at even times.
+        assert result[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_churn_still_mixes(self, two_graphs):
+        """Alternating between two ergodic graphs still spreads mass."""
+        schedule = DynamicGraphSchedule(two_graphs)
+        initial = np.zeros(60)
+        initial[0] = 1.0
+        collisions = trace_collision_on_schedule(schedule, initial, 40)
+        assert collisions[0] == 1.0
+        assert collisions[-1] == pytest.approx(1.0 / 60, rel=0.05)
+
+
+class TestTraceCollision:
+    def test_length(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        initial = np.full(60, 1.0 / 60)
+        collisions = trace_collision_on_schedule(schedule, initial, 5)
+        assert len(collisions) == 6
+
+    def test_uniform_start_stays_uniformish(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        initial = np.full(60, 1.0 / 60)
+        collisions = trace_collision_on_schedule(schedule, initial, 5)
+        for value in collisions:
+            assert value == pytest.approx(1.0 / 60, rel=0.05)
+
+
+class TestSimulateTokens:
+    def test_shape_and_range(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        starts = np.arange(60)
+        finals = simulate_tokens_on_schedule(schedule, starts, 12, rng=0)
+        assert finals.shape == (60,)
+        assert finals.min() >= 0 and finals.max() < 60
+
+    def test_matches_exact_distribution(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        starts = np.zeros(50_000, dtype=np.int64)
+        finals = simulate_tokens_on_schedule(schedule, starts, 6, rng=0)
+        empirical = np.bincount(finals, minlength=60) / 50_000
+        initial = np.zeros(60)
+        initial[0] = 1.0
+        exact = evolve_on_schedule(schedule, initial, 6)
+        assert np.abs(empirical - exact).sum() < 0.06

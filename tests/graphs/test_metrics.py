@@ -1,0 +1,96 @@
+"""Tests for graph metrics (irregularity Gamma etc.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import complete_graph, random_regular_graph, star_graph
+from repro.graphs.graph import Graph
+from repro.graphs.metrics import (
+    degree_statistics,
+    gamma_from_degrees,
+    irregularity_gamma,
+    stationary_collision_probability,
+)
+
+
+class TestIrregularityGamma:
+    def test_regular_graph_is_one(self):
+        graph = random_regular_graph(4, 100, rng=0)
+        assert irregularity_gamma(graph) == pytest.approx(1.0)
+
+    def test_complete_graph_is_one(self):
+        assert irregularity_gamma(complete_graph(7)) == pytest.approx(1.0)
+
+    def test_star_graph_value(self):
+        """Star with k leaves: pi_hub = 1/2, pi_leaf = 1/(2k);
+        Gamma = (k+1) * (1/4 + k/(4k^2)) = (k+1)^2 / (4k)."""
+        k = 8
+        graph = star_graph(k)
+        expected = (k + 1) ** 2 / (4.0 * k)
+        assert irregularity_gamma(graph) == pytest.approx(expected)
+
+    def test_gamma_at_least_one(self):
+        """Cauchy-Schwarz: Gamma >= 1 for any graph."""
+        graph = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)])
+        assert irregularity_gamma(graph) >= 1.0
+
+
+class TestStationaryCollision:
+    def test_uniform_case(self):
+        graph = random_regular_graph(4, 50, rng=0)
+        assert stationary_collision_probability(graph) == pytest.approx(1 / 50)
+
+    def test_consistent_with_gamma(self):
+        graph = star_graph(5)
+        assert irregularity_gamma(graph) == pytest.approx(
+            graph.num_nodes * stationary_collision_probability(graph)
+        )
+
+
+class TestGammaFromDegrees:
+    def test_uniform_degrees(self):
+        assert gamma_from_degrees(np.full(10, 4)) == pytest.approx(1.0)
+
+    def test_matches_graph_computation(self):
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert gamma_from_degrees(graph.degrees()) == pytest.approx(
+            irregularity_gamma(graph)
+        )
+
+    def test_rejects_zero_sum(self):
+        with pytest.raises(ValueError):
+            gamma_from_degrees(np.zeros(3))
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=100), min_size=2, max_size=50)
+    )
+    @settings(max_examples=50)
+    def test_gamma_at_least_one_property(self, degrees):
+        assert gamma_from_degrees(np.array(degrees)) >= 1.0 - 1e-12
+
+    @given(st.integers(min_value=2, max_value=100))
+    def test_scale_invariance(self, scale):
+        degrees = np.array([1, 2, 3, 4, 5])
+        assert gamma_from_degrees(degrees * scale) == pytest.approx(
+            gamma_from_degrees(degrees)
+        )
+
+
+class TestDegreeStatistics:
+    def test_star(self):
+        stats = degree_statistics(star_graph(4))
+        assert stats.minimum == 1
+        assert stats.maximum == 4
+        assert stats.mean == pytest.approx(8 / 5)
+
+    def test_regular_cv_zero(self):
+        stats = degree_statistics(random_regular_graph(4, 30, rng=0))
+        assert stats.coefficient_of_variation == 0.0
+
+    def test_empty_graph(self):
+        stats = degree_statistics(Graph(0, []))
+        assert stats.minimum == 0
+        assert stats.coefficient_of_variation == 0.0

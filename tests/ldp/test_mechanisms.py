@@ -1,0 +1,145 @@
+"""Tests for Laplace, Gaussian, and unary-encoding randomizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ldp.gaussian import GaussianMechanism, gaussian_sigma
+from repro.ldp.histogram import UnaryEncoding
+from repro.ldp.laplace import LaplaceMechanism
+
+
+class TestLaplace:
+    def test_scale_formula(self):
+        mechanism = LaplaceMechanism(2.0, 0.0, 1.0)
+        assert mechanism.scale == pytest.approx(0.5)
+
+    def test_wider_domain_more_noise(self):
+        narrow = LaplaceMechanism(1.0, 0.0, 1.0)
+        wide = LaplaceMechanism(1.0, 0.0, 10.0)
+        assert wide.scale == pytest.approx(10.0 * narrow.scale)
+
+    def test_unbiased(self):
+        mechanism = LaplaceMechanism(1.0)
+        reports = mechanism.randomize_batch(np.full(100_000, 0.5), rng=0)
+        assert reports.mean() == pytest.approx(0.5, abs=0.02)
+
+    def test_noise_scale_empirical(self):
+        mechanism = LaplaceMechanism(1.0)
+        reports = mechanism.randomize_batch(np.zeros(100_000), rng=0)
+        # Laplace variance = 2 b^2.
+        assert reports.var() == pytest.approx(2.0, rel=0.05)
+
+    def test_debias_identity(self):
+        mechanism = LaplaceMechanism(1.0)
+        assert mechanism.debias(0.42) == 0.42
+
+    def test_rejects_out_of_bounds(self):
+        mechanism = LaplaceMechanism(1.0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            mechanism.randomize(2.0, rng=0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValidationError):
+            LaplaceMechanism(1.0, 1.0, 0.0)
+
+    def test_is_pure_dp(self):
+        assert LaplaceMechanism(1.0).is_pure
+
+
+class TestGaussian:
+    def test_sigma_formula(self):
+        sigma = gaussian_sigma(1.0, 1e-5, 1.0)
+        assert sigma == pytest.approx(np.sqrt(2 * np.log(1.25e5)), rel=1e-9)
+
+    def test_smaller_delta_more_noise(self):
+        loose = GaussianMechanism(1.0, 1e-3)
+        tight = GaussianMechanism(1.0, 1e-9)
+        assert tight.sigma > loose.sigma
+
+    def test_not_pure(self):
+        assert not GaussianMechanism(1.0, 1e-5).is_pure
+        assert GaussianMechanism(1.0, 1e-5).delta == 1e-5
+
+    def test_unbiased(self):
+        mechanism = GaussianMechanism(1.0, 1e-5)
+        reports = mechanism.randomize_batch(np.full(50_000, 0.3), rng=0)
+        assert reports.mean() == pytest.approx(0.3, abs=0.1)
+
+    def test_empirical_sigma(self):
+        mechanism = GaussianMechanism(1.0, 1e-5)
+        reports = mechanism.randomize_batch(np.zeros(100_000), rng=0)
+        assert reports.std() == pytest.approx(mechanism.sigma, rel=0.03)
+
+    def test_rejects_zero_delta(self):
+        with pytest.raises(Exception):
+            GaussianMechanism(1.0, 0.0)
+
+    def test_rejects_out_of_bounds_value(self):
+        mechanism = GaussianMechanism(1.0, 1e-5)
+        with pytest.raises(ValidationError):
+            mechanism.randomize(-0.1, rng=0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(ValidationError):
+            gaussian_sigma(1.0, 1e-5, 0.0)
+
+
+class TestUnaryEncoding:
+    def test_probabilities(self):
+        encoding = UnaryEncoding(2.0, 5)
+        half = np.exp(1.0)
+        assert encoding.keep_probability == pytest.approx(half / (half + 1))
+        assert encoding.flip_probability == pytest.approx(
+            1 - encoding.keep_probability
+        )
+
+    def test_output_shape_single(self, rng):
+        encoding = UnaryEncoding(1.0, 6)
+        report = encoding.randomize(3, rng)
+        assert report.shape == (6,)
+        assert set(np.unique(report)).issubset({0, 1})
+
+    def test_output_shape_batch(self):
+        encoding = UnaryEncoding(1.0, 4)
+        reports = encoding.randomize_batch(np.array([0, 1, 2, 3]), rng=0)
+        assert reports.shape == (4, 4)
+
+    def test_frequency_estimation_unbiased(self):
+        encoding = UnaryEncoding(2.0, 4)
+        truth = np.array([0.5, 0.25, 0.15, 0.1])
+        symbols = np.repeat(np.arange(4), (truth * 50_000).astype(int))
+        reports = encoding.randomize_batch(symbols, rng=0)
+        estimate = encoding.estimate_frequencies(reports)
+        np.testing.assert_allclose(estimate, truth, atol=0.02)
+
+    def test_true_bit_kept_at_rate_p(self):
+        encoding = UnaryEncoding(2.0, 3)
+        reports = encoding.randomize_batch(np.zeros(50_000, dtype=int), rng=0)
+        assert reports[:, 0].mean() == pytest.approx(
+            encoding.keep_probability, abs=0.01
+        )
+        assert reports[:, 1].mean() == pytest.approx(
+            encoding.flip_probability, abs=0.01
+        )
+
+    def test_rejects_single_symbol(self):
+        with pytest.raises(ValidationError):
+            UnaryEncoding(1.0, 1)
+
+    def test_rejects_bad_symbol(self):
+        encoding = UnaryEncoding(1.0, 3)
+        with pytest.raises(ValidationError):
+            encoding.randomize(5, rng=0)
+
+    def test_estimate_rejects_wrong_width(self):
+        encoding = UnaryEncoding(1.0, 3)
+        with pytest.raises(ValidationError):
+            encoding.estimate_frequencies(np.zeros((10, 4)))
+
+    def test_debias_shape(self):
+        encoding = UnaryEncoding(1.0, 3)
+        debiased = encoding.debias(np.array([1, 0, 0]))
+        assert debiased.shape == (3,)

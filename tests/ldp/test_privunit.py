@@ -1,0 +1,148 @@
+"""Tests for PrivUnit (cap geometry, unbiasedness, privacy ratio)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import ValidationError
+from repro.ldp.privunit import PrivUnit, cap_mass, cap_threshold
+
+
+class TestCapGeometry:
+    def test_cap_mass_at_zero_is_half(self):
+        assert cap_mass(0.0, 10) == pytest.approx(0.5)
+
+    def test_cap_mass_extremes(self):
+        assert cap_mass(-1.0, 10) == pytest.approx(1.0)
+        assert cap_mass(1.0, 10) == pytest.approx(0.0, abs=1e-12)
+
+    def test_cap_mass_monotone_in_gamma(self):
+        masses = [cap_mass(g, 20) for g in np.linspace(-0.9, 0.9, 10)]
+        assert all(b < a for a, b in zip(masses, masses[1:]))
+
+    def test_threshold_inverts_mass(self):
+        for mass in (0.1, 0.25, 0.5, 0.9):
+            gamma = cap_threshold(mass, 30)
+            assert cap_mass(gamma, 30) == pytest.approx(mass, rel=1e-6)
+
+    def test_rejects_bad_gamma(self):
+        with pytest.raises(ValidationError):
+            cap_mass(1.5, 10)
+
+    def test_rejects_bad_mass(self):
+        with pytest.raises(ValidationError):
+            cap_threshold(0.0, 10)
+
+    def test_higher_dimension_concentrates(self):
+        """In high d the dot product concentrates near 0, so a fixed
+        gamma > 0 cap shrinks with d."""
+        assert cap_mass(0.3, 200) < cap_mass(0.3, 10)
+
+
+class TestPrivUnitConstruction:
+    def test_parameters(self):
+        mechanism = PrivUnit(2.0, 50)
+        assert mechanism.dimension == 50
+        assert 0.5 < mechanism.cap_probability < 1.0
+        assert mechanism.scale > 0.0
+
+    def test_privacy_ratio_is_exactly_eps(self):
+        """p(1-q) / (q(1-p)) = e^eps by construction."""
+        epsilon = 1.7
+        mechanism = PrivUnit(epsilon, 100)
+        p = mechanism.cap_probability
+        q = cap_mass(mechanism.gamma, 100)
+        ratio = (p / q) / ((1 - p) / (1 - q))
+        assert math.log(ratio) == pytest.approx(epsilon, rel=1e-6)
+
+    def test_budget_split_changes_params(self):
+        even = PrivUnit(2.0, 50, budget_split=0.5)
+        skewed = PrivUnit(2.0, 50, budget_split=0.8)
+        assert even.gamma != skewed.gamma
+        assert even.cap_probability != skewed.cap_probability
+
+    def test_rejects_dimension_one(self):
+        with pytest.raises(ValidationError):
+            PrivUnit(1.0, 1)
+
+    def test_rejects_bad_split(self):
+        with pytest.raises(ValidationError):
+            PrivUnit(1.0, 10, budget_split=1.0)
+
+
+class TestPrivUnitSampling:
+    def test_unbiased(self):
+        mechanism = PrivUnit(2.0, 40)
+        u = np.zeros(40)
+        u[0] = 1.0
+        reports = mechanism.randomize_batch(np.tile(u, (30_000, 1)), rng=0)
+        estimate = reports.mean(axis=0)
+        assert estimate[0] == pytest.approx(1.0, abs=0.03)
+        assert np.abs(estimate[1:]).max() < 0.03
+
+    def test_unbiased_arbitrary_direction(self):
+        mechanism = PrivUnit(3.0, 25)
+        rng = np.random.default_rng(1)
+        u = rng.normal(size=25)
+        u /= np.linalg.norm(u)
+        reports = mechanism.randomize_batch(np.tile(u, (30_000, 1)), rng=2)
+        np.testing.assert_allclose(reports.mean(axis=0), u, atol=0.05)
+
+    def test_variance_matches_theory(self):
+        mechanism = PrivUnit(2.0, 50)
+        u = np.zeros(50)
+        u[0] = 1.0
+        reports = mechanism.randomize_batch(np.tile(u, (20_000, 1)), rng=0)
+        empirical = ((reports - u) ** 2).sum(axis=1).mean()
+        assert empirical == pytest.approx(
+            mechanism.expected_squared_error(), rel=0.05
+        )
+
+    def test_error_decreases_with_epsilon(self):
+        errors = [
+            PrivUnit(eps, 100).expected_squared_error()
+            for eps in (0.5, 1.0, 2.0, 4.0, 8.0)
+        ]
+        assert all(b < a for a, b in zip(errors, errors[1:]))
+
+    def test_report_norm_is_inverse_scale(self):
+        mechanism = PrivUnit(2.0, 30)
+        u = np.zeros(30)
+        u[0] = 1.0
+        report = mechanism.randomize_batch(u[None, :], rng=0)
+        assert np.linalg.norm(report) == pytest.approx(
+            1.0 / mechanism.scale, rel=1e-9
+        )
+
+    def test_single_randomize(self, rng):
+        mechanism = PrivUnit(1.0, 10)
+        u = np.zeros(10)
+        u[0] = 1.0
+        report = mechanism.randomize(u, rng)
+        assert report.shape == (10,)
+
+    def test_rejects_non_unit_vector(self):
+        mechanism = PrivUnit(1.0, 5)
+        with pytest.raises(ValidationError):
+            mechanism.randomize_batch(np.ones((1, 5)), rng=0)
+
+    def test_rejects_wrong_dimension(self):
+        mechanism = PrivUnit(1.0, 5)
+        u = np.zeros(6)
+        u[0] = 1.0
+        with pytest.raises(ValidationError):
+            mechanism.randomize_batch(u[None, :], rng=0)
+
+    @given(st.floats(min_value=0.5, max_value=8.0))
+    @settings(max_examples=15, deadline=None)
+    def test_scale_positive_property(self, epsilon):
+        assert PrivUnit(epsilon, 64).scale > 0.0
+
+    def test_debias_identity(self):
+        mechanism = PrivUnit(1.0, 5)
+        report = np.array([0.1, 0.2, 0.3, 0.4, 0.5])
+        np.testing.assert_array_equal(mechanism.debias(report), report)

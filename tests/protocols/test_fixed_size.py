@@ -1,0 +1,91 @@
+"""Tests for Algorithm 3 (A_fix) and the swap reduction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.ldp.randomized_response import BinaryRandomizedResponse
+from repro.protocols.fixed_size import fixed_size_responses, swap_first_element
+
+
+class TestSwapFirstElement:
+    def test_is_permutation(self):
+        data = list(range(10))
+        swapped = swap_first_element(data, rng=0)
+        assert sorted(swapped) == data
+
+    def test_at_most_two_positions_change(self):
+        data = list(range(10))
+        swapped = swap_first_element(data, rng=1)
+        changed = [i for i, (a, b) in enumerate(zip(data, swapped)) if a != b]
+        assert len(changed) in (0, 2)
+        if changed:
+            assert 0 in changed
+
+    def test_uniform_swap_index(self):
+        """The swap target is uniform over [n] — each element lands in
+        front with probability 1/n."""
+        n, trials = 5, 20_000
+        rng = np.random.default_rng(0)
+        counts = np.zeros(n)
+        for _ in range(trials):
+            swapped = swap_first_element(list(range(n)), rng=rng)
+            counts[swapped[0]] += 1
+        np.testing.assert_allclose(counts / trials, 1.0 / n, atol=0.02)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            swap_first_element([], rng=0)
+
+    def test_original_unchanged(self):
+        data = [1, 2, 3]
+        swap_first_element(data, rng=0)
+        assert data == [1, 2, 3]
+
+
+class TestFixedSizeResponses:
+    def test_blocks_partition_dataset(self):
+        data = list(range(6))
+        outputs = fixed_size_responses(data, [2, 0, 3, 1])
+        assert outputs == [[0, 1], [], [2, 3, 4], [5]]
+
+    def test_report_counts_match_sizes(self):
+        data = list(range(10))
+        sizes = [3, 3, 2, 1, 1, 0, 0, 0, 0, 0]
+        outputs = fixed_size_responses(data, sizes)
+        assert [len(s) for s in outputs] == sizes
+
+    def test_all_elements_reported_once(self):
+        data = list(range(8))
+        outputs = fixed_size_responses(data, [4, 4])
+        flattened = [x for block in outputs for x in block]
+        assert flattened == data
+
+    def test_randomizer_applied(self, rng):
+        data = [0] * 20
+        outputs = fixed_size_responses(
+            data, [20], BinaryRandomizedResponse(0.5), rng=rng
+        )
+        assert set(outputs[0]).issubset({0, 1})
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            fixed_size_responses([1, 2, 3], [1, 1])
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(ValidationError):
+            fixed_size_responses([1, 2], [3, -1])
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValidationError):
+            fixed_size_responses([], [])
+
+    def test_swap_then_fix_composition(self):
+        """The Theorem 6.1 reduction runs end to end."""
+        data = list(range(12))
+        swapped = swap_first_element(data, rng=0)
+        outputs = fixed_size_responses(swapped, [3] * 4)
+        flattened = [x for block in outputs for x in block]
+        assert sorted(flattened) == data

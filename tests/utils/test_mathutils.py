@@ -1,0 +1,105 @@
+"""Tests for numerically stable math helpers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.mathutils import (
+    binary_search_monotone,
+    l2_norm_squared,
+    log1mexp,
+    log_add_exp,
+    log_sub_exp,
+    softplus_inverse,
+    stable_expm1,
+)
+
+
+class TestLog1mexp:
+    def test_known_value(self):
+        assert log1mexp(math.log(0.5)) == pytest.approx(math.log(0.5))
+
+    def test_rejects_non_negative(self):
+        with pytest.raises(ValueError):
+            log1mexp(0.0)
+
+    @given(st.floats(min_value=-50.0, max_value=-1e-9))
+    def test_exp_roundtrip(self, x):
+        # exp(log1mexp(x)) must equal 1 - e^x; compare through the
+        # stable -expm1 form (the naive log1p(-exp(x)) reference loses
+        # all precision near zero — that is the point of log1mexp).
+        assert math.exp(log1mexp(x)) == pytest.approx(-math.expm1(x), rel=1e-9)
+
+
+class TestLogAddSubExp:
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_add_matches_numpy(self, a, b):
+        assert log_add_exp(a, b) == pytest.approx(np.logaddexp(a, b), rel=1e-12)
+
+    def test_add_with_neg_inf(self):
+        assert log_add_exp(-math.inf, 3.0) == 3.0
+        assert log_add_exp(3.0, -math.inf) == 3.0
+
+    def test_sub_roundtrip(self):
+        a, b = 5.0, 2.0
+        result = log_sub_exp(a, b)
+        assert math.exp(result) == pytest.approx(math.exp(a) - math.exp(b))
+
+    def test_sub_requires_a_greater(self):
+        with pytest.raises(ValueError):
+            log_sub_exp(1.0, 1.0)
+
+    def test_sub_neg_inf_b(self):
+        assert log_sub_exp(2.0, -math.inf) == 2.0
+
+
+class TestSoftplusInverse:
+    @given(st.floats(min_value=-20.0, max_value=20.0))
+    def test_inverts_softplus(self, x):
+        y = math.log1p(math.exp(x)) if x < 20 else x
+        assert softplus_inverse(y) == pytest.approx(x, abs=1e-8)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            softplus_inverse(0.0)
+
+
+class TestStableExpm1:
+    def test_small_argument_precision(self):
+        assert stable_expm1(1e-12) == pytest.approx(1e-12, rel=1e-6)
+
+
+class TestBinarySearchMonotone:
+    def test_finds_square_root(self):
+        root = binary_search_monotone(lambda x: x * x, 2.0, 0.0, 2.0)
+        assert root == pytest.approx(math.sqrt(2.0), abs=1e-9)
+
+    def test_decreasing_function(self):
+        root = binary_search_monotone(
+            lambda x: 1.0 / x, 0.25, 1.0, 10.0, increasing=False
+        )
+        assert root == pytest.approx(4.0, abs=1e-6)
+
+    def test_rejects_bad_bracket(self):
+        with pytest.raises(ValueError):
+            binary_search_monotone(lambda x: x, 0.0, 1.0, 1.0)
+
+
+class TestL2NormSquared:
+    def test_known(self):
+        assert l2_norm_squared(np.array([3.0, 4.0])) == pytest.approx(25.0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100), min_size=1, max_size=20
+        )
+    )
+    def test_non_negative(self, values):
+        assert l2_norm_squared(np.array(values)) >= 0.0

@@ -1,0 +1,130 @@
+"""Tests for argument validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidPrivacyParameterError, ValidationError
+from repro.utils.validation import (
+    check_delta,
+    check_epsilon,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+    check_probability_vector,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert check_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_positive_int(1.5, "x")  # type: ignore[arg-type]
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValidationError, match="my_param"):
+            check_positive_int(-2, "my_param")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, float("nan"), float("inf")])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValidationError):
+            check_probability(value, "p")
+
+
+class TestCheckEpsilon:
+    def test_accepts_positive(self):
+        assert check_epsilon(0.5) == 0.5
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            check_epsilon(0.0)
+
+    def test_allow_zero(self):
+        assert check_epsilon(0.0, allow_zero=True) == 0.0
+
+    @pytest.mark.parametrize("value", [float("inf"), float("nan"), -1.0])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(InvalidPrivacyParameterError):
+            check_epsilon(value)
+
+
+class TestCheckDelta:
+    def test_accepts_small(self):
+        assert check_delta(1e-6) == 1e-6
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(InvalidPrivacyParameterError):
+            check_delta(0.0)
+
+    def test_allow_zero(self):
+        assert check_delta(0.0, allow_zero=True) == 0.0
+
+    @pytest.mark.parametrize("value", [1.0, 1.5, -0.1])
+    def test_rejects_out_of_range(self, value):
+        with pytest.raises(InvalidPrivacyParameterError):
+            check_delta(value)
+
+
+class TestCheckProbabilityVector:
+    def test_accepts_uniform(self):
+        vector = np.full(4, 0.25)
+        np.testing.assert_array_equal(
+            check_probability_vector(vector), vector
+        )
+
+    def test_rejects_wrong_sum(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.array([0.5, 0.2]))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.array([1.2, -0.2]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.ones((2, 2)) / 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.array([]))
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValidationError):
+            check_probability_vector(np.array([0.5, 0.5]), size=3)
+
+    def test_tolerates_rounding(self):
+        vector = np.full(3, 1.0 / 3.0)
+        check_probability_vector(vector)
