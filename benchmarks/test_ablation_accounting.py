@@ -17,7 +17,6 @@ Shapes asserted (the module's documented finding):
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.amplification.network_shuffle import (
     epsilon_all_stationary,

@@ -12,7 +12,6 @@ Shapes asserted:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.figure5 import render_figure5, run_figure5
 

@@ -17,7 +17,6 @@ on the real Twitch graph.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.figure9 import render_figure9, run_figure9
 

@@ -15,7 +15,6 @@ Shapes asserted:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.graphs.generators import random_regular_graph
 from repro.graphs.spectral import mixing_time

@@ -14,7 +14,6 @@ Run:  python examples/federated_mean_estimation.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.datasets import build_dataset
 from repro.estimation import generate_bimodal_unit_vectors, run_mean_estimation

@@ -18,7 +18,7 @@ import numpy as np
 from repro.amplification import epsilon_all_symmetric
 from repro.graphs import grid_graph
 from repro.graphs.spectral import spectral_summary
-from repro.graphs.walks import evolve_distribution, sum_squared_positions
+from repro.graphs.walks import evolve_distribution
 from repro.ldp import LaplaceMechanism
 from repro.protocols import run_all_protocol
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Warn-only benchmark regression check.
+
+Compares a fresh pytest-benchmark JSON export against the committed
+baseline and prints a table of mean-time ratios.  Exits 0 always —
+timing on shared CI runners is too noisy to gate a merge — but flags
+any benchmark slower than the threshold so a human can look.
+
+Usage:
+    python scripts/check_bench_regression.py CURRENT.json [BASELINE.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Ratio above which a benchmark is flagged (current mean / baseline mean).
+SLOWDOWN_THRESHOLD = 1.5
+DEFAULT_BASELINE = Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json"
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Map benchmark name -> mean seconds from a pytest-benchmark export."""
+    payload = json.loads(path.read_text())
+    return {
+        bench["name"]: float(bench["stats"]["mean"])
+        for bench in payload.get("benchmarks", [])
+    }
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 0
+    current_path = Path(argv[1])
+    baseline_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+    if not current_path.exists():
+        print(f"[bench-check] no current results at {current_path}; skipping")
+        return 0
+    if not baseline_path.exists():
+        print(f"[bench-check] no baseline at {baseline_path}; skipping")
+        return 0
+
+    current = load_means(current_path)
+    baseline = load_means(baseline_path)
+    flagged = []
+    print(f"[bench-check] {len(current)} current vs {len(baseline)} baseline benchmarks")
+    print(f"{'benchmark':<45} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for name, mean in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:<45} {'(new)':>10} {mean * 1e3:>8.1f}ms {'-':>7}")
+            continue
+        ratio = mean / base
+        marker = "  <-- SLOWER" if ratio > SLOWDOWN_THRESHOLD else ""
+        print(
+            f"{name:<45} {base * 1e3:>8.1f}ms {mean * 1e3:>8.1f}ms "
+            f"{ratio:>6.2f}x{marker}"
+        )
+        if ratio > SLOWDOWN_THRESHOLD:
+            flagged.append((name, ratio))
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<45} {'(missing from current run)':>10}")
+
+    if flagged:
+        print(
+            f"\n[bench-check] WARNING: {len(flagged)} benchmark(s) exceeded "
+            f"{SLOWDOWN_THRESHOLD:.1f}x baseline — investigate before relying "
+            "on perf-sensitive paths. (Warn-only: not failing the build.)"
+        )
+    else:
+        print("\n[bench-check] all benchmarks within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

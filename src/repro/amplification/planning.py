@@ -15,8 +15,7 @@ exactly:
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.amplification.network_shuffle import (
     epsilon_all_stationary,

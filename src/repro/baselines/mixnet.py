@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, List, Optional, Sequence
 
-import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.ldp.base import LocalRandomizer

@@ -15,7 +15,6 @@ from typing import Any, Callable, List, Optional, Sequence
 
 from repro.core.accounting import PrivacyAccountant
 from repro.core.shuffler import NetworkShuffler
-from repro.exceptions import BudgetExceededError
 from repro.ldp.base import LocalRandomizer
 from repro.protocols.reports import ProtocolResult
 from repro.utils.rng import RngLike, ensure_rng

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
-import numpy as np
 
 from repro.amplification.network_shuffle import (
     NetworkShuffleBound,

@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any
 
 from repro.crypto.elgamal import Ciphertext, decrypt, encrypt
 from repro.crypto.keys import PublicKeyInfrastructure, UserKeyring

@@ -23,7 +23,6 @@ import numpy as np
 
 from repro.datasets.calibration import calibrate_shape, pareto_degree_sequence
 from repro.datasets.registry import get_dataset
-from repro.datasets.synthetic import configuration_model_graph
 from repro.exceptions import ValidationError
 from repro.graphs.connectivity import largest_connected_component
 from repro.graphs.graph import Graph

@@ -14,7 +14,7 @@ as the paper remarks (contrast Figure 5's exact tracking).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ log-y) and one marker character per series.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 

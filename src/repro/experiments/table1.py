@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
-import numpy as np
 
 from repro.amplification.network_shuffle import (
     epsilon_all_stationary,

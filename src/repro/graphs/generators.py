@@ -17,10 +17,8 @@ global RNG state.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import networkx as nx
-import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph

@@ -18,7 +18,7 @@ the paper's fault-tolerance model (Section 4.5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 import scipy.sparse as sp

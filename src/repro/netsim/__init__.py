@@ -1,10 +1,22 @@
 """Round-based message-passing network simulator.
 
-The substrate the protocol simulators run on: nodes exchange
-:class:`~repro.netsim.message.Message` objects in synchronous rounds, a
-:class:`~repro.netsim.server.Server` collects final reports, and every
-entity is metered (messages sent/received, peak queue memory) so the
-Table 3 complexity comparison can be *measured* rather than asserted.
+The substrate the protocol simulators run on: users exchange reports in
+synchronous rounds, a :class:`~repro.netsim.server.Server` collects
+final reports, and every entity is metered (messages sent/received,
+peak queue memory) so the Table 3 complexity comparison can be
+*measured* rather than asserted.
+
+Two interchangeable backends realize the exchange under an exact shared
+RNG contract (seeded runs agree bit for bit):
+
+* ``backend="vectorized"`` — :class:`~repro.netsim.engine.VectorizedExchange`
+  keeps every in-flight report in flat NumPy arrays and advances a round
+  with a few gathers plus ``np.bincount`` metering; this is what the
+  protocol simulators pick by default and it scales to millions of
+  tokens.
+* ``backend="faithful"`` — per-message over
+  :class:`~repro.netsim.node.Node` objects; keeps message identity for
+  adversary/audit scenarios and cross-validates the fast path.
 
 An :class:`~repro.netsim.adversary.AdversaryView` records exactly what
 the paper's threat model grants the central adversary: the linkage of
@@ -12,9 +24,10 @@ each final-round report to the user who sent it (but not to the report's
 originator).
 """
 
+from repro.netsim.engine import VectorizedExchange
 from repro.netsim.message import Message
-from repro.netsim.metrics import EntityMeter, MeterBoard
-from repro.netsim.network import RoundBasedNetwork
+from repro.netsim.metrics import EntityMeter, MeterBoard, VectorMeterBoard
+from repro.netsim.network import BACKENDS, RoundBasedNetwork
 from repro.netsim.node import Node
 from repro.netsim.server import Server
 from repro.netsim.adversary import AdversaryView
@@ -29,6 +42,9 @@ __all__ = [
     "Message",
     "EntityMeter",
     "MeterBoard",
+    "VectorMeterBoard",
+    "VectorizedExchange",
+    "BACKENDS",
     "RoundBasedNetwork",
     "Node",
     "Server",

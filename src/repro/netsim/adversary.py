@@ -16,7 +16,7 @@ accidentally peek at more than the model allows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -32,34 +32,33 @@ import numpy as np
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
 from repro.graphs.spectral import stationary_distribution, transition_matrix
-from repro.utils.rng import RngLike, ensure_rng
+from repro.netsim.engine import VectorizedExchange
+from repro.netsim.faults import DropoutModel
+from repro.utils.rng import RngLike
 
 
 def simulate_walk_trajectories(
     graph: Graph,
     steps: int,
     *,
+    faults: Optional[DropoutModel] = None,
     rng: RngLike = None,
 ) -> np.ndarray:
     """Token trajectories: shape ``(n_tokens, steps + 1)``.
 
     Token ``i`` starts at node ``i``; column ``t`` is its holder after
-    ``t`` rounds.
+    ``t`` rounds.  Runs on the shared vectorized exchange engine with
+    trajectory recording, so the adversary sees exactly the process the
+    protocol simulators execute (same RNG contract, optional faults).
     """
     if steps < 0:
         raise ValidationError(f"steps must be non-negative, got {steps}")
-    generator = ensure_rng(rng)
-    n = graph.num_nodes
-    indptr, indices = graph.indptr, graph.indices
-    degrees = graph.degrees()
-    trajectories = np.empty((n, steps + 1), dtype=np.int64)
-    trajectories[:, 0] = np.arange(n)
-    holders = trajectories[:, 0].copy()
-    for t in range(1, steps + 1):
-        offsets = (generator.random(n) * degrees[holders]).astype(np.int64)
-        holders = indices[indptr[holders] + offsets]
-        trajectories[:, t] = holders
-    return trajectories
+    engine = VectorizedExchange(
+        graph, faults=faults, rng=rng, record_trajectories=True
+    )
+    engine.seed_tokens(np.arange(graph.num_nodes, dtype=np.int64))
+    engine.run(steps)
+    return engine.trajectories()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,255 @@
+"""Vectorized exchange engine: every in-flight report as one array slot.
+
+The faithful simulator (:class:`repro.netsim.network.RoundBasedNetwork`
+with ``backend="faithful"``) walks Python ``Node`` objects and draws one
+random number per message per round — O(n · items) interpreter overhead
+that caps simulations at ~10^4 users.  This engine represents the same
+process as two flat arrays,
+
+* ``token_origin[i]``  — the user who created token ``i``;
+* ``token_position[i]`` — the user currently holding token ``i``;
+
+and advances a round with a handful of NumPy kernels: one dropout mask,
+one uniform draw per moving token turned into a neighbor via the CSR
+``indptr``/``indices`` offsets of :class:`repro.graphs.graph.Graph`, and
+``np.bincount`` for held counts and meter totals.
+
+RNG contract (exact, not statistical)
+-------------------------------------
+Both backends consume the *same* random stream in the *same* order, so a
+seeded vectorized run reproduces the faithful run bit for bit:
+
+1. each round first draws the fault model's offline mask;
+2. then one uniform double per message held by an online node, in the
+   faithful iteration order — ascending holder id, and within a holder
+   the inbox arrival order; the neighbor index is
+   ``floor(u * degree)``.
+
+NumPy's ``Generator.random(k)`` produces the identical stream to ``k``
+scalar ``Generator.random()`` calls, so the faithful engine's per-item
+scalar draw and this engine's single array draw coincide.  The engine
+maintains the iteration order explicitly in :attr:`_order` — kept items
+precede arrivals, arrivals land in send order — which is exactly the
+order the per-message simulator's inboxes realize.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import SimulationError, ValidationError
+from repro.graphs.graph import Graph
+from repro.netsim.faults import DropoutModel, NoFaults
+from repro.netsim.message import SERVER_ID
+from repro.netsim.metrics import VectorMeterBoard
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class VectorizedExchange:
+    """Array-driven realization of the synchronous exchange rounds.
+
+    Parameters
+    ----------
+    graph:
+        Communication graph; tokens hop along its edges.
+    faults:
+        Dropout model — offline holders keep their tokens for the round
+        (the paper's lazy-walk fault model, Section 4.5).
+    rng:
+        Seed or generator.
+    record_trajectories:
+        When True, keep every token's full path (``trajectories()``) —
+        needed by the collusion attack, costs O(tokens) memory per round.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        faults: Optional[DropoutModel] = None,
+        rng: RngLike = None,
+        record_trajectories: bool = False,
+    ):
+        self.graph = graph
+        self.faults = faults if faults is not None else NoFaults()
+        self.rng = ensure_rng(rng)
+        self.round_index = 0
+        self._degrees = graph.degrees()
+        self._indptr = graph.indptr
+        self._indices = graph.indices
+        self.token_origin = np.empty(0, dtype=np.int64)
+        self.token_position = np.empty(0, dtype=np.int64)
+        #: Tokens in faithful iteration order: ascending holder, then
+        #: inbox arrival order within a holder (see module docstring).
+        self._order = np.empty(0, dtype=np.int64)
+        self.meters = VectorMeterBoard(graph.num_nodes, SERVER_ID)
+        self._drained = False
+        self._campaign_start_round = 0
+        self._paths: Optional[List[np.ndarray]] = [] if record_trajectories else None
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        """Number of user nodes."""
+        return self.graph.num_nodes
+
+    @property
+    def num_tokens(self) -> int:
+        """Number of in-flight tokens."""
+        return self.token_position.size
+
+    @property
+    def drained(self) -> bool:
+        """Whether a final delivery (:meth:`drain`) has emptied the network."""
+        return self._drained
+
+    def seed_tokens(self, origins: np.ndarray) -> None:
+        """Place one token per entry of ``origins`` at that node.
+
+        Token ids continue from the current count; ``token_origin`` for
+        the new tokens equals ``origins``.  Seeding is only allowed
+        before the campaign's first exchange round (repeated calls are
+        fine) or after a :meth:`drain` — interleaving seeds with rounds
+        would scramble the inbox-arrival order the exact RNG contract
+        depends on.
+        """
+        origins = np.ascontiguousarray(origins, dtype=np.int64)
+        if origins.ndim != 1:
+            raise ValidationError("origins must be a 1-D integer array")
+        if origins.size and (
+            origins.min() < 0 or origins.max() >= self.num_users
+        ):
+            raise ValidationError("token origins out of range")
+        if origins.size and np.any(self._degrees[np.unique(origins)] == 0):
+            raise ValidationError("some tokens start on isolated nodes")
+        if self._drained:
+            # Drained tokens left the network (final delivery); seeding
+            # afresh must not resurrect them — match the per-message
+            # backend, whose nodes are empty after ``take_all``.
+            self.token_origin = np.empty(0, dtype=np.int64)
+            self.token_position = np.empty(0, dtype=np.int64)
+        if self.token_position.size == 0:
+            self._campaign_start_round = self.round_index
+        elif self.round_index != self._campaign_start_round:
+            raise SimulationError(
+                "cannot seed tokens mid-exchange; drain the network first"
+            )
+        self.token_origin = np.concatenate([self.token_origin, origins])
+        self.token_position = np.concatenate([self.token_position, origins])
+        self._order = np.argsort(self.token_position, kind="stable")
+        self._drained = False
+        counts = np.bincount(origins, minlength=self.num_users)
+        self.meters.current_items += counts
+        np.maximum(self.meters.peak_items, self.meters.current_items,
+                   out=self.meters.peak_items)
+        if self._paths is not None:
+            self._paths = [self.token_position.copy()]
+
+    # ------------------------------------------------------------------
+    # Rounds
+    # ------------------------------------------------------------------
+    def run_round(self) -> None:
+        """One synchronous exchange round (lines 4-8 of Algorithms 1/2)."""
+        n = self.num_users
+        offline = self.faults.offline_mask(n, self.round_index, self.rng)
+        if self._drained:
+            # Delivered tokens left the network: the round is a no-op
+            # over an empty token set — but it still consumes the fault
+            # model's draw and advances the clock, exactly like the
+            # faithful backend iterating empty nodes.
+            self.round_index += 1
+            return
+        order = self._order
+        moving_mask = ~offline[self.token_position[order]]
+        movers = order[moving_mask]
+        stayers = order[~moving_mask]
+
+        sources = self.token_position[movers]
+        draws = self.rng.random(movers.size)
+        offsets = (draws * self._degrees[sources]).astype(np.int64)
+        destinations = self._indices[self._indptr[sources] + offsets]
+        self.token_position[movers] = destinations
+
+        # Meter totals, one bincount per direction.
+        sends = np.bincount(sources, minlength=n)
+        receipts = np.bincount(destinations, minlength=n)
+        meters = self.meters
+        meters.messages_sent += sends
+        meters.messages_received += receipts
+        # Online holders empty their queue before deliveries land;
+        # offline holders accumulate on top of what they kept.
+        meters.current_items = np.where(
+            offline, meters.current_items + receipts, receipts
+        )
+        np.maximum(meters.peak_items, meters.current_items,
+                   out=meters.peak_items)
+
+        # Next round's iteration order: kept items first (in their old
+        # order), then arrivals in send order — a stable sort by the new
+        # positions realizes exactly the per-message inbox order.
+        sequence = np.concatenate([stayers, movers])
+        self._order = sequence[
+            np.argsort(self.token_position[sequence], kind="stable")
+        ]
+        self.round_index += 1
+        if self._paths is not None:
+            self._paths.append(self.token_position.copy())
+
+    def run(self, rounds: int) -> None:
+        """Run ``rounds`` exchange rounds."""
+        if rounds < 0:
+            raise SimulationError(f"rounds must be non-negative, got {rounds}")
+        for _ in range(rounds):
+            self.run_round()
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def held_counts(self) -> np.ndarray:
+        """Items held per user — the allocation vector ``L``.
+
+        Zero after :meth:`drain` (final delivery releases everything,
+        like the per-message ``take_all``).
+        """
+        if self._drained:
+            return np.zeros(self.num_users, dtype=np.int64)
+        return np.bincount(self.token_position, minlength=self.num_users)
+
+    def delivery_order(self) -> np.ndarray:
+        """Token ids in server-delivery order.
+
+        The faithful simulator delivers node by node in ascending id,
+        each node's items in held order — which is exactly
+        :attr:`_order`.
+        """
+        return self._order.copy()
+
+    def drain(self) -> np.ndarray:
+        """Release every token (the per-message ``take_all``); returns
+        the delivery order.  Releases memory only — callers meter any
+        resulting sends themselves.  Idempotent: a second drain returns
+        an empty order, matching the faithful backend whose nodes are
+        empty after ``take_all``."""
+        if self._drained:
+            return np.empty(0, dtype=np.int64)
+        order = self.delivery_order()
+        self.meters.current_items[:] = 0
+        self._drained = True
+        return order
+
+    def trajectories(self) -> np.ndarray:
+        """Token paths, shape ``(num_tokens, rounds_since_seed + 1)``.
+
+        Column 0 is the (latest) seeding; recording restarts if the
+        network is drained and reseeded.  Only available when
+        constructed with ``record_trajectories``.
+        """
+        if self._paths is None:
+            raise SimulationError(
+                "engine was not constructed with record_trajectories=True"
+            )
+        return np.stack(self._paths, axis=1)

@@ -14,7 +14,6 @@ import abc
 
 import numpy as np
 
-from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_probability
 
 

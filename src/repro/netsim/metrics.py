@@ -9,8 +9,10 @@ fit the growth class empirically.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
+
+import numpy as np
 
 
 @dataclass
@@ -85,3 +87,67 @@ class MeterBoard:
     def total_messages_sent(self) -> int:
         """Total messages sent by all metered entities."""
         return sum(m.messages_sent for m in self._meters.values())
+
+
+class VectorMeterBoard:
+    """Array-backed meter board maintained by the vectorized engine.
+
+    Per-user counters live in flat NumPy arrays that the engine updates
+    with one ``np.bincount`` per round, so metering a million tokens
+    costs a few vector adds instead of millions of attribute increments.
+    The query API mirrors :class:`MeterBoard`; ``meter(entity_id)``
+    materializes an :class:`EntityMeter` *snapshot* (mutating it does
+    not write back — the engine owns the counters).
+    """
+
+    def __init__(self, num_users: int, server_id: int):
+        self._num_users = int(num_users)
+        self._server_id = int(server_id)
+        self.messages_sent = np.zeros(num_users, dtype=np.int64)
+        self.messages_received = np.zeros(num_users, dtype=np.int64)
+        self.current_items = np.zeros(num_users, dtype=np.int64)
+        self.peak_items = np.zeros(num_users, dtype=np.int64)
+        self._server = EntityMeter()
+
+    @property
+    def server_meter(self) -> EntityMeter:
+        """The (live) server meter."""
+        return self._server
+
+    def meter(self, entity_id: int) -> EntityMeter:
+        """Snapshot meter for ``entity_id`` (server meter is live)."""
+        if entity_id == self._server_id:
+            return self._server
+        if not 0 <= entity_id < self._num_users:
+            raise KeyError(f"no meter for entity {entity_id}")
+        return EntityMeter(
+            messages_sent=int(self.messages_sent[entity_id]),
+            messages_received=int(self.messages_received[entity_id]),
+            current_items=int(self.current_items[entity_id]),
+            peak_items=int(self.peak_items[entity_id]),
+        )
+
+    def __contains__(self, entity_id: int) -> bool:
+        return entity_id == self._server_id or 0 <= entity_id < self._num_users
+
+    def __len__(self) -> int:
+        return self._num_users + 1
+
+    def max_peak_items(self) -> int:
+        """Largest peak memory across all metered entities."""
+        user_peak = int(self.peak_items.max()) if self._num_users else 0
+        return max(user_peak, self._server.peak_items)
+
+    def max_messages_sent(self) -> int:
+        """Largest send count across all metered entities."""
+        user_max = int(self.messages_sent.max()) if self._num_users else 0
+        return max(user_max, self._server.messages_sent)
+
+    def mean_messages_sent(self) -> float:
+        """Mean send count across all metered entities (server included)."""
+        total = int(self.messages_sent.sum()) + self._server.messages_sent
+        return total / (self._num_users + 1)
+
+    def total_messages_sent(self) -> int:
+        """Total messages sent by all metered entities."""
+        return int(self.messages_sent.sum()) + self._server.messages_sent

@@ -42,10 +42,16 @@ class Node:
         return items
 
     def sample_neighbor(self, rng: np.random.Generator) -> int:
-        """A uniformly random neighbor (the walk's next hop)."""
+        """A uniformly random neighbor (the walk's next hop).
+
+        Drawn as ``floor(u * degree)`` from one uniform double — the
+        shared RNG contract with the vectorized engine, whose one array
+        draw per round consumes the identical stream (see
+        :mod:`repro.netsim.engine`).
+        """
         if self.neighbors.size == 0:
             raise ValueError(f"node {self.node_id} has no neighbors")
-        return int(self.neighbors[rng.integers(0, self.neighbors.size)])
+        return int(self.neighbors[int(rng.random() * self.neighbors.size)])
 
     def __repr__(self) -> str:
         return (

@@ -29,6 +29,15 @@ class Server:
         self.meter.record_receive()
         self.meter.record_store()
 
+    def deliver_many(self, senders: List[int], payloads: List[Any]) -> None:
+        """Record a batch of reports (the vectorized final round)."""
+        if len(senders) != len(payloads):
+            raise ValueError("senders and payloads must have equal length")
+        self._reports.extend(payloads)
+        self._delivered_by.extend(int(sender) for sender in senders)
+        self.meter.record_receive(len(payloads))
+        self.meter.record_store(len(payloads))
+
     @property
     def reports(self) -> List[Any]:
         """All collected reports, in delivery order."""

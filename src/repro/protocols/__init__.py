@@ -10,13 +10,16 @@
 * :func:`run_secure_protocol` — the Section 4.4 realization with the
   double-encryption envelope on the metered network simulator.
 
-Two execution engines:
+Two execution engines, both metered, both running on
+:class:`repro.netsim.RoundBasedNetwork` under an exact shared RNG
+contract (a seeded run is identical on either):
 
-* the **fast** engine vectorizes report tokens over the walk engine
-  (:mod:`repro.graphs.walks`) — use it for large graphs;
-* the **faithful** engine (``engine="faithful"``) runs per-message on
-  :class:`repro.netsim.RoundBasedNetwork` with full metering — use it
-  for protocol-level tests and the Table 3 complexity measurements.
+* the **fast** engine (``engine="fast"``/``"vectorized"``, the default)
+  is the flat-array :class:`repro.netsim.VectorizedExchange` — a round
+  costs a few NumPy kernels, scaling to millions of reports;
+* the **faithful** engine (``engine="faithful"``) runs per-message over
+  ``Node`` objects, keeping message identity — use it for
+  adversary/audit scenarios and as the cross-validation oracle.
 """
 
 from repro.protocols.reports import Report, ProtocolResult

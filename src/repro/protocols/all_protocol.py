@@ -14,13 +14,39 @@ import numpy as np
 
 from repro.exceptions import ProtocolError, ValidationError
 from repro.graphs.graph import Graph
-from repro.graphs.walks import simulate_token_walks
 from repro.ldp.base import LocalRandomizer
-from repro.netsim.faults import DropoutModel
+from repro.netsim.faults import DropoutModel, IndependentDropout
 from repro.netsim.network import RoundBasedNetwork
 from repro.protocols.reports import ProtocolResult, Report
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_non_negative_int
+
+
+def resolve_backend(
+    engine: str,
+    faults: Optional[DropoutModel],
+    laziness: float,
+) -> tuple[str, Optional[DropoutModel]]:
+    """Map a protocol ``engine`` choice to a network backend + faults.
+
+    ``"fast"`` (and its explicit alias ``"vectorized"``) select the
+    flat-array engine; ``"faithful"`` selects the per-message path.
+    ``laziness`` is sugar for ``IndependentDropout`` on either backend
+    (the paper's lazy-walk fault model); passing both is ambiguous.
+    """
+    if engine in ("fast", "vectorized"):
+        backend = "vectorized"
+    elif engine == "faithful":
+        backend = "faithful"
+    else:
+        raise ValidationError(
+            f"unknown engine {engine!r}; use 'fast', 'vectorized', or 'faithful'"
+        )
+    if laziness:
+        if faults is not None:
+            raise ValidationError("pass either faults or laziness, not both")
+        faults = IndependentDropout(laziness)
+    return backend, faults
 
 
 def _randomize_inputs(
@@ -72,14 +98,17 @@ def run_all_protocol(
     randomizer:
         Optional ``A_ldp`` applied to each value before the exchange.
     engine:
-        ``"fast"`` (vectorized token walks) or ``"faithful"``
-        (per-message on the metered network simulator).
+        ``"fast"``/``"vectorized"`` (flat-array exchange engine — the
+        default) or ``"faithful"`` (per-message on the ``Node``-object
+        simulator).  Both run on :class:`RoundBasedNetwork` under an
+        exact shared RNG contract, so a seeded run produces identical
+        results on either; the faithful path keeps per-message identity
+        for adversary/audit scenarios.
     faults:
-        Dropout model for the faithful engine (offline users keep their
-        reports — the lazy-walk fault model of Section 4.5).
+        Dropout model (offline users keep their reports — the lazy-walk
+        fault model of Section 4.5); works on both engines.
     laziness:
-        Stay probability for the fast engine (the vectorized equivalent
-        of ``IndependentDropout``).
+        Shorthand for ``faults=IndependentDropout(laziness)``.
     rng:
         Seed or generator.
 
@@ -92,50 +121,11 @@ def run_all_protocol(
     check_non_negative_int(rounds, "rounds")
     generator = ensure_rng(rng)
     reports = _randomize_inputs(randomizer, values, graph.num_nodes, generator)
+    backend, faults = resolve_backend(engine, faults, laziness)
 
-    if engine == "fast":
-        return _run_fast(graph, rounds, reports, laziness, generator)
-    if engine == "faithful":
-        return _run_faithful(graph, rounds, reports, faults, generator)
-    raise ValidationError(f"unknown engine {engine!r}; use 'fast' or 'faithful'")
-
-
-def _run_fast(
-    graph: Graph,
-    rounds: int,
-    reports: List[Report],
-    laziness: float,
-    rng: np.random.Generator,
-) -> ProtocolResult:
-    """Vectorized engine: each report is an independent walk token."""
-    starts = np.arange(graph.num_nodes, dtype=np.int64)
-    holders = simulate_token_walks(
-        graph, starts, rounds, laziness=laziness, rng=rng
+    network = RoundBasedNetwork(
+        graph, faults=faults, rng=generator, backend=backend
     )
-    allocation = np.bincount(holders, minlength=graph.num_nodes)
-    # Deliver grouped by final holder (the order the server would see).
-    order = np.argsort(holders, kind="stable")
-    server_reports = [reports[token] for token in order]
-    delivered_by = holders[order]
-    return ProtocolResult(
-        protocol="all",
-        num_users=graph.num_nodes,
-        rounds=rounds,
-        server_reports=server_reports,
-        delivered_by=delivered_by,
-        allocation=allocation,
-    )
-
-
-def _run_faithful(
-    graph: Graph,
-    rounds: int,
-    reports: List[Report],
-    faults: Optional[DropoutModel],
-    rng: np.random.Generator,
-) -> ProtocolResult:
-    """Per-message engine on the metered round-based network."""
-    network = RoundBasedNetwork(graph, faults=faults, rng=rng)
     network.seed_items({report.origin: [report] for report in reports})
     network.run_exchange(rounds)
     allocation = network.held_counts()

@@ -16,7 +16,7 @@ contains position ``k``, blocks partition ``[n]``, etc.).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 import numpy as np
 
@@ -78,13 +78,13 @@ def fixed_size_responses(
             f"got {int(sizes.sum())}"
         )
     generator = ensure_rng(rng)
-    outputs: List[List[Any]] = []
-    cursor = 0
-    for size in sizes:
-        block = data[cursor: cursor + int(size)]
-        if randomizer is None:
-            outputs.append(list(block))
-        else:
-            outputs.append([randomizer.randomize(x, generator) for x in block])
-        cursor += int(size)
-    return outputs
+    if randomizer is not None:
+        # One batch call over the whole dataset (vectorizable mechanisms
+        # override randomize_batch), then slice into per-user blocks.
+        data = list(randomizer.randomize_batch(data, generator))
+    # Block boundaries in one cumulative sum: user i owns
+    # data[bounds[i] : bounds[i + 1]].
+    bounds = np.concatenate([[0], np.cumsum(sizes)])
+    return [
+        data[int(bounds[i]): int(bounds[i + 1])] for i in range(sizes.size)
+    ]

@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, List, Optional
 
 import numpy as np
 
 from repro.netsim.adversary import AdversaryView
-from repro.netsim.metrics import MeterBoard
+from repro.netsim.metrics import MeterBoard, VectorMeterBoard
 
 
 @dataclass(frozen=True)
@@ -55,7 +55,10 @@ class ProtocolResult:
     dummy_count:
         Number of dummy reports the server received (``A_single`` only).
     meters:
-        Per-entity traffic/memory meters (faithful engine only).
+        Per-entity traffic/memory meters — a ``MeterBoard`` from the
+        faithful engine or an array-backed ``VectorMeterBoard`` from the
+        vectorized engine (same query API, identical values for a
+        seeded run).
     """
 
     protocol: str
@@ -65,7 +68,7 @@ class ProtocolResult:
     delivered_by: np.ndarray
     allocation: np.ndarray
     dummy_count: int = 0
-    meters: Optional[MeterBoard] = None
+    meters: Optional[MeterBoard | VectorMeterBoard] = None
 
     @property
     def real_reports(self) -> List[Report]:

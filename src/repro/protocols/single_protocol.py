@@ -16,11 +16,10 @@ import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
-from repro.graphs.walks import simulate_token_walks
 from repro.ldp.base import LocalRandomizer
 from repro.netsim.faults import DropoutModel
 from repro.netsim.network import RoundBasedNetwork
-from repro.protocols.all_protocol import _randomize_inputs
+from repro.protocols.all_protocol import _randomize_inputs, resolve_backend
 from repro.protocols.reports import ProtocolResult, Report
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_non_negative_int
@@ -69,29 +68,16 @@ def run_single_protocol(
     check_non_negative_int(rounds, "rounds")
     generator = ensure_rng(rng)
     reports = _randomize_inputs(randomizer, values, graph.num_nodes, generator)
+    backend, faults = resolve_backend(engine, faults, laziness)
 
-    if engine == "fast":
-        holders = simulate_token_walks(
-            graph,
-            np.arange(graph.num_nodes, dtype=np.int64),
-            rounds,
-            laziness=laziness,
-            rng=generator,
-        )
-        allocation = np.bincount(holders, minlength=graph.num_nodes)
-        held_by_user: List[List[Report]] = [[] for _ in range(graph.num_nodes)]
-        for token, holder in enumerate(holders):
-            held_by_user[holder].append(reports[token])
-        meters = None
-    elif engine == "faithful":
-        network = RoundBasedNetwork(graph, faults=faults, rng=generator)
-        network.seed_items({report.origin: [report] for report in reports})
-        network.run_exchange(rounds)
-        allocation = network.held_counts()
-        held_by_user = [network.nodes[user].take_all() for user in range(graph.num_nodes)]
-        meters = network.meters
-    else:
-        raise ValidationError(f"unknown engine {engine!r}; use 'fast' or 'faithful'")
+    network = RoundBasedNetwork(
+        graph, faults=faults, rng=generator, backend=backend
+    )
+    network.seed_items({report.origin: [report] for report in reports})
+    network.run_exchange(rounds)
+    allocation = network.held_counts()
+    held_by_user: List[List[Report]] = network.drain_held()
+    meters = network.meters
 
     server_reports: List[Report] = []
     delivered_by = np.arange(graph.num_nodes, dtype=np.int64)

@@ -8,7 +8,7 @@ global RNG state, which keeps experiments reproducible and parallelizable.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

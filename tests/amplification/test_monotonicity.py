@@ -7,8 +7,6 @@ counterexamples.
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.amplification.network_shuffle import (

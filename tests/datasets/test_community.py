@@ -12,7 +12,7 @@ from repro.datasets.community import (
 from repro.exceptions import ValidationError
 from repro.graphs.connectivity import is_connected
 from repro.graphs.spectral import spectral_gap
-from repro.graphs.metrics import gamma_from_degrees, irregularity_gamma
+from repro.graphs.metrics import irregularity_gamma
 
 
 class TestPlantedPartition:

@@ -41,7 +41,6 @@ class TestCorrectForDummies:
         uncorrected one (regression test for the survey example)."""
         from repro.estimation.frequency import run_frequency_estimation
         from repro.graphs.generators import random_regular_graph
-        from repro.ldp.randomized_response import KaryRandomizedResponse
 
         graph = random_regular_graph(6, 600, rng=0)
         rng = np.random.default_rng(1)

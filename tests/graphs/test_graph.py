@@ -137,7 +137,6 @@ class TestConversions:
         assert dense[0, 2] == 0.0
 
     def test_to_networkx_roundtrip(self):
-        import networkx as nx
 
         graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
         nx_graph = graph.to_networkx()

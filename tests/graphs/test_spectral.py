@@ -13,7 +13,6 @@ from repro.graphs.generators import (
 )
 from repro.graphs.graph import Graph
 from repro.graphs.spectral import (
-    SpectralSummary,
     mixing_time,
     normalized_adjacency,
     normalized_adjacency_eigenvalues,

@@ -4,15 +4,10 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.exceptions import ValidationError
-from repro.graphs.generators import (
-    complete_graph,
-    cycle_graph,
-    random_regular_graph,
-)
-from repro.graphs.graph import Graph
+from repro.graphs.generators import complete_graph, cycle_graph
 from repro.graphs.spectral import stationary_distribution
 from repro.graphs.walks import (
     empirical_position_distribution,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.amplification.network_shuffle import epsilon_all_stationary
 from repro.core.accounting import PrivacyAccountant

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.graphs.generators import complete_graph, random_regular_graph
 from repro.netsim.collusion import (
     collect_observations,
     run_collusion_attack,

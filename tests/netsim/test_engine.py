@@ -1,0 +1,329 @@
+"""Backend equivalence: vectorized engine vs the per-message oracle.
+
+The vectorized engine promises an *exact* RNG contract with the faithful
+simulator — a seeded run must produce identical per-round held counts,
+meters, and server deliveries — plus statistical agreement with the
+exact distribution evolution of :mod:`repro.graphs.walks`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SimulationError, ValidationError
+from repro.graphs.generators import cycle_graph, random_regular_graph
+from repro.graphs.graph import Graph
+from repro.graphs.walks import position_distribution
+from repro.netsim.engine import VectorizedExchange
+from repro.netsim.faults import (
+    AdversarialDropout,
+    IndependentDropout,
+    NoFaults,
+)
+from repro.netsim.network import RoundBasedNetwork
+from repro.protocols.all_protocol import run_all_protocol
+from repro.protocols.single_protocol import run_single_protocol
+
+
+def _paired_networks(graph, faults_factory, seed):
+    """One faithful and one vectorized network with identical seeds."""
+    pair = []
+    for backend in ("faithful", "vectorized"):
+        network = RoundBasedNetwork(
+            graph, faults=faults_factory(), rng=seed, backend=backend
+        )
+        network.seed_items({i: [("r", i)] for i in range(graph.num_nodes)})
+        pair.append(network)
+    return pair
+
+
+FAULT_FACTORIES = [
+    NoFaults,
+    lambda: IndependentDropout(0.25),
+    lambda: AdversarialDropout(np.arange(0, 50, 5)),
+]
+
+
+class TestSeededEquivalence:
+    @pytest.mark.parametrize("faults_factory", FAULT_FACTORIES)
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_identical_held_counts_every_round(
+        self, small_regular, faults_factory, seed
+    ):
+        faithful, vectorized = _paired_networks(
+            small_regular, faults_factory, seed
+        )
+        for _ in range(10):
+            faithful.run_exchange_round()
+            vectorized.run_exchange_round()
+            np.testing.assert_array_equal(
+                faithful.held_counts(), vectorized.held_counts()
+            )
+
+    @pytest.mark.parametrize("faults_factory", FAULT_FACTORIES)
+    def test_identical_meters(self, small_regular, faults_factory):
+        faithful, vectorized = _paired_networks(
+            small_regular, faults_factory, 11
+        )
+        faithful.run_exchange(8)
+        vectorized.run_exchange(8)
+        for user in range(small_regular.num_nodes):
+            a = faithful.meters.meter(user)
+            b = vectorized.meters.meter(user)
+            assert a.messages_sent == b.messages_sent
+            assert a.messages_received == b.messages_received
+            assert a.current_items == b.current_items
+            assert a.peak_items == b.peak_items
+        assert (
+            faithful.meters.max_peak_items()
+            == vectorized.meters.max_peak_items()
+        )
+        assert (
+            faithful.meters.total_messages_sent()
+            == vectorized.meters.total_messages_sent()
+        )
+
+    def test_identical_server_delivery(self, small_regular):
+        faithful, vectorized = _paired_networks(small_regular, NoFaults, 3)
+        faithful.run_exchange(6)
+        vectorized.run_exchange(6)
+        faithful.deliver_to_server()
+        vectorized.deliver_to_server()
+        assert faithful.server.delivered_by == vectorized.server.delivered_by
+        assert faithful.server.reports == vectorized.server.reports
+        assert faithful.held_counts().sum() == 0
+        assert vectorized.held_counts().sum() == 0
+
+    def test_identical_drain_held(self, small_regular):
+        faithful, vectorized = _paired_networks(small_regular, NoFaults, 5)
+        faithful.run_exchange(4)
+        vectorized.run_exchange(4)
+        assert faithful.drain_held() == vectorized.drain_held()
+
+    def test_all_protocol_identical_across_engines(self, small_regular):
+        fast = run_all_protocol(small_regular, 7, rng=9)
+        faithful = run_all_protocol(small_regular, 7, engine="faithful", rng=9)
+        np.testing.assert_array_equal(fast.allocation, faithful.allocation)
+        np.testing.assert_array_equal(fast.delivered_by, faithful.delivered_by)
+        assert [r.origin for r in fast.server_reports] == [
+            r.origin for r in faithful.server_reports
+        ]
+
+    def test_single_protocol_identical_across_engines(self, small_regular):
+        fast = run_single_protocol(small_regular, 7, rng=9)
+        faithful = run_single_protocol(
+            small_regular, 7, engine="faithful", rng=9
+        )
+        np.testing.assert_array_equal(fast.allocation, faithful.allocation)
+        assert fast.dummy_count == faithful.dummy_count
+        assert [r.origin for r in fast.server_reports] == [
+            r.origin for r in faithful.server_reports
+        ]
+
+    def test_laziness_equivalent_to_dropout(self, small_regular):
+        lazy = run_all_protocol(small_regular, 6, laziness=0.4, rng=2)
+        dropout = run_all_protocol(
+            small_regular, 6, faults=IndependentDropout(0.4), rng=2
+        )
+        np.testing.assert_array_equal(lazy.allocation, dropout.allocation)
+
+
+class TestDistributionMatch:
+    """Both backends must match the exact walk-engine marginals."""
+
+    @pytest.mark.parametrize("backend", ["faithful", "vectorized"])
+    def test_marginal_matches_evolve_distribution(self, backend):
+        graph = random_regular_graph(4, 30, rng=1)
+        steps, start, samples = 4, 0, 4000
+        exact = position_distribution(graph, start, steps)
+        network = RoundBasedNetwork(graph, rng=77, backend=backend)
+        network.seed_items({start: list(range(samples))})
+        network.run_exchange(steps)
+        empirical = network.held_counts() / samples
+        # L1 (graph total variation) tolerance ~ O(sqrt(n / samples)).
+        assert np.abs(empirical - exact).sum() < 0.15
+
+    def test_engine_marginal_with_laziness(self):
+        # Node-level dropout correlates tokens sharing a holder (they
+        # stay or move together), so one run never concentrates — the
+        # single-token marginal is checked by averaging independent
+        # seeded runs instead.
+        graph = cycle_graph(11)
+        steps, start, runs = 5, 3, 600
+        exact = position_distribution(graph, start, steps, laziness=0.3)
+        counts = np.zeros(graph.num_nodes)
+        for seed in range(runs):
+            engine = VectorizedExchange(
+                graph, faults=IndependentDropout(0.3), rng=seed
+            )
+            engine.seed_tokens(np.array([start]))
+            engine.run(steps)
+            counts += engine.held_counts()
+        empirical = counts / runs
+        assert np.abs(empirical - exact).sum() < 0.15
+
+
+class TestVectorizedEngineApi:
+    def test_seed_rejects_out_of_range(self, k4):
+        engine = VectorizedExchange(k4, rng=0)
+        with pytest.raises(ValidationError):
+            engine.seed_tokens(np.array([7]))
+
+    def test_seed_rejects_isolated_nodes(self):
+        graph = Graph(3, [(0, 1)])  # node 2 is isolated
+        engine = VectorizedExchange(graph, rng=0)
+        with pytest.raises(ValidationError):
+            engine.seed_tokens(np.array([2]))
+
+    def test_negative_rounds_rejected(self, k4):
+        engine = VectorizedExchange(k4, rng=0)
+        with pytest.raises(SimulationError):
+            engine.run(-1)
+
+    def test_trajectories_require_flag(self, k4):
+        engine = VectorizedExchange(k4, rng=0)
+        engine.seed_tokens(np.arange(4))
+        with pytest.raises(SimulationError):
+            engine.trajectories()
+
+    def test_trajectories_shape_and_start(self, small_regular):
+        engine = VectorizedExchange(
+            small_regular, rng=0, record_trajectories=True
+        )
+        engine.seed_tokens(np.arange(small_regular.num_nodes))
+        engine.run(6)
+        paths = engine.trajectories()
+        assert paths.shape == (small_regular.num_nodes, 7)
+        np.testing.assert_array_equal(
+            paths[:, 0], np.arange(small_regular.num_nodes)
+        )
+        np.testing.assert_array_equal(paths[:, -1], engine.token_position)
+
+    def test_tokens_conserved(self, medium_regular):
+        engine = VectorizedExchange(medium_regular, rng=0)
+        origins = np.repeat(np.arange(medium_regular.num_nodes), 3)
+        engine.seed_tokens(origins)
+        engine.run(20)
+        assert engine.held_counts().sum() == origins.size
+        np.testing.assert_array_equal(engine.token_origin, origins)
+
+    def test_double_delivery_is_idempotent(self, k4):
+        """A second final delivery must deliver nothing (both backends)."""
+        for backend in ("faithful", "vectorized"):
+            network = RoundBasedNetwork(k4, rng=0, backend=backend)
+            network.seed_items({i: [f"p{i}"] for i in range(4)})
+            network.run_exchange(2)
+            network.deliver_to_server()
+            network.deliver_to_server()
+            assert len(network.server) == 4, backend
+
+    def test_post_delivery_rounds_are_noops_on_both_backends(self):
+        """Rounds after final delivery move nothing, meter nothing, and
+        keep the backends in lockstep (including fault-model draws)."""
+        graph = cycle_graph(6)
+        nets = {}
+        for backend in ("faithful", "vectorized"):
+            net = RoundBasedNetwork(
+                graph, faults=IndependentDropout(0.3), rng=0, backend=backend
+            )
+            net.seed_items({i: [i] for i in range(6)})
+            net.run_exchange(3)
+            net.deliver_to_server()
+            net.run_exchange_round()
+            net.seed_items({i: [("n", i)] for i in range(6)})
+            net.run_exchange(2)
+            nets[backend] = net
+        faithful, vectorized = nets["faithful"], nets["vectorized"]
+        np.testing.assert_array_equal(
+            faithful.held_counts(), vectorized.held_counts()
+        )
+        assert (
+            faithful.meters.total_messages_sent()
+            == vectorized.meters.total_messages_sent()
+        )
+        for user in range(6):
+            a = faithful.meters.meter(user)
+            b = vectorized.meters.meter(user)
+            assert a.messages_sent == b.messages_sent
+            assert a.current_items == b.current_items
+            assert a.peak_items == b.peak_items
+
+    def test_reseed_after_delivery_maps_new_payloads(self, k4):
+        """A second campaign must not see the first campaign's payloads."""
+        network = RoundBasedNetwork(k4, rng=0, backend="vectorized")
+        network.seed_items({i: [("first", i)] for i in range(4)})
+        network.run_exchange(2)
+        network.deliver_to_server()
+        network.seed_items({i: [("second", i)] for i in range(4)})
+        network.run_exchange(2)
+        flat = [p for held in network.drain_held() for p in held]
+        assert len(flat) == 4
+        assert all(tag == "second" for tag, _ in flat)
+
+    def test_rejected_seed_leaves_payload_mapping_intact(self, k4):
+        """A failed seed must not orphan payloads (token-id alignment)."""
+        network = RoundBasedNetwork(k4, rng=0, backend="vectorized")
+        network.seed_items({0: ["A"]})
+        with pytest.raises(ValidationError):
+            network.seed_items({99: ["B"]})
+        network.seed_items({1: ["C"]})
+        flat = sorted(p for held in network.drain_held() for p in held)
+        assert flat == ["A", "C"]
+
+    def test_mid_run_seeding_rejected(self, k4):
+        """Interleaving seeds with rounds would break the RNG contract."""
+        engine = VectorizedExchange(k4, rng=0)
+        engine.seed_tokens(np.arange(4))
+        engine.seed_tokens(np.arange(2))  # still pre-run: allowed
+        engine.run(1)
+        with pytest.raises(SimulationError):
+            engine.seed_tokens(np.arange(2))
+
+    @pytest.mark.parametrize("backend", ["faithful", "vectorized"])
+    def test_mid_run_seed_items_rejected_on_both_backends(self, k4, backend):
+        """The network enforces the seeding rule identically per backend."""
+        network = RoundBasedNetwork(k4, rng=0, backend=backend)
+        network.seed_items({0: ["a"]})
+        network.seed_items({1: ["b"]})  # pre-run: allowed
+        network.run_exchange(1)
+        with pytest.raises(SimulationError):
+            network.seed_items({2: ["c"]})
+        # After the final delivery a fresh campaign may seed again.
+        network.deliver_to_server()
+        network.seed_items({2: ["c"]})
+        network.run_exchange(1)
+        assert network.held_counts().sum() == 1
+
+    def test_reseed_after_drain_drops_old_tokens(self, small_regular):
+        """Drained tokens left the network; reseeding must not revive them."""
+        engine = VectorizedExchange(small_regular, rng=0)
+        engine.seed_tokens(np.arange(small_regular.num_nodes))
+        engine.run(3)
+        engine.drain()
+        engine.seed_tokens(np.arange(10))
+        engine.run(2)
+        assert engine.held_counts().sum() == 10
+
+    def test_unknown_backend_rejected(self, k4):
+        with pytest.raises(ValidationError):
+            RoundBasedNetwork(k4, backend="quantum")
+
+    def test_vector_meter_board_queries(self, k4):
+        network = RoundBasedNetwork(k4, rng=0, backend="vectorized")
+        network.seed_items({i: [i] for i in range(4)})
+        network.run_exchange(3)
+        board = network.meters
+        assert len(board) == 5  # four users + server
+        assert 0 in board and -1 in board and 99 not in board
+        assert board.total_messages_sent() == 12
+        assert board.max_peak_items() >= 1
+        with pytest.raises(KeyError):
+            board.meter(99)
+
+    def test_deliver_with_selection_vectorized(self, k4):
+        network = RoundBasedNetwork(k4, rng=0, backend="vectorized")
+        network.seed_items({i: [f"item-{i}"] for i in range(4)})
+        network.run_exchange(1)
+        network.deliver_to_server(select=lambda node, held, rng: held[:1])
+        assert len(network.server) <= 4

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.graphs.generators import complete_graph, random_regular_graph
 from repro.netsim.faults import AdversarialDropout, IndependentDropout, NoFaults
 from repro.netsim.metrics import EntityMeter, MeterBoard
 from repro.netsim.network import RoundBasedNetwork

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.graphs.generators import complete_graph, random_regular_graph
+from repro.graphs.generators import complete_graph
 from repro.ldp.randomized_response import BinaryRandomizedResponse
 from repro.netsim.faults import IndependentDropout
 from repro.protocols.all_protocol import run_all_protocol

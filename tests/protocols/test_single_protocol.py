@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
-from repro.graphs.generators import complete_graph, random_regular_graph
 from repro.graphs.spectral import stationary_distribution
 from repro.ldp.randomized_response import BinaryRandomizedResponse
 from repro.protocols.single_protocol import (
