@@ -1,12 +1,13 @@
 #!/usr/bin/env python
-"""Wireless sensor network: shuffling on a torus grid with faults.
+"""Wireless sensor network: a declarative scenario with faults.
 
 The paper notes network shuffling applies directly to wireless sensor
 networks (Section 3.1) where nodes talk peer-to-peer to physical
 neighbors.  A torus grid is 4-regular, so the *symmetric* analysis
 (Theorem 5.4, exact walk tracking) applies — and because sensors run on
-batteries, we model dropouts with the lazy-walk fault model of Section
-4.5 and measure the cost in rounds.
+batteries, the scenario's ``laziness`` knob models the lazy-walk fault
+model of Section 4.5.  The privacy-vs-rounds table is one ``sweep`` in
+``bound`` mode (no simulation); the actual collection is one ``run``.
 
 Run:  python examples/iot_sensor_grid.py
 """
@@ -15,61 +16,53 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.amplification import epsilon_all_symmetric
-from repro.graphs import grid_graph
-from repro.graphs.spectral import spectral_summary
-from repro.graphs.walks import evolve_distribution
-from repro.ldp import LaplaceMechanism
-from repro.protocols import run_all_protocol
+from repro import Scenario, run, sweep
+from repro.scenario import graph_summary
 
 SIDE = 25            # 25 x 25 torus = 625 sensors (odd side => non-bipartite)
 EPSILON0 = 1.0
-DELTA = 1e-6
 DROPOUT = 0.25       # a quarter of sensors asleep each round
 
 
-def epsilon_after(graph, rounds: int, laziness: float) -> float:
-    """Theorem 5.4 evaluated on the exact (lazy) walk distribution."""
-    initial = np.zeros(graph.num_nodes)
-    initial[0] = 1.0
-    distribution = evolve_distribution(
-        graph, initial, rounds, laziness=laziness
-    )
-    return epsilon_all_symmetric(
-        EPSILON0, graph.num_nodes, distribution, DELTA, DELTA
-    ).epsilon
-
-
 def main() -> None:
-    graph = grid_graph(SIDE, SIDE, periodic=True)
-    summary = spectral_summary(graph)
-    print(f"torus {SIDE}x{SIDE}: n={graph.num_nodes}, 4-regular, "
+    base = Scenario(
+        graph={"kind": "grid", "params": {"rows": SIDE, "cols": SIDE, "periodic": True}},
+        mechanism={"kind": "laplace",
+                   "params": {"epsilon": EPSILON0, "lower": 15.0, "upper": 30.0}},
+        values={"kind": "normal",
+                "params": {"mean": 22.0, "std": 2.0, "lower": 15.0, "upper": 30.0}},
+        protocol="all",
+        analysis="symmetric",     # exact tracking on the 4-regular torus
+        seed=0,
+    )
+    summary = graph_summary(base)
+    print(f"torus {SIDE}x{SIDE}: n={SIDE * SIDE}, 4-regular, "
           f"spectral gap={summary.spectral_gap:.4f}, "
           f"mixing time={summary.mixing_time}")
 
-    # Privacy vs rounds, healthy vs faulty network.
+    # Privacy vs rounds, healthy vs faulty network — a 2-axis bound sweep.
+    rounds_axis = [summary.mixing_time // 4, summary.mixing_time // 2,
+                   summary.mixing_time, 2 * summary.mixing_time]
+    curve = sweep(base, axis={"laziness": [0.0, DROPOUT], "rounds": rounds_axis},
+                  mode="bound")
+    by_laziness = {
+        laziness: [p.epsilon for p in curve if p.coordinates["laziness"] == laziness]
+        for laziness in (0.0, DROPOUT)
+    }
     print(f"\n{'rounds':>7} {'eps (healthy)':>14} {'eps (25% asleep)':>17}")
-    for rounds in (summary.mixing_time // 4, summary.mixing_time // 2,
-                   summary.mixing_time, 2 * summary.mixing_time):
-        healthy = epsilon_after(graph, rounds, 0.0)
-        faulty = epsilon_after(graph, rounds, DROPOUT)
-        print(f"{rounds:>7} {healthy:>14.3f} {faulty:>17.3f}")
+    for i, rounds in enumerate(rounds_axis):
+        print(f"{rounds:>7} {by_laziness[0.0][i]:>14.3f} {by_laziness[DROPOUT][i]:>17.3f}")
     print("-> dropouts cost extra rounds, not privacy "
           "(run ~1/(1-p) times longer).")
 
-    # Collect temperature readings privately.
-    rng = np.random.default_rng(0)
-    temperatures = np.clip(rng.normal(22.0, 2.0, graph.num_nodes), 15.0, 30.0)
-    mechanism = LaplaceMechanism(EPSILON0, 15.0, 30.0)
-    readings = mechanism.randomize_batch(temperatures, rng=1)
-
-    result = run_all_protocol(
-        graph, summary.mixing_time,
-        values=list(readings), laziness=DROPOUT, rng=2,
-    )
+    # Collect temperature readings privately under the fault model.
+    result = run(base.updated(laziness=DROPOUT, rounds=summary.mixing_time))
+    temperatures = np.asarray(result.values)
     estimate = float(np.mean(result.payloads()))
     print(f"\ntrue mean temperature    : {temperatures.mean():.2f} C")
     print(f"private estimate (eps0=1): {estimate:.2f} C")
+    print(f"central guarantee at t={result.rounds}: "
+          f"eps = {result.central_epsilon:.3f} ({result.bound.theorem})")
 
 
 if __name__ == "__main__":

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
-"""Quickstart: network shuffling in ~40 lines.
+"""Quickstart: network shuffling as one declarative scenario.
 
-A thousand users on an 8-regular communication graph each hold one
-private bit.  Everyone randomizes locally (eps0 = 1 randomized
-response), reports are exchanged in a random walk for the graph's
-mixing time, and the untrusted server estimates the population rate.
+Ten thousand users on an 8-regular communication graph each hold one
+private bit.  The whole workload — graph, local randomizer, protocol,
+rounds, accounting — is a single serializable :class:`repro.Scenario`;
+``repro.run`` simulates it and accounts the amplified central guarantee
+in one call.
 
 Run:  python examples/quickstart.py
 """
@@ -13,47 +14,42 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import NetworkShuffler
-from repro.graphs import random_regular_graph
-from repro.ldp import BinaryRandomizedResponse
+from repro import Scenario, run
 
 EPSILON0 = 1.0
-DELTA = 1e-6
 NUM_USERS = 10_000
+TRUE_RATE = 0.3
 
 
 def main() -> None:
-    # 1. The communication network — e.g. a peer-discovery overlay where
-    #    every client connects to 8 peers (Section 4.2 of the paper).
-    graph = random_regular_graph(8, NUM_USERS, rng=0)
+    # 1. The workload as data.  `rounds=None` means the graph's mixing
+    #    time (the paper's operating point); `seed` fixes everything.
+    scenario = Scenario(
+        graph={"kind": "k_regular", "params": {"degree": 8, "num_nodes": NUM_USERS}},
+        mechanism={"kind": "rr", "params": {"epsilon": EPSILON0}},
+        values={"kind": "bernoulli", "params": {"rate": TRUE_RATE}},
+        protocol="all",
+        seed=0,
+    )
+    # Scenarios round-trip through JSON — ship them, store them, sweep them.
+    assert Scenario.from_json(scenario.to_json()) == scenario
 
-    # 2. Configure network shuffling.  The number of exchange rounds
-    #    defaults to the mixing time alpha^{-1} log n.
-    shuffler = NetworkShuffler(graph, epsilon0=EPSILON0, delta=DELTA)
-    print(f"graph: n={NUM_USERS}, spectral gap={shuffler.spectral.spectral_gap:.3f}, "
-          f"rounds={shuffler.rounds}")
-
-    # 3. What the theorems promise for this deployment (Theorem 5.3).
-    guarantee = shuffler.central_guarantee()
+    # 2. One call: build graph, randomize, exchange, deliver, account.
+    result = run(scenario)
+    print(f"graph: n={NUM_USERS}, 8-regular, rounds={result.rounds} (mixing time)")
     print(f"local guarantee : eps0 = {EPSILON0}")
-    print(f"central (paper) : eps  = {guarantee.epsilon:.3f} "
-          f"(delta = {guarantee.delta:.1e}, {guarantee.theorem})")
+    print(f"central (paper) : eps  = {result.central_epsilon:.3f} "
+          f"(delta = {result.bound.delta:.1e}, {result.bound.theorem})")
 
-    # 4. Run the protocol: 30% of users hold bit 1.
-    true_rate = 0.3
-    bits = (np.arange(NUM_USERS) < true_rate * NUM_USERS).astype(int)
-    randomizer = BinaryRandomizedResponse(EPSILON0)
-    result = shuffler.run(list(bits), randomizer, rng=1)
-
-    # 5. The server debiases the randomized-response reports.
+    # 3. The server debiases the randomized-response reports.
     reports = np.array(result.payloads())
-    estimate = randomizer.debias(reports.mean())
+    estimate = result.mechanism.debias(reports.mean())
+    true_rate = float(np.mean(result.values))
     print(f"true rate = {true_rate:.3f}, private estimate = {estimate:.3f}")
 
-    # 6. Empirical accounting from the realized allocation (Theorem 6.1)
-    #    is tighter than the closed-form worst case.
-    print(f"empirical eps for this run: "
-          f"{shuffler.empirical_guarantee(result):.3f}")
+    # 4. Empirical accounting from the realized allocation (Theorem 6.1)
+    #    is tighter than the closed-form worst case — already included.
+    print(f"empirical eps for this run: {result.empirical_epsilon:.3f}")
 
 
 if __name__ == "__main__":

@@ -6,7 +6,19 @@ locally randomized reports in a random-walk fashion on a communication
 graph, achieving shuffle-model-like central DP guarantees *without any
 trusted centralized entity*.
 
-Quick start::
+Quick start — the declarative Scenario API::
+
+    from repro import Scenario, run
+
+    scenario = Scenario(
+        graph={"kind": "k_regular", "params": {"degree": 8, "num_nodes": 1000}},
+        mechanism={"kind": "rr", "params": {"epsilon": 1.0}},
+        values={"kind": "bernoulli", "params": {"rate": 0.5}},
+    )
+    result = run(scenario)                  # simulate + account in one call
+    print(result.central_epsilon)           # amplified central epsilon
+
+or imperatively, via the :class:`NetworkShuffler` facade::
 
     from repro import NetworkShuffler
     from repro.graphs import random_regular_graph
@@ -31,18 +43,35 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.baselines``       Prochlo & mix-net simulators, central DP
 ``repro.estimation``      private mean / frequency estimation
 ``repro.experiments``     one module per paper table & figure
+``repro.scenario``        declarative Scenario API: run / sweep / bound
 ========================  ==============================================
 """
 
 from repro.core.accounting import PrivacyAccountant
 from repro.core.shuffler import NetworkShuffler
 from repro.exceptions import ReproError
+from repro.scenario import (
+    RunResult,
+    Scenario,
+    SweepResult,
+    bound,
+    run,
+    stationary_bound,
+    sweep,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "NetworkShuffler",
     "PrivacyAccountant",
     "ReproError",
+    "RunResult",
+    "Scenario",
+    "SweepResult",
+    "bound",
+    "run",
+    "stationary_bound",
+    "sweep",
     "__version__",
 ]

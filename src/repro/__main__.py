@@ -12,6 +12,13 @@ Commands
 ``plan <n> <target_eps>``
     Deployment planning: local budgets achieving a central target on a
     regular graph of ``n`` users (both protocols).
+``run <scenario.json>``
+    Execute one declarative scenario (simulate + account) and print the
+    result digest.  ``-`` reads the JSON from stdin.
+``sweep <scenario.json> --axis path=v1,v2,... [--axis ...]``
+    Expand a parameter grid over the base scenario and print the curve.
+    ``--mode bound|stationary_bound`` prices without simulating;
+    ``--workers N`` fans out to a process pool.
 """
 
 from __future__ import annotations
@@ -41,12 +48,13 @@ def _artifact(name: str) -> None:
 
 def _plan(arguments: list[str]) -> None:
     from repro.amplification.planning import required_epsilon0
+    from repro.core.config import DEFAULT_CONFIG
 
     if len(arguments) != 2:
         raise SystemExit("usage: python -m repro plan <n> <target_eps>")
     n = int(arguments[0])
     target = float(arguments[1])
-    delta = 1e-6
+    delta = DEFAULT_CONFIG.delta
     sum_squared = 1.0 / n
     print(f"planning for n={n}, target central eps={target}, delta={delta}")
     print("(regular communication graph, Gamma = 1, at the mixing time)")
@@ -56,6 +64,122 @@ def _plan(arguments: list[str]) -> None:
             print(f"  A_{protocol:<6}: local eps0 <= {eps0:.4f}")
         except ReproError as error:
             print(f"  A_{protocol:<6}: unreachable — {error}")
+
+
+def _load_scenario(source: str) -> "repro.Scenario":
+    import json
+
+    from repro import Scenario
+
+    try:
+        if source == "-":
+            text = sys.stdin.read()
+        else:
+            with open(source, "r", encoding="utf-8") as handle:
+                text = handle.read()
+    except OSError as error:
+        raise SystemExit(f"cannot read scenario {source!r}: {error}") from None
+    try:
+        return Scenario.from_json(text)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"scenario {source!r} is not valid JSON: {error}") from None
+    except ReproError as error:
+        raise SystemExit(f"scenario {source!r} is invalid: {error}") from None
+
+
+def _run(arguments: list[str]) -> None:
+    if len(arguments) != 1:
+        raise SystemExit("usage: python -m repro run <scenario.json|->")
+    from repro.scenario import run
+
+    result = run(_load_scenario(arguments[0]))
+    digest = result.summary()
+    width = max(len(key) for key in digest)
+    for key, value in digest.items():
+        print(f"  {key:<{width}} : {value}")
+
+
+def _parse_axis_value(token: str):
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        value = float(token)
+    except ValueError:
+        if token.lower() in ("true", "false"):
+            return token.lower() == "true"
+        return token
+    # Collapse integral floats ("1e6", "4.0") so int-validated builder
+    # params (num_nodes, rounds, ...) accept scientific notation.
+    return int(value) if value.is_integer() else value
+
+
+def _sweep(arguments: list[str]) -> None:
+    from repro.experiments.reporting import format_table
+    from repro.scenario import sweep
+
+    usage = (
+        "usage: python -m repro sweep <scenario.json|-> "
+        "--axis path=v1,v2,... [--axis ...] [--mode run|bound|stationary_bound] "
+        "[--workers N]"
+    )
+    source: str | None = None
+    axis: dict[str, list] = {}
+    mode = "run"
+    workers = 0
+    index = 0
+    while index < len(arguments):
+        token = arguments[index]
+        if token == "--axis":
+            index += 1
+            if index >= len(arguments) or "=" not in arguments[index]:
+                raise SystemExit(usage)
+            name, _, raw = arguments[index].partition("=")
+            if name in axis:
+                raise SystemExit(f"duplicate --axis {name!r}; give each path once")
+            axis[name] = [_parse_axis_value(part) for part in raw.split(",") if part]
+        elif token == "--mode":
+            index += 1
+            if index >= len(arguments):
+                raise SystemExit(usage)
+            mode = arguments[index]
+        elif token == "--workers":
+            index += 1
+            if index >= len(arguments):
+                raise SystemExit(usage)
+            try:
+                workers = int(arguments[index])
+            except ValueError:
+                raise SystemExit(usage) from None
+        elif source is None:
+            source = token
+        else:
+            raise SystemExit(usage)
+        index += 1
+    if source is None or not axis:
+        raise SystemExit(usage)
+
+    try:
+        result = sweep(_load_scenario(source), axis=axis, mode=mode, workers=workers)
+    except ReproError as error:
+        raise SystemExit(f"sweep failed: {error}") from None
+    names = list(result.axis)
+    headers = [*names, "central eps"]
+    simulated = mode == "run"
+    if simulated:
+        headers += ["empirical eps", "dummies"]
+    rows = []
+    for point in result:
+        row = [point.coordinates[name] for name in names]
+        eps = point.epsilon
+        row.append("-" if eps is None else round(eps, 4))
+        if simulated:
+            empirical = point.outcome.empirical_epsilon
+            row.append("-" if empirical is None else round(empirical, 4))
+            row.append(point.outcome.protocol_result.dummy_count)
+        rows.append(tuple(row))
+    print(format_table(headers, rows))
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -73,8 +197,12 @@ def main(argv: list[str] | None = None) -> None:
         runall_main(rest)
     elif command == "plan":
         _plan(rest)
+    elif command == "run":
+        _run(rest)
+    elif command == "sweep":
+        _sweep(rest)
     else:
-        known = ", ".join(("info", *_ARTIFACTS, "runall", "plan"))
+        known = ", ".join(("info", *_ARTIFACTS, "runall", "plan", "run", "sweep"))
         raise SystemExit(f"unknown command {command!r}; known: {known}")
 
 

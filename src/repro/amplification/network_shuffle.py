@@ -307,9 +307,11 @@ def epsilon_single_symmetric(
     *,
     delta0: float = 0.0,
     delta1: Optional[float] = None,
+    delta2: float = 0.0,
 ) -> NetworkShuffleBound:
     """Theorem 5.6: Theorem 5.5 evaluated at the *exact* position
-    distribution of a user on a k-regular graph."""
+    distribution of a user on a k-regular graph.  ``delta2`` enters the
+    approximate-DP ``delta'`` sum only, like Theorem 5.5's."""
     distribution = np.asarray(position_distribution, dtype=np.float64)
     if distribution.ndim != 1 or distribution.size != n:
         raise ValidationError(
@@ -317,7 +319,8 @@ def epsilon_single_symmetric(
         )
     sum_squared = float(np.dot(distribution, distribution))
     bound = epsilon_single_stationary(
-        epsilon0, n, sum_squared, delta, delta0=delta0, delta1=delta1
+        epsilon0, n, sum_squared, delta,
+        delta0=delta0, delta1=delta1, delta2=delta2,
     )
     theorem = bound.theorem.replace("5.5", "5.6").replace("stationary", "symmetric")
     return NetworkShuffleBound(

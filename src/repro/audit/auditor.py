@@ -32,6 +32,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.core.config import DEFAULT_CONFIG
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
 from repro.graphs.walks import position_distribution, simulate_token_walks
@@ -174,7 +175,7 @@ def audit_network_shuffle(
     rounds: int,
     *,
     trials: int = 2000,
-    delta: float = 1e-6,
+    delta: float = DEFAULT_CONFIG.delta,
     rng: RngLike = None,
 ) -> AuditResult:
     """Audit end-to-end ``A_all`` network shuffling with binary RR.

@@ -14,6 +14,7 @@ behind a few calls:
 
 from repro.core.accounting import PrivacyAccountant
 from repro.core.campaign import Campaign, CampaignSummary, CollectionRecord
+from repro.core.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.core.shuffler import NetworkShuffler
 
 __all__ = [
@@ -21,5 +22,7 @@ __all__ = [
     "Campaign",
     "CampaignSummary",
     "CollectionRecord",
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
     "NetworkShuffler",
 ]

@@ -1,29 +1,13 @@
 """Shared experiment configuration.
 
-The paper does not print its ``delta`` choices in the figures; we fix
-``delta = delta2 = 1e-6`` throughout (comfortably below ``1/n`` for all
-evaluated graphs, the paper's stated requirement) and record that choice
-here so every experiment and benchmark agrees.
+The canonical definition lives in :mod:`repro.core.config` (the
+accounting defaults are read by library layers below the experiment
+drivers); this module re-exports it under the historical name every
+experiment imports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from repro.core.config import DEFAULT_CONFIG, ExperimentConfig
 
-
-@dataclass(frozen=True)
-class ExperimentConfig:
-    """Knobs shared by all experiments."""
-
-    delta: float = 1e-6
-    """Central composition failure probability."""
-    delta2: float = 1e-6
-    """Lemma 5.1 (report-load concentration) failure probability."""
-    seed: int = 0
-    """Base seed; experiments derive child streams from it."""
-    dataset_scale: float = 1.0
-    """Scale factor applied to materialized datasets (Google uses its
-    own smaller default regardless)."""
-
-
-DEFAULT_CONFIG = ExperimentConfig()
+__all__ = ["DEFAULT_CONFIG", "ExperimentConfig"]

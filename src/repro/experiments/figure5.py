@@ -8,9 +8,10 @@ The paper traces the random walk *exactly* on k-regular graphs
   node's neighborhood before spreading, unlike Figure 4's monotone
   upper bound.
 
-We compute the per-user position distribution ``P(t)`` from a single
-start node (vertex transitivity) with the walk engine, then evaluate
-Theorem 5.4 at each ``t``.
+Each degree is one declarative scenario (``analysis="symmetric"`` —
+exact walk tracking, Theorem 5.4); the eps-vs-rounds curve is a
+``rounds`` sweep in ``bound`` mode, so no protocol is simulated and the
+graph is materialized once per degree via the scenario cache.
 """
 
 from __future__ import annotations
@@ -20,12 +21,9 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.amplification.network_shuffle import epsilon_all_symmetric
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import format_table
-from repro.graphs.generators import random_regular_graph
-from repro.graphs.spectral import spectral_summary
-from repro.graphs.walks import evolve_distribution
+from repro.scenario import GraphSpec, Scenario, graph_summary, sweep
 
 
 @dataclass(frozen=True)
@@ -62,33 +60,27 @@ def run_figure5(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> List[KRegularSeries]:
     """Exact eps(t) for k-regular graphs of several degrees."""
+    steps = np.arange(1, max_steps + 1)
     series: List[KRegularSeries] = []
     for degree in degrees:
-        graph = random_regular_graph(degree, num_nodes, rng=config.seed)
-        summary = spectral_summary(graph)
-        steps = np.arange(1, max_steps + 1)
-        distribution = np.zeros(num_nodes)
-        distribution[0] = 1.0
-        epsilons = []
-        for _ in steps:
-            distribution = evolve_distribution(graph, distribution, 1)
-            epsilons.append(
-                epsilon_all_symmetric(
-                    epsilon0,
-                    num_nodes,
-                    distribution,
-                    config.delta,
-                    config.delta2,
-                ).epsilon
-            )
+        scenario = Scenario(
+            graph=GraphSpec.of("k_regular", degree=degree, num_nodes=num_nodes),
+            protocol="all",
+            analysis="symmetric",
+            epsilon0=epsilon0,
+            delta=config.delta,
+            delta2=config.delta2,
+            seed=config.seed,
+        )
+        curve = sweep(scenario, axis={"rounds": steps.tolist()}, mode="bound")
         series.append(
             KRegularSeries(
                 degree=degree,
                 num_nodes=num_nodes,
                 epsilon0=epsilon0,
                 steps=steps,
-                epsilon=np.asarray(epsilons),
-                mixing_time=summary.mixing_time,
+                epsilon=np.asarray(curve.epsilons()),
+                mixing_time=graph_summary(scenario).mixing_time,
             )
         )
     return series

@@ -29,14 +29,11 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 
-from repro.amplification.network_shuffle import (
-    epsilon_all_stationary,
-    epsilon_single_stationary,
-)
 from repro.amplification.subsampling import subsampling_epsilon
 from repro.amplification.uniform_shuffle import clones_epsilon, uniform_shuffle_epsilon
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import fit_exponential_rate, fit_power_law, format_table
+from repro.scenario import GraphSpec, Scenario, stationary_bound
 
 
 @dataclass(frozen=True)
@@ -51,24 +48,31 @@ class MechanismRow:
     """Central eps at the reference point (n=1e5, eps0=1)."""
 
 
-def _network_sum_squared(n: int, gamma: float = 1.0) -> float:
-    """Stationary collision mass of a Gamma-irregularity graph."""
-    return gamma / n
-
-
 def mechanism_functions(config: ExperimentConfig) -> Dict[str, Callable[[float, int], float]]:
-    """Central-epsilon evaluators ``f(eps0, n)`` for every Table 1 row."""
+    """Central-epsilon evaluators ``f(eps0, n)`` for every Table 1 row.
+
+    The network-shuffling rows are declarative scenarios priced by
+    :func:`repro.scenario.stationary_bound` — the ``GRAPH_STATS``
+    closed form (``Gamma = 1`` for k-regular) prices the million-user
+    grid points without materializing any graph.
+    """
     delta = config.delta
 
-    def network_single(eps0: float, n: int) -> float:
-        return epsilon_single_stationary(
-            eps0, n, _network_sum_squared(n), delta
-        ).epsilon
+    def _network(protocol: str) -> Callable[[float, int], float]:
+        def evaluate(eps0: float, n: int) -> float:
+            scenario = Scenario(
+                graph=GraphSpec.of("k_regular", degree=8, num_nodes=n),
+                protocol=protocol,
+                epsilon0=eps0,
+                delta=delta,
+                delta2=config.delta2,
+            )
+            return stationary_bound(scenario).epsilon
 
-    def network_all(eps0: float, n: int) -> float:
-        return epsilon_all_stationary(
-            eps0, n, _network_sum_squared(n), delta, config.delta2
-        ).epsilon
+        return evaluate
+
+    network_single = _network("single")
+    network_all = _network("all")
 
     return {
         "no amplification": lambda eps0, n: eps0,

@@ -32,8 +32,7 @@ from repro.baselines.mixnet import run_mixnet
 from repro.baselines.prochlo import run_prochlo
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import fit_power_law, format_table
-from repro.graphs.generators import random_regular_graph
-from repro.protocols.all_protocol import run_all_protocol
+from repro.scenario import GraphSpec, Scenario, clear_graph_cache, run
 
 #: Fixed exchange rounds for the constant-rounds network-shuffling runs.
 _FIXED_ROUNDS = 8
@@ -94,12 +93,14 @@ def measure_complexity(
                 max_user_traffic=mixnet.max_user_traffic(),
             )
         )
-        graph = random_regular_graph(_DEGREE, n, rng=config.seed)
         # The vectorized backend meters identically to the per-message
         # path (shared RNG contract) at a fraction of the cost.
-        shuffle = run_all_protocol(
-            graph, _FIXED_ROUNDS, engine="vectorized", rng=config.seed
-        )
+        shuffle = run(Scenario(
+            graph=GraphSpec.of("k_regular", degree=_DEGREE, num_nodes=n),
+            rounds=_FIXED_ROUNDS,
+            engine="vectorized",
+            seed=config.seed,
+        ))
         user_meters = [shuffle.meters.meter(u) for u in range(n)]
         points.append(
             ComplexityPoint(
@@ -113,6 +114,9 @@ def measure_complexity(
                 ),
             )
         )
+    # Don't leave the largest measured graphs pinned in the scenario
+    # cache after the experiment returns.
+    clear_graph_cache()
     return points
 
 

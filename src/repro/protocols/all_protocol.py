@@ -21,6 +21,10 @@ from repro.protocols.reports import ProtocolResult, Report
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_non_negative_int
 
+#: Valid ``engine=`` choices for the protocol runners (and the Scenario
+#: spec layer, which imports this so the two never drift).
+ENGINES = ("fast", "vectorized", "faithful")
+
 
 def resolve_backend(
     engine: str,
@@ -40,7 +44,7 @@ def resolve_backend(
         backend = "faithful"
     else:
         raise ValidationError(
-            f"unknown engine {engine!r}; use 'fast', 'vectorized', or 'faithful'"
+            f"unknown engine {engine!r}; use one of {ENGINES}"
         )
     if laziness:
         if faults is not None:

@@ -59,6 +59,10 @@ def run_single_protocol(
     ``A_ldp(0)`` — the Figure 9 experiment uses a normalized
     ``N(5, 1)^d`` draw per the paper.
 
+    The final selection consumes the RNG as *one batched draw* over the
+    non-empty holders (in user order), then one draw per dummy in user
+    order — identical across engines for a fixed seed.
+
     Returns
     -------
     ProtocolResult
@@ -79,6 +83,15 @@ def run_single_protocol(
     held_by_user: List[List[Report]] = network.drain_held()
     meters = network.meters
 
+    # Line 9 of Algorithm 2, batched: one vectorized draw selects the
+    # uniform index for every non-empty holder at once (the per-user
+    # ``rng.integers`` loop was the hot spot on million-user sweeps).
+    # Both engines share this path, so seeded runs stay identical across
+    # backends; dummy draws happen after the batch, in user order.
+    nonempty = np.flatnonzero(allocation > 0)
+    picks = np.empty(graph.num_nodes, dtype=np.int64)
+    picks[nonempty] = generator.integers(0, allocation[nonempty])
+
     server_reports: List[Report] = []
     delivered_by = np.arange(graph.num_nodes, dtype=np.int64)
     dummy_count = 0
@@ -88,8 +101,7 @@ def run_single_protocol(
             server_reports.append(_make_dummy(randomizer, dummy_factory, generator))
             dummy_count += 1
         else:
-            chosen = held[int(generator.integers(0, len(held)))]
-            server_reports.append(chosen)
+            server_reports.append(held[picks[user]])
     return ProtocolResult(
         protocol="single",
         num_users=graph.num_nodes,

@@ -1,0 +1,101 @@
+"""Declarative scenarios: network-shuffling workloads as data.
+
+The paper's pipeline — build a graph, pick an ``A_ldp``, exchange for
+``t`` rounds under ``A_all``/``A_single``, account the amplified central
+``(eps, delta)`` — becomes one serializable :class:`Scenario` value and
+one call::
+
+    from repro import Scenario, run
+
+    scenario = Scenario(
+        graph={"kind": "k_regular", "params": {"degree": 8, "num_nodes": 10_000}},
+        mechanism={"kind": "rr", "params": {"epsilon": 1.0}},
+        values={"kind": "bernoulli", "params": {"rate": 0.3}},
+        protocol="all",
+        seed=0,
+    )
+    result = run(scenario)
+    result.central_epsilon        # theorem-backed guarantee
+    result.empirical_epsilon      # Theorem 6.1 on the realized allocation
+    result.payloads()             # what the server received
+
+Scenarios round-trip through JSON (``to_json``/``from_json``), sweep
+over dotted parameter grids (:func:`sweep`), and price deployments
+without simulating (:func:`bound`, :func:`stationary_bound`).  The
+string keys resolve through extensible registries
+(:data:`~repro.scenario.builders.GRAPHS`,
+:data:`~repro.scenario.builders.MECHANISMS`, ...).
+"""
+
+from repro.scenario.builders import (
+    FAULTS,
+    GRAPH_STATS,
+    GRAPHS,
+    MECHANISMS,
+    REGISTRIES,
+    VALUES,
+    GraphStats,
+)
+from repro.scenario.registry import Registration, Registry
+from repro.scenario.runner import (
+    RunResult,
+    SeedStreams,
+    bound,
+    build_faults,
+    build_graph,
+    build_mechanism,
+    build_values,
+    clear_graph_cache,
+    graph_summary,
+    run,
+    seed_streams,
+    stationary_bound,
+)
+from repro.scenario.spec import (
+    ComponentSpec,
+    FaultSpec,
+    GraphSpec,
+    MechanismSpec,
+    Scenario,
+    ValuesSpec,
+)
+from repro.scenario.sweep import (
+    SweepPoint,
+    SweepResult,
+    sweep,
+    sweep_scenarios,
+)
+
+__all__ = [
+    "ComponentSpec",
+    "FaultSpec",
+    "FAULTS",
+    "GraphSpec",
+    "GraphStats",
+    "GRAPH_STATS",
+    "GRAPHS",
+    "MechanismSpec",
+    "MECHANISMS",
+    "REGISTRIES",
+    "Registration",
+    "Registry",
+    "RunResult",
+    "Scenario",
+    "SeedStreams",
+    "SweepPoint",
+    "SweepResult",
+    "VALUES",
+    "ValuesSpec",
+    "bound",
+    "build_faults",
+    "build_graph",
+    "build_mechanism",
+    "build_values",
+    "clear_graph_cache",
+    "graph_summary",
+    "run",
+    "seed_streams",
+    "stationary_bound",
+    "sweep",
+    "sweep_scenarios",
+]

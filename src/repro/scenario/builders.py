@@ -1,0 +1,353 @@
+"""Registered component builders: graphs, mechanisms, faults, values.
+
+Four registries back the Scenario API:
+
+* ``GRAPHS`` — ``builder(rng, **params) -> Graph``;
+* ``MECHANISMS`` — ``builder(**params) -> LocalRandomizer``;
+* ``FAULTS`` — ``builder(**params) -> DropoutModel``;
+* ``VALUES`` — ``builder(rng, num_users, **params) -> list`` of one raw
+  value per user.
+
+Each entry carries *example parameters* producing a small valid
+instance, which the round-trip tests enumerate.  ``GRAPH_STATS`` holds
+optional closed-form graph statistics so accounting-only evaluation
+(:func:`repro.scenario.runner.stationary_bound`) can price a
+million-user deployment without materializing the graph — exactly what
+the Table 1 grid needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.datasets.registry import get_dataset
+from repro.datasets.synthetic import build_dataset
+from repro.exceptions import ValidationError
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.ldp import (
+    BinaryRandomizedResponse,
+    GaussianMechanism,
+    KaryRandomizedResponse,
+    LaplaceMechanism,
+    PrivUnit,
+    UnaryEncoding,
+)
+from repro.netsim.faults import AdversarialDropout, IndependentDropout, NoFaults
+from repro.scenario.registry import Registry
+from repro.utils.validation import check_positive_int
+
+GRAPHS = Registry("graph")
+MECHANISMS = Registry("mechanism")
+FAULTS = Registry("fault model")
+VALUES = Registry("values")
+
+
+# ----------------------------------------------------------------------
+# Graphs
+# ----------------------------------------------------------------------
+@GRAPHS.register("k_regular", example={"degree": 4, "num_nodes": 64})
+def _k_regular(rng: np.random.Generator, *, degree: int = 8, num_nodes: int) -> Graph:
+    """Random k-regular graph — the symmetric-distribution scenario."""
+    return generators.random_regular_graph(degree, num_nodes, rng=rng)
+
+
+@GRAPHS.register("complete", example={"num_nodes": 32})
+def _complete(rng: np.random.Generator, *, num_nodes: int) -> Graph:
+    """Complete graph K_n (mixes in one step)."""
+    return generators.complete_graph(num_nodes)
+
+
+@GRAPHS.register("cycle", example={"num_nodes": 33})
+def _cycle(rng: np.random.Generator, *, num_nodes: int) -> Graph:
+    """Cycle C_n (odd n for ergodicity)."""
+    return generators.cycle_graph(num_nodes)
+
+
+@GRAPHS.register("star", example={"num_leaves": 31})
+def _star(rng: np.random.Generator, *, num_leaves: int) -> Graph:
+    """Hub-and-spokes star — the most irregular connected topology."""
+    return generators.star_graph(num_leaves)
+
+
+@GRAPHS.register("grid", example={"rows": 5, "cols": 5, "periodic": True})
+def _grid(
+    rng: np.random.Generator, *, rows: int, cols: int, periodic: bool = False
+) -> Graph:
+    """2-D grid / torus — the wireless-sensor-network topology."""
+    return generators.grid_graph(rows, cols, periodic=periodic)
+
+
+@GRAPHS.register("erdos_renyi", example={"num_nodes": 64, "edge_probability": 0.2})
+def _erdos_renyi(
+    rng: np.random.Generator, *, num_nodes: int, edge_probability: float
+) -> Graph:
+    """Erdos-Renyi G(n, p)."""
+    return generators.erdos_renyi_graph(num_nodes, edge_probability, rng=rng)
+
+
+@GRAPHS.register("barabasi_albert", example={"num_nodes": 64, "attachment": 3})
+def _barabasi_albert(
+    rng: np.random.Generator, *, num_nodes: int, attachment: int
+) -> Graph:
+    """Barabasi-Albert preferential attachment (heavy-tailed degrees)."""
+    return generators.barabasi_albert_graph(num_nodes, attachment, rng=rng)
+
+
+@GRAPHS.register(
+    "watts_strogatz",
+    example={"num_nodes": 64, "nearest_neighbors": 4, "rewire_probability": 0.2},
+)
+def _watts_strogatz(
+    rng: np.random.Generator,
+    *,
+    num_nodes: int,
+    nearest_neighbors: int,
+    rewire_probability: float,
+) -> Graph:
+    """Connected Watts-Strogatz small-world graph."""
+    return generators.watts_strogatz_graph(
+        num_nodes, nearest_neighbors, rewire_probability, rng=rng
+    )
+
+
+@GRAPHS.register("dataset", example={"name": "deezer", "scale": 0.05})
+def _dataset(
+    rng: np.random.Generator, *, name: str, scale: float | None = None
+) -> Graph:
+    """Calibrated Table 4 stand-in (facebook, twitch, deezer, enron, google)."""
+    seed = int(rng.integers(0, 2**31 - 1))
+    return build_dataset(name, scale=scale, seed=seed).graph
+
+
+# ----------------------------------------------------------------------
+# Closed-form graph statistics (no materialization)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GraphStats:
+    """What accounting-only evaluation needs: ``n`` and ``sum_i pi_i^2``."""
+
+    num_nodes: int
+    stationary_collision: float
+
+    @property
+    def gamma(self) -> float:
+        """Irregularity ``Gamma_G = n sum_i pi_i^2``."""
+        return self.num_nodes * self.stationary_collision
+
+
+#: Closed-form stats exist only for graph configurations that are
+#: (provably, or with overwhelming probability) *ergodic* — the same
+#: precondition ``require_ergodic`` enforces on every materialized
+#: accounting path (Theorem 4.3).  On a non-ergodic graph the walk
+#: never approaches stationarity, so an at-stationarity price would be
+#: unsound; those configurations are refused, never silently priced.
+GRAPH_STATS = Registry("graph statistics")
+
+
+@GRAPH_STATS.register("k_regular", example={"degree": 4, "num_nodes": 64})
+def _k_regular_stats(*, degree: int = 8, num_nodes: int) -> GraphStats:
+    """Regular graph: uniform pi, Gamma = 1.
+
+    Random d-regular graphs with ``d >= 3`` are connected and
+    non-bipartite asymptotically almost surely; ``d <= 2`` realizations
+    (cycle unions) can be neither, so they have no closed form —
+    materialize via ``bound()`` to verify ergodicity instead.
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    if degree < 3:
+        raise ValidationError(
+            f"no closed-form stats for degree-{degree} regular graphs "
+            "(not reliably ergodic); use bound() to materialize and verify"
+        )
+    return GraphStats(num_nodes, 1.0 / num_nodes)
+
+
+@GRAPH_STATS.register("complete", example={"num_nodes": 32})
+def _complete_stats(*, num_nodes: int) -> GraphStats:
+    """K_n, n >= 3 (K_2 is bipartite, K_1 has no edges)."""
+    check_positive_int(num_nodes, "num_nodes")
+    if num_nodes < 3:
+        raise ValidationError(
+            f"K_{num_nodes} is not ergodic; complete-graph stats need n >= 3"
+        )
+    return GraphStats(num_nodes, 1.0 / num_nodes)
+
+
+@GRAPH_STATS.register("cycle", example={"num_nodes": 33})
+def _cycle_stats(*, num_nodes: int) -> GraphStats:
+    """Odd cycle (even cycles are bipartite, hence non-ergodic)."""
+    check_positive_int(num_nodes, "num_nodes")
+    if num_nodes < 3 or num_nodes % 2 == 0:
+        raise ValidationError(
+            f"C_{num_nodes} is not ergodic; cycle stats need odd n >= 3"
+        )
+    return GraphStats(num_nodes, 1.0 / num_nodes)
+
+
+@GRAPH_STATS.register("grid", example={"rows": 5, "cols": 5, "periodic": True})
+def _grid_stats(*, rows: int, cols: int, periodic: bool = False) -> GraphStats:
+    """Full torus with at least one odd side: 4-regular, uniform pi.
+
+    Open grids are bipartite, and an even x even torus is too (both
+    wrap cycles even); neither is ergodic, so neither has a closed
+    form.
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    if not (periodic and rows > 2 and cols > 2):
+        raise ValidationError(
+            "grid stats require a full torus (periodic, both sides > 2); "
+            "open grids are bipartite and not ergodic"
+        )
+    if rows % 2 == 0 and cols % 2 == 0:
+        raise ValidationError(
+            f"{rows}x{cols} torus is bipartite (both sides even), not ergodic"
+        )
+    n = rows * cols
+    return GraphStats(n, 1.0 / n)
+
+
+@GRAPH_STATS.register("dataset", example={"name": "twitch"})
+def _dataset_stats(*, name: str, scale: float | None = None) -> GraphStats:
+    """Published (n, Gamma_G) of the Table 4 dataset at ``scale``."""
+    spec = get_dataset(name)
+    n = spec.scaled_nodes(spec.default_scale if scale is None else scale)
+    return GraphStats(n, spec.gamma / n)
+
+
+# ----------------------------------------------------------------------
+# LDP mechanisms
+# ----------------------------------------------------------------------
+@MECHANISMS.register("rr", example={"epsilon": 1.0})
+def _rr(*, epsilon: float) -> BinaryRandomizedResponse:
+    """Binary randomized response."""
+    return BinaryRandomizedResponse(epsilon)
+
+
+@MECHANISMS.register("kary_rr", example={"epsilon": 1.0, "num_symbols": 5})
+def _kary_rr(*, epsilon: float, num_symbols: int) -> KaryRandomizedResponse:
+    """k-ary randomized response."""
+    return KaryRandomizedResponse(epsilon, num_symbols)
+
+
+@MECHANISMS.register("laplace", example={"epsilon": 1.0})
+def _laplace(
+    *, epsilon: float, lower: float = 0.0, upper: float = 1.0
+) -> LaplaceMechanism:
+    """Laplace mechanism on a bounded interval."""
+    return LaplaceMechanism(epsilon, lower, upper)
+
+
+@MECHANISMS.register("gaussian", example={"epsilon": 1.0, "delta": 1e-8})
+def _gaussian(
+    *, epsilon: float, delta: float, lower: float = 0.0, upper: float = 1.0
+) -> GaussianMechanism:
+    """Gaussian mechanism ((eps0, delta0)-LDP)."""
+    return GaussianMechanism(epsilon, delta, lower, upper)
+
+
+@MECHANISMS.register("unary", example={"epsilon": 1.0, "num_symbols": 5})
+def _unary(*, epsilon: float, num_symbols: int) -> UnaryEncoding:
+    """Unary encoding (RAPPOR-style histogram randomizer)."""
+    return UnaryEncoding(epsilon, num_symbols)
+
+
+@MECHANISMS.register("privunit", example={"epsilon": 2.0, "dimension": 8})
+def _privunit(
+    *, epsilon: float, dimension: int, budget_split: float = 0.5
+) -> PrivUnit:
+    """PrivUnit unit-vector randomizer (Figure 9)."""
+    return PrivUnit(epsilon, dimension, budget_split=budget_split)
+
+
+# ----------------------------------------------------------------------
+# Fault models
+# ----------------------------------------------------------------------
+@FAULTS.register("none", example={})
+def _no_faults() -> NoFaults:
+    """Every user online every round."""
+    return NoFaults()
+
+
+@FAULTS.register("independent", example={"probability": 0.2})
+def _independent(*, probability: float) -> IndependentDropout:
+    """Independent per-round dropout (lazy-walk fault model)."""
+    return IndependentDropout(probability)
+
+
+@FAULTS.register("adversarial", example={"offline_users": [0, 1]})
+def _adversarial(*, offline_users: List[int]) -> AdversarialDropout:
+    """A fixed set of users permanently offline."""
+    return AdversarialDropout(np.asarray(offline_users, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Workload values
+# ----------------------------------------------------------------------
+@VALUES.register("zeros", example={})
+def _zeros(rng: np.random.Generator, num_users: int) -> List[int]:
+    """Every user holds 0 (privacy-only payloads)."""
+    return [0] * num_users
+
+
+@VALUES.register("constant", example={"value": 1})
+def _constant(rng: np.random.Generator, num_users: int, *, value: Any) -> List[Any]:
+    """Every user holds the same value."""
+    return [value] * num_users
+
+
+@VALUES.register("bernoulli", example={"rate": 0.3})
+def _bernoulli(
+    rng: np.random.Generator, num_users: int, *, rate: float
+) -> List[int]:
+    """One {0, 1} bit per user, i.i.d. with P(1) = rate."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValidationError(f"rate must lie in [0, 1], got {rate}")
+    return (rng.random(num_users) < rate).astype(int).tolist()
+
+
+@VALUES.register("choice", example={"num_options": 5})
+def _choice(
+    rng: np.random.Generator,
+    num_users: int,
+    *,
+    num_options: int,
+    probabilities: List[float] | None = None,
+) -> List[int]:
+    """One symbol in [0, num_options) per user (uniform or weighted)."""
+    check_positive_int(num_options, "num_options")
+    if probabilities is not None and len(probabilities) != num_options:
+        raise ValidationError(
+            f"need {num_options} probabilities, got {len(probabilities)}"
+        )
+    return rng.choice(num_options, size=num_users, p=probabilities).tolist()
+
+
+@VALUES.register("normal", example={"mean": 0.5, "std": 0.1})
+def _normal(
+    rng: np.random.Generator,
+    num_users: int,
+    *,
+    mean: float,
+    std: float,
+    lower: float | None = None,
+    upper: float | None = None,
+) -> List[float]:
+    """One N(mean, std) draw per user, optionally clipped to [lower, upper]."""
+    draws = rng.normal(mean, std, num_users)
+    if lower is not None or upper is not None:
+        draws = np.clip(draws, lower, upper)
+    return draws.tolist()
+
+
+#: All registries by scenario field name, for introspection/CLI listings.
+REGISTRIES: Dict[str, Registry] = {
+    "graph": GRAPHS,
+    "mechanism": MECHANISMS,
+    "faults": FAULTS,
+    "values": VALUES,
+}

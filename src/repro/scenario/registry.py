@@ -1,0 +1,94 @@
+"""String-keyed component registries behind the declarative Scenario API.
+
+A :class:`Registry` maps a short string key (``"k_regular"``,
+``"laplace"``, ...) to a builder callable plus a set of *example
+parameters* that produce a small but valid instance.  The examples make
+the registries self-describing: the round-trip tests enumerate every
+registered graph x mechanism combination without hand-maintaining a
+parallel list, and ``python -m repro run`` can print what it knows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.exceptions import ValidationError
+
+
+@dataclass(frozen=True)
+class Registration:
+    """One registered component: its builder and example parameters."""
+
+    kind: str
+    builder: Callable[..., Any]
+    example: Mapping[str, Any] = field(default_factory=dict)
+    doc: str = ""
+
+
+class Registry:
+    """A named mapping from string keys to component builders."""
+
+    def __init__(self, label: str):
+        self.label = label
+        self._entries: Dict[str, Registration] = {}
+
+    def register(
+        self,
+        kind: str,
+        *,
+        example: Optional[Mapping[str, Any]] = None,
+        doc: str = "",
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator registering ``kind`` -> the decorated builder."""
+
+        def decorate(builder: Callable[..., Any]) -> Callable[..., Any]:
+            if kind in self._entries:
+                raise ValidationError(
+                    f"{self.label} registry already has a {kind!r} entry"
+                )
+            doc_line = doc or next(
+                iter((builder.__doc__ or "").strip().splitlines()), ""
+            )
+            self._entries[kind] = Registration(
+                kind=kind,
+                builder=builder,
+                example=dict(example or {}),
+                doc=doc_line,
+            )
+            return builder
+
+        return decorate
+
+    def get(self, kind: str) -> Registration:
+        """Look up a registration, raising with the known keys on a miss."""
+        if kind not in self._entries:
+            known = ", ".join(sorted(self._entries))
+            raise ValidationError(
+                f"unknown {self.label} kind {kind!r}; known: {known}"
+            )
+        return self._entries[kind]
+
+    def build(self, kind: str, /, *args: Any, **params: Any) -> Any:
+        """Instantiate the ``kind`` component with ``params``."""
+        registration = self.get(kind)
+        try:
+            return registration.builder(*args, **params)
+        except TypeError as error:
+            raise ValidationError(
+                f"bad parameters for {self.label} {kind!r}: {error}"
+            ) from error
+
+    def example(self, kind: str) -> Dict[str, Any]:
+        """A copy of the registered example parameters for ``kind``."""
+        return dict(self.get(kind).example)
+
+    def available(self) -> List[str]:
+        """Sorted registered keys."""
+        return sorted(self._entries)
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

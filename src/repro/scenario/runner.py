@@ -1,0 +1,486 @@
+"""Execute scenarios: ``run`` (simulate + account) and ``bound`` (account).
+
+``run(scenario)`` is the one entry point the experiments, examples, and
+CLI share: it materializes the graph, builds the mechanism and workload,
+executes Algorithm 1/2 on the chosen engine, and evaluates the matching
+amplification theorem — returning everything in a :class:`RunResult` so
+privacy accounting is no longer a separate manual step.
+
+Determinism contract
+--------------------
+``scenario.seed`` is a master seed.  :func:`seed_streams` derives three
+independent child generators with the SeedSequence spawning protocol —
+``graph``, ``values``, ``protocol`` in that order — and ``run`` consumes
+them in exactly that way.  A hand-wired pipeline that draws its
+generators from the same helper reproduces a ``run`` bit for bit, on
+either engine; the scenario tests assert this.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.amplification.network_shuffle import (
+    NetworkShuffleBound,
+    epsilon_all_stationary,
+    epsilon_all_symmetric,
+    epsilon_from_report_sizes,
+    epsilon_single_stationary,
+    epsilon_single_symmetric,
+)
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+from repro.graphs.spectral import SpectralSummary, spectral_summary
+from repro.graphs.walks import evolve_distribution, position_distribution
+from repro.ldp.base import LocalRandomizer
+from repro.netsim.faults import DropoutModel, NoFaults
+from repro.protocols.all_protocol import run_all_protocol
+from repro.protocols.reports import ProtocolResult
+from repro.protocols.single_protocol import run_single_protocol
+from repro.scenario.builders import FAULTS, GRAPH_STATS, GRAPHS, MECHANISMS, VALUES
+from repro.scenario.spec import GraphSpec, Scenario
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class SeedStreams:
+    """The three child generators derived from a scenario seed."""
+
+    graph: np.random.Generator
+    values: np.random.Generator
+    protocol: np.random.Generator
+
+
+def seed_streams(seed: int) -> SeedStreams:
+    """Derive the (graph, values, protocol) generators from ``seed``.
+
+    This is the public determinism contract: hand-wired pipelines that
+    want to reproduce ``run(scenario)`` exactly should draw their
+    generators from here.
+    """
+    graph_rng, values_rng, protocol_rng = spawn_rngs(int(seed), 3)
+    return SeedStreams(graph=graph_rng, values=values_rng, protocol=protocol_rng)
+
+
+# ----------------------------------------------------------------------
+# Graph materialization (cached across a sweep)
+# ----------------------------------------------------------------------
+class _GraphBundle:
+    """A materialized graph plus its lazily computed spectral summary."""
+
+    def __init__(self, graph: Graph):
+        self.graph = graph
+        self._summary: Optional[SpectralSummary] = None
+        # Per-laziness walk cache: laziness -> (steps, distribution).
+        # Ascending `rounds` sweeps evolve incrementally (O(T) total
+        # mat-vecs instead of O(T^2)); chained evolution applies the
+        # same matrix-vector sequence as a from-scratch walk, so the
+        # result is bit-identical.
+        self._walks: Dict[float, tuple] = {}
+
+    @property
+    def summary(self) -> SpectralSummary:
+        if self._summary is None:
+            self._summary = spectral_summary(self.graph)
+        return self._summary
+
+    def walk_distribution(self, steps: int, laziness: float) -> np.ndarray:
+        """Exact ``P(t)`` from node 0, memoized per laziness.
+
+        The cache keeps the *longest* walk computed so far, so a
+        descending-rounds request recomputes from scratch without
+        downgrading the cache for later, longer requests.
+        """
+        key = float(laziness)
+        cached = self._walks.get(key)
+        if cached is not None and cached[0] <= steps:
+            done, distribution = cached
+            distribution = evolve_distribution(
+                self.graph, distribution, steps - done, laziness=laziness
+            )
+        else:
+            distribution = position_distribution(
+                self.graph, 0, steps, laziness=laziness
+            )
+        if cached is None or steps >= cached[0]:
+            self._walks[key] = (steps, distribution)
+        return distribution
+
+
+# Count-based cache: 8 bundles covers typical sweeps (axes other than
+# the graph share one bundle) while bounding how many materialized
+# graphs stay resident; call clear_graph_cache() after a large-n sweep.
+@lru_cache(maxsize=8)
+def _cached_bundle(graph_key: str, seed: int) -> _GraphBundle:
+    spec = GraphSpec.coerce(json.loads(graph_key))
+    graph = GRAPHS.build(spec.kind, seed_streams(seed).graph, **spec.params)
+    return _GraphBundle(graph)
+
+
+def _bundle_for(scenario: Scenario) -> _GraphBundle:
+    key = json.dumps(scenario.graph.to_dict(), sort_keys=True)
+    return _cached_bundle(key, scenario.seed)
+
+
+def build_graph(scenario: Scenario) -> Graph:
+    """Materialize the scenario's graph (memoized per spec + seed)."""
+    return _bundle_for(scenario).graph
+
+
+def graph_summary(scenario: Scenario) -> SpectralSummary:
+    """Spectral summary of the scenario's graph (memoized alongside it)."""
+    return _bundle_for(scenario).summary
+
+
+def clear_graph_cache() -> None:
+    """Drop memoized graphs (tests, or after registering new builders)."""
+    _cached_bundle.cache_clear()
+
+
+# ----------------------------------------------------------------------
+# Accounting
+# ----------------------------------------------------------------------
+def _resolve_epsilon0(
+    scenario: Scenario, mechanism: Optional[LocalRandomizer]
+) -> Optional[float]:
+    """The local budget accounting should use, or None when unknown."""
+    if mechanism is not None:
+        if (
+            scenario.epsilon0 is not None
+            and abs(mechanism.epsilon - scenario.epsilon0) > 1e-12
+        ):
+            raise ValidationError(
+                f"mechanism epsilon ({mechanism.epsilon}) != scenario "
+                f"epsilon0 ({scenario.epsilon0})"
+            )
+        return mechanism.epsilon
+    return scenario.epsilon0
+
+
+def _theorem_bound(
+    scenario: Scenario,
+    epsilon0: float,
+    n: int,
+    *,
+    sum_squared: Optional[float] = None,
+    distribution: Optional[np.ndarray] = None,
+    delta0: float = 0.0,
+) -> NetworkShuffleBound:
+    """Dispatch to the theorem matching (protocol, analysis)."""
+    all_kwargs: Dict[str, Any] = {}
+    single_kwargs: Dict[str, Any] = {}
+    if delta0 > 0.0:
+        all_kwargs["delta0"] = delta0
+        # The single-protocol theorems only consume delta2 on the
+        # approximate-DP path; forward it there so the scenario's
+        # accounting knobs always take effect.
+        single_kwargs["delta0"] = delta0
+        single_kwargs["delta2"] = scenario.delta2
+    if distribution is not None:
+        if scenario.protocol == "all":
+            return epsilon_all_symmetric(
+                epsilon0, n, distribution, scenario.delta, scenario.delta2,
+                **all_kwargs,
+            )
+        return epsilon_single_symmetric(
+            epsilon0, n, distribution, scenario.delta, **single_kwargs
+        )
+    if scenario.protocol == "all":
+        return epsilon_all_stationary(
+            epsilon0, n, sum_squared, scenario.delta, scenario.delta2,
+            **all_kwargs,
+        )
+    return epsilon_single_stationary(
+        epsilon0, n, sum_squared, scenario.delta, **single_kwargs
+    )
+
+
+def _mechanism_delta0(mechanism: Optional[LocalRandomizer]) -> float:
+    if mechanism is None:
+        return 0.0
+    return getattr(mechanism, "delta", 0.0) or 0.0
+
+
+def _accounting_laziness(scenario: Scenario) -> float:
+    """The lazy-walk probability privacy accounting must assume.
+
+    ``laziness`` maps directly; a ``faults`` spec maps when the built
+    model has a lazy-walk equivalent (Section 4.5): ``NoFaults`` is the
+    healthy walk, and any model exposing a ``dropout_probability``
+    attribute (``IndependentDropout``, or a custom registration that
+    declares its per-round i.i.d. offline probability the same way) IS
+    the lazy walk with that probability.  Models without one — e.g.
+    ``adversarial`` — have no closed-form walk equivalent, so accounting
+    refuses rather than report an unsound epsilon.
+    """
+    if scenario.faults is None:
+        return scenario.laziness
+    model = build_faults(scenario)
+    if isinstance(model, NoFaults):
+        return 0.0
+    probability = getattr(model, "dropout_probability", None)
+    if probability is not None:
+        return float(probability)
+    raise ValidationError(
+        f"cannot account a scenario with fault model "
+        f"{scenario.faults.kind!r}: it has no "
+        "lazy-walk equivalent (no dropout_probability). Run it "
+        "simulation-only (no mechanism / epsilon0) and account separately."
+    )
+
+
+def _require_regular(graph: Graph) -> None:
+    """Symmetric analysis assumes vertex transitivity: every user's walk
+    distribution is a relabeling of node 0's.  On an irregular graph the
+    node-0 bound would not hold for all users, so refuse."""
+    if not graph.is_regular():
+        raise ValidationError(
+            "analysis='symmetric' (Theorems 5.4/5.6) requires a k-regular "
+            "graph; use analysis='stationary' for irregular topologies"
+        )
+
+
+def _lazy_sum_squared(summary: SpectralSummary, steps: int, laziness: float) -> float:
+    """Equation 7 collision bound, adjusted for a lazy walk.
+
+    The lazy chain ``p I + (1 - p) M`` keeps the stationary
+    distribution but shrinks the spectral gap; ``(1 - p) alpha`` lower-
+    bounds the lazy gap for both eigenvalue edges, so using it in the
+    ``(1 - alpha)^{2t}`` decay is conservative (never understates eps).
+    """
+    if laziness == 0.0:
+        return summary.sum_squared_bound(steps)
+    lazy_gap = (1.0 - laziness) * summary.spectral_gap
+    return min(
+        1.0,
+        summary.stationary_collision + (1.0 - lazy_gap) ** (2 * steps),
+    )
+
+
+def bound(scenario: Scenario, *, rounds: Optional[int] = None) -> NetworkShuffleBound:
+    """The central-DP guarantee of ``scenario`` — no simulation.
+
+    ``analysis="stationary"`` evaluates the Equation 7 collision bound
+    at ``rounds``; ``analysis="symmetric"`` tracks the exact per-user
+    position distribution (with the scenario's laziness, Section 4.5).
+    ``rounds`` overrides the scenario's (resolved) round count.
+    """
+    bundle = _bundle_for(scenario)
+    mechanism = build_mechanism(scenario)
+    epsilon0 = _resolve_epsilon0(scenario, mechanism)
+    if epsilon0 is None:
+        raise ValidationError(
+            "accounting requires a mechanism or an explicit epsilon0"
+        )
+    n = bundle.graph.num_nodes
+    steps = rounds if rounds is not None else scenario.rounds
+    if steps is None:
+        steps = bundle.summary.mixing_time
+    delta0 = _mechanism_delta0(mechanism)
+    laziness = _accounting_laziness(scenario)
+    if scenario.analysis == "symmetric":
+        _require_regular(bundle.graph)
+        distribution = bundle.walk_distribution(steps, laziness)
+        return _theorem_bound(
+            scenario, epsilon0, n, distribution=distribution, delta0=delta0
+        )
+    sum_squared = _lazy_sum_squared(bundle.summary, steps, laziness)
+    return _theorem_bound(
+        scenario, epsilon0, n, sum_squared=sum_squared, delta0=delta0
+    )
+
+
+def stationary_bound(scenario: Scenario) -> NetworkShuffleBound:
+    """Closed-form guarantee *at stationarity* without building the graph.
+
+    Uses the ``GRAPH_STATS`` registry (``sum_i P_i^2 -> sum_i pi_i^2 =
+    Gamma_G / n``) when the graph kind has a closed form, falling back
+    to materializing the graph otherwise.  This is what grid evaluations
+    over million-user populations (Table 1, planning) call.
+    """
+    mechanism = build_mechanism(scenario)
+    epsilon0 = _resolve_epsilon0(scenario, mechanism)
+    if epsilon0 is None:
+        raise ValidationError(
+            "accounting requires a mechanism or an explicit epsilon0"
+        )
+    # Refuse unaccountable fault models, like bound()/run() do.  The
+    # returned laziness itself is irrelevant here: a lazy walk keeps the
+    # stationary distribution, so the at-stationarity price is unchanged.
+    _accounting_laziness(scenario)
+    kind = scenario.graph.kind
+    if kind in GRAPH_STATS:
+        stats = GRAPH_STATS.build(kind, **scenario.graph.params)
+        n, collision = stats.num_nodes, stats.stationary_collision
+    else:
+        bundle = _bundle_for(scenario)
+        n = bundle.graph.num_nodes
+        collision = bundle.summary.stationary_collision
+    return _theorem_bound(
+        scenario,
+        epsilon0,
+        n,
+        sum_squared=collision,
+        delta0=_mechanism_delta0(mechanism),
+    )
+
+
+# ----------------------------------------------------------------------
+# Component construction
+# ----------------------------------------------------------------------
+def build_mechanism(scenario: Scenario) -> Optional[LocalRandomizer]:
+    """Instantiate the scenario's ``A_ldp`` (or None)."""
+    if scenario.mechanism is None:
+        return None
+    return MECHANISMS.build(scenario.mechanism.kind, **scenario.mechanism.params)
+
+
+def build_faults(scenario: Scenario) -> Optional[DropoutModel]:
+    """Instantiate the scenario's fault model (or None)."""
+    if scenario.faults is None:
+        return None
+    return FAULTS.build(scenario.faults.kind, **scenario.faults.params)
+
+
+def build_values(
+    scenario: Scenario, num_users: int, rng: np.random.Generator
+) -> Optional[List[Any]]:
+    """Materialize one raw value per user from the values spec (or None)."""
+    if scenario.values is None:
+        return None
+    return VALUES.build(
+        scenario.values.kind, rng, num_users, **scenario.values.params
+    )
+
+
+# ----------------------------------------------------------------------
+# RunResult + run
+# ----------------------------------------------------------------------
+@dataclass
+class RunResult:
+    """Everything one scenario execution produced.
+
+    Bundles the protocol simulation (reports, allocation, meters), the
+    theorem-backed central guarantee, and — for ``A_all`` with a pure-DP
+    mechanism — the Theorem 6.1 empirical epsilon of the realized
+    allocation: the three things every call site used to assemble by
+    hand.  ``empirical_epsilon`` is ``None`` for ``A_single`` (its
+    adversary never observes the allocation, so the closed-form bound
+    is the guarantee) and for approximate-DP mechanisms.
+    """
+
+    scenario: Scenario
+    graph: Graph
+    rounds: int
+    mechanism: Optional[LocalRandomizer]
+    values: Optional[List[Any]]
+    protocol_result: ProtocolResult
+    bound: Optional[NetworkShuffleBound]
+    empirical_epsilon: Optional[float]
+    elapsed_seconds: float
+
+    @property
+    def central_epsilon(self) -> Optional[float]:
+        """Amplified central epsilon (None when no budget was declared)."""
+        return None if self.bound is None else self.bound.epsilon
+
+    @property
+    def meters(self):
+        """The network's traffic/memory meter board."""
+        return self.protocol_result.meters
+
+    def payloads(self, include_dummies: bool = True) -> List[Any]:
+        """Payloads delivered to the server."""
+        return self.protocol_result.payloads(include_dummies)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able digest for reporting/CLI output."""
+        result = self.protocol_result
+        digest: Dict[str, Any] = {
+            "protocol": result.protocol,
+            "engine": self.scenario.engine,
+            "num_users": result.num_users,
+            "rounds": self.rounds,
+            "dummy_count": result.dummy_count,
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+        }
+        if self.bound is not None:
+            digest.update(
+                central_epsilon=self.bound.epsilon,
+                central_delta=self.bound.delta,
+                theorem=self.bound.theorem,
+                epsilon0=self.bound.epsilon0,
+            )
+        if self.empirical_epsilon is not None:
+            digest["empirical_epsilon"] = self.empirical_epsilon
+        if result.meters is not None:
+            digest["total_messages_sent"] = int(result.meters.total_messages_sent())
+            digest["max_peak_items"] = int(result.meters.max_peak_items())
+        return digest
+
+
+def run(scenario: Scenario) -> RunResult:
+    """Execute ``scenario`` end to end: build, exchange, deliver, account."""
+    started = time.perf_counter()
+    streams = seed_streams(scenario.seed)
+    bundle = _bundle_for(scenario)
+    graph = bundle.graph
+    rounds = scenario.rounds
+    if rounds is None:
+        rounds = bundle.summary.mixing_time
+    mechanism = build_mechanism(scenario)
+    # Resolve the budget (and any mechanism/epsilon0 mismatch,
+    # unaccountable fault model, or symmetric-on-irregular-graph
+    # misuse) before paying for the simulation.
+    epsilon0 = _resolve_epsilon0(scenario, mechanism)
+    if epsilon0 is not None:
+        _accounting_laziness(scenario)
+        if scenario.analysis == "symmetric":
+            _require_regular(graph)
+    faults = build_faults(scenario)
+    values = build_values(scenario, graph.num_nodes, streams.values)
+
+    protocol_kwargs: Dict[str, Any] = dict(
+        values=values,
+        randomizer=mechanism,
+        engine=scenario.engine,
+        faults=faults,
+        laziness=scenario.laziness,
+        rng=streams.protocol,
+    )
+    if scenario.protocol == "all":
+        protocol_result = run_all_protocol(graph, rounds, **protocol_kwargs)
+    else:
+        protocol_result = run_single_protocol(graph, rounds, **protocol_kwargs)
+
+    run_bound: Optional[NetworkShuffleBound] = None
+    empirical: Optional[float] = None
+    if epsilon0 is not None:
+        # Same dispatch as a standalone accounting call, at the
+        # resolved round count (the graph bundle is memoized, the
+        # mechanism rebuild is cheap).
+        run_bound = bound(scenario, rounds=rounds)
+        # Theorem 6.1 accounts the A_all adversary, who observes the
+        # realized allocation; A_single hides it (that is the protocol's
+        # point), so its guarantee stays the closed-form bound only.
+        if scenario.protocol == "all" and _mechanism_delta0(mechanism) == 0.0:
+            empirical = epsilon_from_report_sizes(
+                epsilon0, protocol_result.allocation, scenario.delta
+            )
+    return RunResult(
+        scenario=scenario,
+        graph=graph,
+        rounds=rounds,
+        mechanism=mechanism,
+        values=values,
+        protocol_result=protocol_result,
+        bound=run_bound,
+        empirical_epsilon=empirical,
+        elapsed_seconds=time.perf_counter() - started,
+    )

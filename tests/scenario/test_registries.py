@@ -1,0 +1,167 @@
+"""Registry behavior: examples build, unknown keys fail loudly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.graphs.graph import Graph
+from repro.ldp.base import LocalRandomizer
+from repro.netsim.faults import DropoutModel
+from repro.scenario import (
+    FAULTS,
+    GRAPH_STATS,
+    GRAPHS,
+    MECHANISMS,
+    VALUES,
+    GraphSpec,
+    Registry,
+    Scenario,
+    run,
+    stationary_bound,
+)
+
+
+class TestUnknownKeys:
+    def test_unknown_graph_kind_lists_known(self):
+        with pytest.raises(ValidationError, match="unknown graph kind 'moebius'"):
+            GRAPHS.build("moebius", np.random.default_rng(0))
+
+    def test_error_names_known_keys(self):
+        with pytest.raises(ValidationError, match="k_regular"):
+            GRAPHS.build("moebius", np.random.default_rng(0))
+
+    def test_unknown_mechanism_at_run_time(self):
+        scenario = Scenario(graph="complete", mechanism="quantum_rr")
+        scenario = scenario.updated(**{"graph.num_nodes": 16})
+        with pytest.raises(ValidationError, match="unknown mechanism kind"):
+            run(scenario)
+
+    def test_unknown_graph_at_run_time(self):
+        scenario = Scenario(graph="moebius", epsilon0=1.0)
+        with pytest.raises(ValidationError, match="unknown graph kind"):
+            run(scenario)
+
+    def test_bad_params_mention_component(self):
+        with pytest.raises(ValidationError, match="bad parameters for graph"):
+            GRAPHS.build("complete", np.random.default_rng(0), sides=3)
+
+    def test_whitespace_docstring_tolerated(self):
+        registry = Registry("demo")
+
+        @registry.register("blank")
+        def _blank():
+            """   """
+
+        assert registry.get("blank").doc == ""
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("demo")
+
+        @registry.register("thing")
+        def _build():
+            return 1
+
+        with pytest.raises(ValidationError, match="already has"):
+            @registry.register("thing")
+            def _again():
+                return 2
+
+
+class TestExamplesBuild:
+    @pytest.mark.parametrize("kind", GRAPHS.available())
+    def test_every_graph_example_builds(self, kind):
+        graph = GRAPHS.build(kind, np.random.default_rng(0), **GRAPHS.example(kind))
+        assert isinstance(graph, Graph)
+        assert graph.num_nodes > 0
+
+    @pytest.mark.parametrize("kind", MECHANISMS.available())
+    def test_every_mechanism_example_builds(self, kind):
+        mechanism = MECHANISMS.build(kind, **MECHANISMS.example(kind))
+        assert isinstance(mechanism, LocalRandomizer)
+        assert mechanism.epsilon > 0
+
+    @pytest.mark.parametrize("kind", FAULTS.available())
+    def test_every_fault_example_builds(self, kind):
+        faults = FAULTS.build(kind, **FAULTS.example(kind))
+        assert isinstance(faults, DropoutModel)
+        mask = faults.offline_mask(10, 0, np.random.default_rng(0))
+        assert mask.shape == (10,)
+
+    @pytest.mark.parametrize("kind", VALUES.available())
+    def test_every_values_example_builds(self, kind):
+        values = VALUES.build(
+            kind, np.random.default_rng(0), 20, **VALUES.example(kind)
+        )
+        assert len(values) == 20
+
+
+class TestGraphStats:
+    def test_k_regular_collision_is_uniform(self):
+        stats = GRAPH_STATS.build("k_regular", degree=8, num_nodes=1000)
+        assert stats.num_nodes == 1000
+        assert stats.stationary_collision == pytest.approx(1e-3)
+        assert stats.gamma == pytest.approx(1.0)
+
+    def test_dataset_stats_use_published_gamma(self):
+        stats = GRAPH_STATS.build("dataset", name="twitch")
+        assert stats.num_nodes == 9_498
+        assert stats.gamma == pytest.approx(7.5840)
+
+    def test_stationary_bound_matches_materialized_collision(self):
+        """Closed form == materialized stationary collision (complete graph)."""
+        scenario = Scenario(
+            graph=GraphSpec.of("complete", num_nodes=32), epsilon0=1.0
+        )
+        from repro.scenario import bound
+
+        closed = stationary_bound(scenario)
+        materialized = bound(scenario, rounds=10_000)
+        assert closed.epsilon == pytest.approx(materialized.epsilon, rel=1e-9)
+
+    def test_grid_stats_match_materialized_torus(self):
+        """The torus closed form equals the built graph's stationary
+        collision (uniform pi on the 4-regular torus)."""
+        from repro.graphs.generators import grid_graph
+        from repro.graphs.spectral import stationary_distribution
+
+        for rows, cols in [(5, 5), (5, 6)]:
+            stats = GRAPH_STATS.build("grid", rows=rows, cols=cols, periodic=True)
+            pi = stationary_distribution(grid_graph(rows, cols, periodic=True))
+            assert stats.stationary_collision == pytest.approx(
+                float(np.dot(pi, pi)), rel=1e-12
+            ), (rows, cols)
+            assert stats.num_nodes == rows * cols
+
+    def test_stats_refuse_non_ergodic_configurations(self):
+        """Closed forms exist only where the walk actually converges —
+        the same Theorem 4.3 precondition the materialized paths check."""
+        with pytest.raises(ValidationError, match="bipartite|ergodic"):
+            GRAPH_STATS.build("grid", rows=4, cols=6, periodic=False)
+        with pytest.raises(ValidationError, match="bipartite|ergodic"):
+            GRAPH_STATS.build("grid", rows=4, cols=6, periodic=True)
+        with pytest.raises(ValidationError, match="ergodic"):
+            GRAPH_STATS.build("cycle", num_nodes=10)
+        with pytest.raises(ValidationError, match="ergodic"):
+            GRAPH_STATS.build("complete", num_nodes=2)
+        with pytest.raises(ValidationError, match="ergodic"):
+            GRAPH_STATS.build("k_regular", degree=2, num_nodes=10)
+        assert "star" not in GRAPH_STATS  # always bipartite
+
+    def test_stationary_bound_refuses_bipartite_closed_form(self):
+        """The closed-form branch must not price what bound() refuses."""
+        scenario = Scenario(
+            graph=GraphSpec.of("grid", rows=4, cols=4, periodic=False),
+            epsilon0=1.0,
+        )
+        with pytest.raises(ValidationError, match="bipartite|ergodic"):
+            stationary_bound(scenario)
+
+    def test_stationary_bound_falls_back_to_materializing(self):
+        scenario = Scenario(
+            graph=GraphSpec.of("erdos_renyi", num_nodes=64, edge_probability=0.3),
+            epsilon0=1.0,
+            seed=5,
+        )
+        assert stationary_bound(scenario).epsilon > 0

@@ -1,0 +1,160 @@
+"""Scenario spec: construction, validation, and serialization round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenario import (
+    GRAPHS,
+    MECHANISMS,
+    ComponentSpec,
+    FaultSpec,
+    GraphSpec,
+    MechanismSpec,
+    Scenario,
+    ValuesSpec,
+)
+
+
+def _base(**overrides):
+    kwargs = dict(
+        graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+        mechanism=MechanismSpec.of("rr", epsilon=1.0),
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+class TestConstruction:
+    def test_coerces_string_and_dict_specs(self):
+        scenario = Scenario(
+            graph="complete",
+            mechanism={"kind": "rr", "params": {"epsilon": 2.0}},
+        )
+        assert scenario.graph == GraphSpec.of("complete")
+        assert scenario.mechanism == MechanismSpec.of("rr", epsilon=2.0)
+
+    def test_rejects_bad_protocol_engine_analysis(self):
+        with pytest.raises(ValidationError, match="protocol"):
+            _base(protocol="both")
+        with pytest.raises(ValidationError, match="engine"):
+            _base(engine="warp")
+        with pytest.raises(ValidationError, match="analysis"):
+            _base(analysis="exact")
+
+    def test_rejects_negative_rounds(self):
+        with pytest.raises(ValidationError, match="rounds"):
+            _base(rounds=-1)
+
+    def test_rejects_negative_seed(self):
+        with pytest.raises(ValidationError, match="seed"):
+            _base(seed=-1)
+
+    @pytest.mark.parametrize("field", ["rounds", "laziness", "epsilon0",
+                                       "delta", "delta2", "seed"])
+    def test_wrong_typed_numbers_raise_validation_error(self, field):
+        with pytest.raises(ValidationError, match=field):
+            _base(**{field: "abc"})
+
+    def test_non_integral_rounds_rejected_not_truncated(self):
+        with pytest.raises(ValidationError, match="rounds"):
+            _base(rounds=4.7)
+        assert _base(rounds=4.0).rounds == 4
+
+    def test_rejects_faults_plus_laziness(self):
+        with pytest.raises(ValidationError, match="faults or laziness"):
+            _base(laziness=0.2, faults=FaultSpec.of("independent", probability=0.1))
+
+    def test_params_canonicalized(self):
+        spec = GraphSpec.of("grid", dims=(5, 5))
+        assert spec.params == {"dims": [5, 5]}
+        with pytest.raises(ValidationError, match="JSON-serializable"):
+            GraphSpec.of("grid", shape=object())
+
+    def test_non_finite_params_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(ValidationError, match="finite"):
+                GraphSpec.of("grid", weight=bad)
+
+    def test_frozen(self):
+        scenario = _base()
+        with pytest.raises(Exception):
+            scenario.protocol = "single"  # type: ignore[misc]
+
+    def test_hashable(self):
+        assert len({_base(), _base(), _base(seed=1)}) == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("graph_kind", GRAPHS.available())
+    @pytest.mark.parametrize("mechanism_kind", MECHANISMS.available())
+    def test_every_graph_mechanism_combination(self, graph_kind, mechanism_kind):
+        """Acceptance: from_dict(to_dict) == s for every registered combo."""
+        scenario = Scenario(
+            graph=GraphSpec(kind=graph_kind, params=GRAPHS.example(graph_kind)),
+            mechanism=MechanismSpec(
+                kind=mechanism_kind, params=MECHANISMS.example(mechanism_kind)
+            ),
+            protocol="single",
+            rounds=5,
+            laziness=0.1,
+            values=ValuesSpec.of("zeros"),
+            seed=42,
+        )
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+        # Through actual JSON text, too (tuples/lists, float identity).
+        assert Scenario.from_json(scenario.to_json()) == scenario
+        assert Scenario.from_dict(
+            json.loads(json.dumps(scenario.to_dict()))
+        ) == scenario
+
+    def test_none_fields_round_trip(self):
+        scenario = Scenario(graph="complete", epsilon0=0.5)
+        assert scenario.mechanism is None and scenario.rounds is None
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_from_dict_requires_graph(self):
+        with pytest.raises(ValidationError, match="graph"):
+            Scenario.from_dict({"protocol": "all"})
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = _base().to_dict()
+        payload["turbo"] = True
+        with pytest.raises(ValidationError, match="turbo"):
+            Scenario.from_dict(payload)
+
+    def test_spec_types_distinguished(self):
+        assert GraphSpec.of("x") != MechanismSpec.of("x")
+        assert ComponentSpec.coerce({"kind": "x"}) == ComponentSpec.of("x")
+
+
+class TestUpdated:
+    def test_top_level_field(self):
+        assert _base().updated(rounds=9).rounds == 9
+
+    def test_dotted_param_override(self):
+        updated = _base().updated(**{"graph.degree": 8, "mechanism.epsilon": 3.0})
+        assert updated.graph.params["degree"] == 8
+        assert updated.graph.params["num_nodes"] == 64
+        assert updated.mechanism.params["epsilon"] == 3.0
+
+    def test_dotted_kind_swap_keeps_params(self):
+        updated = _base().updated(**{"graph.kind": "erdos_renyi"})
+        assert updated.graph.kind == "erdos_renyi"
+        assert updated.graph.params["num_nodes"] == 64
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValidationError, match="unknown scenario field"):
+            _base().updated(turbo=True)
+
+    def test_dotted_into_missing_spec_rejected(self):
+        with pytest.raises(ValidationError, match="no values spec"):
+            _base().updated(**{"values.rate": 0.5})
+
+    def test_original_unchanged(self):
+        base = _base()
+        base.updated(**{"graph.degree": 16})
+        assert base.graph.params["degree"] == 4

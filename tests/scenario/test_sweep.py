@@ -1,0 +1,90 @@
+"""Sweep expansion and execution (sequential + process pool)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.amplification.network_shuffle import NetworkShuffleBound
+from repro.exceptions import ValidationError
+from repro.scenario import (
+    GraphSpec,
+    MechanismSpec,
+    RunResult,
+    Scenario,
+    sweep,
+    sweep_scenarios,
+)
+
+
+def _base(**overrides) -> Scenario:
+    kwargs = dict(
+        graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+        mechanism=MechanismSpec.of("rr", epsilon=1.0),
+        rounds=4,
+        seed=1,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+class TestExpansion:
+    def test_grid_order_last_axis_fastest(self):
+        grid = sweep_scenarios(
+            _base(), {"rounds": [2, 4], "graph.degree": [4, 6]}
+        )
+        coords = [coordinates for coordinates, _ in grid]
+        assert coords == [
+            {"rounds": 2, "graph.degree": 4},
+            {"rounds": 2, "graph.degree": 6},
+            {"rounds": 4, "graph.degree": 4},
+            {"rounds": 4, "graph.degree": 6},
+        ]
+        assert grid[1][1].rounds == 2
+        assert grid[1][1].graph.params["degree"] == 6
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValidationError, match="at least one axis"):
+            sweep_scenarios(_base(), {})
+        with pytest.raises(ValidationError, match="no values"):
+            sweep_scenarios(_base(), {"rounds": []})
+
+
+class TestExecution:
+    def test_run_mode_returns_run_results(self):
+        result = sweep(_base(), axis={"rounds": [1, 3]}, mode="run")
+        assert len(result) == 2
+        assert all(isinstance(p.outcome, RunResult) for p in result)
+        # More mixing, better amplification.
+        eps = result.epsilons()
+        assert eps[1] < eps[0]
+
+    def test_bound_mode_skips_simulation(self):
+        result = sweep(_base(), axis={"rounds": [1, 3]}, mode="bound")
+        assert all(isinstance(p.outcome, NetworkShuffleBound) for p in result)
+
+    def test_stationary_bound_mode_needs_no_graph(self):
+        result = sweep(
+            _base(),
+            axis={"graph.num_nodes": [10_000, 1_000_000]},
+            mode="stationary_bound",
+        )
+        eps = result.epsilons()
+        assert eps[1] < eps[0]  # larger n, stronger amplification
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValidationError, match="mode"):
+            sweep(_base(), axis={"rounds": [1]}, mode="warp")
+
+    def test_column_accessor(self):
+        result = sweep(_base(), axis={"rounds": [1, 2]}, mode="bound")
+        assert result.column("rounds") == [1, 2]
+
+    def test_process_pool_matches_sequential(self):
+        axis = {"rounds": [2, 4]}
+        sequential = sweep(_base(), axis=axis, mode="run")
+        pooled = sweep(_base(), axis=axis, mode="run", workers=2)
+        assert pooled.epsilons() == sequential.epsilons()
+        for a, b in zip(pooled, sequential):
+            assert a.outcome.protocol_result.payloads() == (
+                b.outcome.protocol_result.payloads()
+            )

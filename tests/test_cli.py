@@ -4,7 +4,21 @@ from __future__ import annotations
 
 import pytest
 
+from repro import Scenario
 from repro.__main__ import main
+
+
+@pytest.fixture
+def scenario_file(tmp_path):
+    scenario = Scenario(
+        graph={"kind": "k_regular", "params": {"degree": 4, "num_nodes": 64}},
+        mechanism={"kind": "rr", "params": {"epsilon": 1.0}},
+        rounds=4,
+        seed=0,
+    )
+    path = tmp_path / "scenario.json"
+    path.write_text(scenario.to_json())
+    return str(path)
 
 
 class TestCli:
@@ -50,3 +64,78 @@ class TestCli:
         # cheapest artifact through the same path instead.
         main(["table1"])
         assert "mechanism" in capsys.readouterr().out
+
+    def test_plan_uses_config_delta(self, capsys):
+        from repro.experiments.config import DEFAULT_CONFIG
+
+        main(["plan", "100000", "1.0"])
+        assert f"delta={DEFAULT_CONFIG.delta}" in capsys.readouterr().out
+
+
+class TestScenarioCommands:
+    def test_run_prints_digest(self, scenario_file, capsys):
+        main(["run", scenario_file])
+        output = capsys.readouterr().out
+        assert "central_epsilon" in output
+        assert "empirical_epsilon" in output
+        assert "rounds" in output
+
+    def test_run_usage_error(self):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["run"])
+
+    def test_sweep_prints_grid_table(self, scenario_file, capsys):
+        main([
+            "sweep", scenario_file,
+            "--axis", "rounds=2,4",
+            "--axis", "protocol=all,single",
+            "--mode", "bound",
+        ])
+        output = capsys.readouterr().out
+        assert "central eps" in output
+        assert "single" in output
+        assert output.count("\n") >= 6  # 4 grid rows plus table frame
+
+    def test_sweep_run_mode_includes_empirical(self, scenario_file, capsys):
+        main(["sweep", scenario_file, "--axis", "rounds=2,3"])
+        output = capsys.readouterr().out
+        assert "empirical eps" in output
+        assert "dummies" in output
+
+    def test_axis_value_parsing(self):
+        from repro.__main__ import _parse_axis_value
+
+        assert _parse_axis_value("8") == 8
+        assert _parse_axis_value("0.5") == 0.5
+        assert _parse_axis_value("True") is True
+        assert _parse_axis_value("false") is False
+        assert _parse_axis_value("single") == "single"
+        # Scientific-notation integers collapse to int so int-validated
+        # builder params (num_nodes, ...) accept them.
+        assert _parse_axis_value("1e6") == 1_000_000
+        assert isinstance(_parse_axis_value("1e6"), int)
+        assert _parse_axis_value("2.5e-1") == 0.25
+
+    def test_sweep_requires_axis(self, scenario_file):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["sweep", scenario_file])
+
+    def test_run_invalid_scenario_exits_cleanly(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"graf": {"kind": "k_regular"}}')
+        with pytest.raises(SystemExit, match="invalid"):
+            main(["run", str(path)])
+
+    def test_sweep_rejects_duplicate_axis(self, scenario_file):
+        with pytest.raises(SystemExit, match="duplicate"):
+            main(["sweep", scenario_file,
+                  "--axis", "rounds=2,4", "--axis", "rounds=8"])
+
+    def test_sweep_rejects_non_numeric_workers(self, scenario_file):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["sweep", scenario_file, "--axis", "rounds=2",
+                  "--workers", "two"])
+
+    def test_sweep_rejects_bad_mode(self, scenario_file):
+        with pytest.raises(SystemExit, match="mode"):
+            main(["sweep", scenario_file, "--axis", "rounds=2", "--mode", "warp"])
