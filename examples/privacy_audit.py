@@ -3,7 +3,7 @@
 
 The theorems bound the central privacy loss from above; this example
 attacks the deployment from below with the distinguishing game
-(``repro.audit``): run the protocol repeatedly on two worlds that
+(``repro.auditing``): run the protocol repeatedly on two worlds that
 differ only in one victim's bit, and see how well the strongest
 statistic the paper's threat model allows can tell them apart.
 
@@ -18,7 +18,7 @@ Run:  python examples/privacy_audit.py        (~1 minute)
 from __future__ import annotations
 
 from repro.amplification import epsilon_all_stationary
-from repro.audit import audit_local_randomizer, audit_network_shuffle
+from repro.auditing import audit_local_randomizer, audit_network_shuffle
 from repro.graphs import random_regular_graph
 from repro.graphs.spectral import spectral_summary
 from repro.ldp import BinaryRandomizedResponse

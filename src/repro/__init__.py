@@ -47,6 +47,7 @@ Package map (see DESIGN.md for the full inventory):
 ========================  ==============================================
 """
 
+from repro.auditing.auditor import AuditResult
 from repro.core.accounting import PrivacyAccountant
 from repro.core.shuffler import NetworkShuffler
 from repro.exceptions import ReproError
@@ -54,21 +55,24 @@ from repro.scenario import (
     RunResult,
     Scenario,
     SweepResult,
+    audit,
     bound,
     run,
     stationary_bound,
     sweep,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AuditResult",
     "NetworkShuffler",
     "PrivacyAccountant",
     "ReproError",
     "RunResult",
     "Scenario",
     "SweepResult",
+    "audit",
     "bound",
     "run",
     "stationary_bound",

@@ -12,12 +12,17 @@ Commands
 ``plan <n> <target_eps>``
     Deployment planning: local budgets achieving a central target on a
     regular graph of ``n`` users (both protocols).
-``run <scenario.json>``
+``run <scenario.json> [--json]``
     Execute one declarative scenario (simulate + account) and print the
-    result digest.  ``-`` reads the JSON from stdin.
+    result digest (``--json`` emits machine-readable JSON).  ``-`` reads
+    the scenario from stdin.
+``audit <scenario.json> [--trials N] [--json]``
+    Run the Theorem 6.1 distinguishing game against the scenario and
+    print the measured epsilon lower bound.
 ``sweep <scenario.json> --axis path=v1,v2,... [--axis ...]``
     Expand a parameter grid over the base scenario and print the curve.
     ``--mode bound|stationary_bound`` prices without simulating;
+    ``--mode audit`` measures the empirical epsilon per point;
     ``--workers N`` fans out to a process pool.
 """
 
@@ -87,16 +92,50 @@ def _load_scenario(source: str) -> "repro.Scenario":
         raise SystemExit(f"scenario {source!r} is invalid: {error}") from None
 
 
-def _run(arguments: list[str]) -> None:
-    if len(arguments) != 1:
-        raise SystemExit("usage: python -m repro run <scenario.json|->")
-    from repro.scenario import run
+def _print_digest(digest: dict, as_json: bool) -> None:
+    if as_json:
+        import json
 
-    result = run(_load_scenario(arguments[0]))
-    digest = result.summary()
+        print(json.dumps(digest, indent=2))
+        return
     width = max(len(key) for key in digest)
     for key, value in digest.items():
         print(f"  {key:<{width}} : {value}")
+
+
+def _run(arguments: list[str]) -> None:
+    as_json = "--json" in arguments
+    arguments = [token for token in arguments if token != "--json"]
+    if len(arguments) != 1:
+        raise SystemExit("usage: python -m repro run <scenario.json|-> [--json]")
+    from repro.scenario import run
+
+    _print_digest(run(_load_scenario(arguments[0])).summary(), as_json)
+
+
+def _audit(arguments: list[str]) -> None:
+    usage = "usage: python -m repro audit <scenario.json|-> [--trials N] [--json]"
+    as_json = "--json" in arguments
+    arguments = [token for token in arguments if token != "--json"]
+    trials: int | None = None
+    if "--trials" in arguments:
+        index = arguments.index("--trials")
+        if index + 1 >= len(arguments):
+            raise SystemExit(usage)
+        try:
+            trials = int(arguments[index + 1])
+        except ValueError:
+            raise SystemExit(usage) from None
+        del arguments[index:index + 2]
+    if len(arguments) != 1:
+        raise SystemExit(usage)
+    from repro.scenario import audit
+
+    try:
+        result = audit(_load_scenario(arguments[0]), trials=trials)
+    except ReproError as error:
+        raise SystemExit(f"audit failed: {error}") from None
+    _print_digest(result.summary(), as_json)
 
 
 def _parse_axis_value(token: str):
@@ -121,8 +160,8 @@ def _sweep(arguments: list[str]) -> None:
 
     usage = (
         "usage: python -m repro sweep <scenario.json|-> "
-        "--axis path=v1,v2,... [--axis ...] [--mode run|bound|stationary_bound] "
-        "[--workers N]"
+        "--axis path=v1,v2,... [--axis ...] "
+        "[--mode run|bound|stationary_bound|audit] [--workers N]"
     )
     source: str | None = None
     axis: dict[str, list] = {}
@@ -165,10 +204,13 @@ def _sweep(arguments: list[str]) -> None:
     except ReproError as error:
         raise SystemExit(f"sweep failed: {error}") from None
     names = list(result.axis)
-    headers = [*names, "central eps"]
+    audited = mode == "audit"
+    headers = [*names, "eps_hat" if audited else "central eps"]
     simulated = mode == "run"
     if simulated:
         headers += ["empirical eps", "dummies"]
+    elif audited:
+        headers += ["threshold", "trials"]
     rows = []
     for point in result:
         row = [point.coordinates[name] for name in names]
@@ -178,6 +220,9 @@ def _sweep(arguments: list[str]) -> None:
             empirical = point.outcome.empirical_epsilon
             row.append("-" if empirical is None else round(empirical, 4))
             row.append(point.outcome.protocol_result.dummy_count)
+        elif audited:
+            row.append(round(point.outcome.best_threshold, 4))
+            row.append(point.outcome.trials)
         rows.append(tuple(row))
     print(format_table(headers, rows))
 
@@ -199,10 +244,14 @@ def main(argv: list[str] | None = None) -> None:
         _plan(rest)
     elif command == "run":
         _run(rest)
+    elif command == "audit":
+        _audit(rest)
     elif command == "sweep":
         _sweep(rest)
     else:
-        known = ", ".join(("info", *_ARTIFACTS, "runall", "plan", "run", "sweep"))
+        known = ", ".join(
+            ("info", *_ARTIFACTS, "runall", "plan", "run", "audit", "sweep")
+        )
         raise SystemExit(f"unknown command {command!r}; known: {known}")
 
 

@@ -15,11 +15,14 @@ mechanism between ``eps_hat`` and the theorem bound is the strongest
 correctness evidence a reproduction can offer.
 """
 
-from repro.audit.auditor import (
+from repro.auditing.auditor import (
     AuditResult,
     audit_local_randomizer,
     audit_network_shuffle,
     epsilon_lower_bound,
+    report_sum_statistic,
+    topk_evidence_statistic,
+    weighted_evidence_statistic,
 )
 
 __all__ = [
@@ -27,4 +30,7 @@ __all__ = [
     "audit_local_randomizer",
     "audit_network_shuffle",
     "epsilon_lower_bound",
+    "report_sum_statistic",
+    "topk_evidence_statistic",
+    "weighted_evidence_statistic",
 ]

@@ -87,26 +87,43 @@ class CollusionAttackResult:
         return self.observed_tokens / self.num_tokens
 
 
+def _first_observations(
+    trajectories: np.ndarray, colluders: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Earliest colluder sighting per token, as flat arrays.
+
+    Returns ``(tokens, round_indices, senders)`` for every token sighted
+    at least once.  Pure NumPy over the trajectory matrix: one boolean
+    lookup gather, one ``any``/``argmax`` pair along the round axis.
+    """
+    colluders = np.asarray(colluders, dtype=np.int64).ravel()
+    horizon = trajectories.shape[1]
+    if colluders.size == 0 or horizon <= 1:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    bound = int(max(trajectories.max(), colluders.max())) + 1
+    is_colluder = np.zeros(bound, dtype=bool)
+    is_colluder[colluders] = True
+    sightings = is_colluder[trajectories[:, 1:]]
+    tokens = np.flatnonzero(sightings.any(axis=1))
+    round_indices = sightings[tokens].argmax(axis=1) + 1
+    senders = trajectories[tokens, round_indices - 1]
+    return tokens, round_indices, senders
+
+
 def collect_observations(
     trajectories: np.ndarray, colluders: np.ndarray
 ) -> List[CollusionObservation]:
     """Every earliest (token, round, sender) sighting by a colluder."""
-    colluder_set = set(int(c) for c in np.asarray(colluders).ravel())
-    observations: List[CollusionObservation] = []
-    num_tokens, horizon = trajectories.shape
-    for token in range(num_tokens):
-        path = trajectories[token]
-        for round_index in range(1, horizon):
-            if int(path[round_index]) in colluder_set:
-                observations.append(
-                    CollusionObservation(
-                        token=token,
-                        round_index=round_index,
-                        sender=int(path[round_index - 1]),
-                    )
-                )
-                break
-    return observations
+    tokens, round_indices, senders = _first_observations(
+        np.asarray(trajectories), colluders
+    )
+    return [
+        CollusionObservation(
+            token=int(token), round_index=int(round_index), sender=int(sender)
+        )
+        for token, round_index, sender in zip(tokens, round_indices, senders)
+    ]
 
 
 def _reverse_posterior_argmax(
@@ -118,6 +135,9 @@ def _reverse_posterior_argmax(
     anchor after r rounds)`` is proportional to ``pi_i M^r[i, anchor]``
     under a uniform origin prior; we evolve the reverse walk from the
     anchor and reweight by degrees.
+
+    Scalar reference kept for the batched-parity oracle; the attack
+    itself runs :func:`_batched_reverse_posterior_argmax`.
     """
     if free_rounds == 0:
         return anchor
@@ -132,6 +152,63 @@ def _reverse_posterior_argmax(
     pi = stationary_distribution(graph)
     posterior = distribution * pi
     return int(np.argmax(posterior))
+
+
+#: Cap on dense-block cells (num_nodes x anchor columns) evolved at
+#: once; larger anchor sets are processed in column chunks so memory
+#: stays bounded on big graphs (the per-token loop this replaces was
+#: O(n) memory).
+_MAX_BLOCK_CELLS = 8_000_000
+
+
+def _batched_reverse_posterior_argmax(
+    graph: Graph, anchors: np.ndarray, free_rounds: np.ndarray
+) -> np.ndarray:
+    """MAP origins for many ``(anchor, free_rounds)`` queries at once.
+
+    One dense ``(n, k)`` block of the ``k`` unique anchors' one-hot
+    columns is pushed through the sparse reverse chain; every query
+    reads its answer off the block at its own horizon.  Each column
+    applies exactly the matrix-vector sequence of the scalar reference,
+    so the guesses match it bit for bit — with one chain evolution per
+    column chunk and one stationary-distribution solve total, instead
+    of one per token.
+    """
+    anchors = np.asarray(anchors, dtype=np.int64)
+    free_rounds = np.asarray(free_rounds, dtype=np.int64)
+    guesses = np.empty(anchors.size, dtype=np.int64)
+    if anchors.size == 0:
+        return guesses
+    zero_rounds = free_rounds == 0
+    guesses[zero_rounds] = anchors[zero_rounds]
+    pending = np.flatnonzero(~zero_rounds)
+    if not pending.size:
+        return guesses
+    unique_anchors, anchor_columns = np.unique(
+        anchors[pending], return_inverse=True
+    )
+    matrix_t = transition_matrix(graph).T.tocsr()
+    pi = stationary_distribution(graph)
+    pi_column = pi[:, np.newaxis]
+    chunk = max(1, _MAX_BLOCK_CELLS // graph.num_nodes)
+    for start in range(0, unique_anchors.size, chunk):
+        columns = unique_anchors[start:start + chunk]
+        in_chunk = (anchor_columns >= start) & (
+            anchor_columns < start + columns.size
+        )
+        queries = pending[in_chunk]
+        offsets = anchor_columns[in_chunk] - start
+        horizons = free_rounds[queries]
+        block = np.zeros((graph.num_nodes, columns.size))
+        block[columns, np.arange(columns.size)] = 1.0
+        max_rounds = int(horizons.max())
+        for rounds in range(1, max_rounds + 1):
+            block = matrix_t @ block
+            due = horizons == rounds
+            if due.any():
+                posterior = block[:, offsets[due]] * pi_column
+                guesses[queries[due]] = posterior.argmax(axis=0)
+    return guesses
 
 
 def run_collusion_attack(
@@ -151,27 +228,29 @@ def run_collusion_attack(
     n = graph.num_nodes
     final_holders = trajectories[:, -1]
 
-    # Baseline: posterior attack from the final-round link only.
-    baseline_guesses = np.array(
-        [_reverse_posterior_argmax(graph, int(h), rounds) for h in final_holders]
+    # Colluder-aided anchors: the earliest sighting per observed token.
+    tokens, round_indices, senders = _first_observations(
+        trajectories, colluder_array
     )
+
+    # One batched posterior pass answers both attacks: the baseline
+    # anchors every token at its final holder with the full horizon,
+    # the aided attack re-anchors observed tokens at their sighting.
+    all_guesses = _batched_reverse_posterior_argmax(
+        graph,
+        np.concatenate([final_holders, senders]),
+        np.concatenate([np.full(n, rounds, dtype=np.int64), round_indices - 1]),
+    )
+    baseline_guesses = all_guesses[:n]
     baseline_accuracy = float(np.mean(baseline_guesses == np.arange(n)))
 
-    # Colluder-aided attack: anchor at the earliest sighting.
-    observations = {
-        obs.token: obs
-        for obs in collect_observations(trajectories, colluder_array)
-    }
     guesses = baseline_guesses.copy()
-    for token, obs in observations.items():
-        guesses[token] = _reverse_posterior_argmax(
-            graph, obs.sender, obs.round_index - 1
-        )
+    guesses[tokens] = all_guesses[n:]
     accuracy = float(np.mean(guesses == np.arange(n)))
     return CollusionAttackResult(
         num_tokens=n,
         num_colluders=int(colluder_array.size),
-        observed_tokens=len(observations),
+        observed_tokens=int(tokens.size),
         linkage_accuracy=accuracy,
         baseline_accuracy=baseline_accuracy,
     )

@@ -27,7 +27,9 @@ string keys resolve through extensible registries
 :data:`~repro.scenario.builders.MECHANISMS`, ...).
 """
 
+from repro.scenario.auditing import audit
 from repro.scenario.builders import (
+    AUDIT_STATISTICS,
     FAULTS,
     GRAPH_STATS,
     GRAPHS,
@@ -52,8 +54,10 @@ from repro.scenario.runner import (
     stationary_bound,
 )
 from repro.scenario.spec import (
+    AuditSpec,
     ComponentSpec,
     FaultSpec,
+    FrozenParams,
     GraphSpec,
     MechanismSpec,
     Scenario,
@@ -67,9 +71,12 @@ from repro.scenario.sweep import (
 )
 
 __all__ = [
+    "AUDIT_STATISTICS",
+    "AuditSpec",
     "ComponentSpec",
     "FaultSpec",
     "FAULTS",
+    "FrozenParams",
     "GraphSpec",
     "GraphStats",
     "GRAPH_STATS",
@@ -86,6 +93,7 @@ __all__ = [
     "SweepResult",
     "VALUES",
     "ValuesSpec",
+    "audit",
     "bound",
     "build_faults",
     "build_graph",

@@ -23,6 +23,12 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.auditing.auditor import (
+    AuditStatistic,
+    report_sum_statistic,
+    topk_evidence_statistic,
+    weighted_evidence_statistic,
+)
 from repro.datasets.registry import get_dataset
 from repro.datasets.synthetic import build_dataset
 from repro.exceptions import ValidationError
@@ -344,10 +350,49 @@ def _normal(
     return draws.tolist()
 
 
+# ----------------------------------------------------------------------
+# Audit attacker statistics
+# ----------------------------------------------------------------------
+#: Builders have signature ``builder(graph, rounds, laziness, **params)
+#: -> AuditStatistic`` — a callable mapping batched ``(payloads,
+#: holders)`` arrays of shape ``(trials, n)`` to one scalar of attacker
+#: evidence per trial (see :mod:`repro.auditing.auditor`).
+AUDIT_STATISTICS = Registry("audit statistic")
+
+
+@AUDIT_STATISTICS.register("weighted_evidence", example={})
+def _weighted_evidence(
+    graph: Graph, rounds: int, laziness: float, *, victim: int = 0
+) -> AuditStatistic:
+    """The paper's informed adversary: payloads weighted by ``P^G_1(t)``."""
+    return weighted_evidence_statistic(
+        graph, rounds, laziness=laziness, victim=victim
+    )
+
+
+@AUDIT_STATISTICS.register("topk_evidence", example={"top_k": 8})
+def _topk_evidence(
+    graph: Graph, rounds: int, laziness: float, *, victim: int = 0, top_k: int = 8
+) -> AuditStatistic:
+    """Coarser adversary: payload mass at the ``top_k`` likeliest nodes."""
+    return topk_evidence_statistic(
+        graph, rounds, laziness=laziness, victim=victim, top_k=top_k
+    )
+
+
+@AUDIT_STATISTICS.register("report_sum", example={})
+def _report_sum(
+    graph: Graph, rounds: int, laziness: float, *, victim: int = 0
+) -> AuditStatistic:
+    """Position-blind adversary: plain payload sum (ablation floor)."""
+    return report_sum_statistic(graph, rounds)
+
+
 #: All registries by scenario field name, for introspection/CLI listings.
 REGISTRIES: Dict[str, Registry] = {
     "graph": GRAPHS,
     "mechanism": MECHANISMS,
     "faults": FAULTS,
     "values": VALUES,
+    "audit": AUDIT_STATISTICS,
 }

@@ -10,6 +10,7 @@ parallel list, and ``python -m repro run`` can print what it knows.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional
 
@@ -24,6 +25,7 @@ class Registration:
     builder: Callable[..., Any]
     example: Mapping[str, Any] = field(default_factory=dict)
     doc: str = ""
+    signature: Optional[inspect.Signature] = None
 
 
 class Registry:
@@ -55,6 +57,7 @@ class Registry:
                 builder=builder,
                 example=dict(example or {}),
                 doc=doc_line,
+                signature=inspect.signature(builder),
             )
             return builder
 
@@ -70,14 +73,25 @@ class Registry:
         return self._entries[kind]
 
     def build(self, kind: str, /, *args: Any, **params: Any) -> Any:
-        """Instantiate the ``kind`` component with ``params``."""
+        """Instantiate the ``kind`` component with ``params``.
+
+        The arguments are bound against the builder's signature *before*
+        the call, so only genuinely bad parameters produce the
+        "bad parameters" :class:`ValidationError` — a ``TypeError``
+        raised inside the builder itself is a builder bug and stays
+        loud.
+        """
         registration = self.get(kind)
+        signature = registration.signature
+        if signature is None:  # registered via a hand-built Registration
+            signature = inspect.signature(registration.builder)
         try:
-            return registration.builder(*args, **params)
+            bound = signature.bind(*args, **params)
         except TypeError as error:
             raise ValidationError(
                 f"bad parameters for {self.label} {kind!r}: {error}"
             ) from error
+        return registration.builder(*bound.args, **bound.kwargs)
 
     def example(self, kind: str) -> Dict[str, Any]:
         """A copy of the registered example parameters for ``kind``."""

@@ -50,22 +50,30 @@ from repro.utils.rng import spawn_rngs
 
 @dataclass(frozen=True)
 class SeedStreams:
-    """The three child generators derived from a scenario seed."""
+    """The child generators derived from a scenario seed."""
 
     graph: np.random.Generator
     values: np.random.Generator
     protocol: np.random.Generator
+    audit: np.random.Generator
 
 
 def seed_streams(seed: int) -> SeedStreams:
-    """Derive the (graph, values, protocol) generators from ``seed``.
+    """Derive the (graph, values, protocol, audit) generators from ``seed``.
 
     This is the public determinism contract: hand-wired pipelines that
     want to reproduce ``run(scenario)`` exactly should draw their
-    generators from here.
+    generators from here.  The ``audit`` stream is the fourth
+    SeedSequence child, so adding it left the first three — and every
+    pre-existing seeded run — bit-identical.
     """
-    graph_rng, values_rng, protocol_rng = spawn_rngs(int(seed), 3)
-    return SeedStreams(graph=graph_rng, values=values_rng, protocol=protocol_rng)
+    graph_rng, values_rng, protocol_rng, audit_rng = spawn_rngs(int(seed), 4)
+    return SeedStreams(
+        graph=graph_rng,
+        values=values_rng,
+        protocol=protocol_rng,
+        audit=audit_rng,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,7 @@ import dataclasses
 import json
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, Mapping, Optional, Union
 
 import numpy as np
 
@@ -80,17 +80,61 @@ def _canonical(value: Any) -> Any:
     )
 
 
+class FrozenParams(Mapping):
+    """Immutable, picklable mapping for a frozen spec's parameters.
+
+    ``ComponentSpec`` is frozen and hashed by its JSON form; a plain
+    ``dict`` payload would let ``spec.params["x"] = ...`` silently
+    desynchronize identity from cache keys.  Item assignment raises
+    instead, and equality matches any mapping with the same items so
+    tests can still compare against plain dicts.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[str, Any]):
+        object.__setattr__(self, "_data", dict(data))
+
+    def __getitem__(self, key: str) -> Any:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, FrozenParams):
+            return self._data == other._data
+        if isinstance(other, Mapping):
+            return self._data == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"FrozenParams({self._data!r})"
+
+    def __reduce__(self):
+        return (type(self), (self._data,))
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        raise TypeError("spec params are immutable; use spec.replacing(...)")
+
+    def __delitem__(self, key: str) -> None:
+        raise TypeError("spec params are immutable; use spec.replacing(...)")
+
+
 @dataclass(frozen=True)
 class ComponentSpec:
     """A registry reference: component ``kind`` plus builder ``params``."""
 
     kind: str
-    params: Dict[str, Any] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not isinstance(self.kind, str) or not self.kind:
             raise ValidationError(f"spec kind must be a non-empty string, got {self.kind!r}")
-        object.__setattr__(self, "params", _canonical(self.params))
+        object.__setattr__(self, "params", FrozenParams(_canonical(self.params)))
 
     @classmethod
     def of(cls, kind: str, **params: Any):
@@ -151,12 +195,28 @@ class ValuesSpec(ComponentSpec):
     """Reference into the workload-values registry (``"bernoulli"``, ...)."""
 
 
+class AuditSpec(ComponentSpec):
+    """Reference into the audit-statistic registry, plus audit knobs.
+
+    ``kind`` names the attacker statistic (``"weighted_evidence"``,
+    ``"topk_evidence"``, ...).  ``params`` carries the statistic's
+    builder parameters together with the harness-reserved keys
+    ``trials`` and ``confidence``, which configure the distinguishing
+    game itself (so ``repro.sweep`` can sweep ``audit.trials`` like any
+    other dotted path).
+    """
+
+    #: Params interpreted by the audit harness, not the statistic builder.
+    RESERVED = ("trials", "confidence")
+
+
 #: Scenario fields that hold a component spec, with their concrete type.
 _SPEC_FIELDS: Dict[str, type] = {
     "graph": GraphSpec,
     "mechanism": MechanismSpec,
     "faults": FaultSpec,
     "values": ValuesSpec,
+    "audit": AuditSpec,
 }
 
 
@@ -189,6 +249,11 @@ class Scenario:
     values:
         Optional workload-values reference; materialized into one value
         per user before randomization.
+    audit:
+        Optional empirical-audit reference (attacker statistic plus
+        ``trials``/``confidence`` knobs) consumed by
+        :func:`repro.scenario.auditing.audit`; ``None`` audits with the
+        default weighted-evidence adversary.
     epsilon0:
         Local budget for accounting when no mechanism is given.  When a
         mechanism is present its ``epsilon`` wins and this must match
@@ -210,6 +275,7 @@ class Scenario:
     laziness: float = 0.0
     analysis: str = "stationary"
     values: Optional[ValuesSpec] = None
+    audit: Optional[AuditSpec] = None
     epsilon0: Optional[float] = None
     delta: float = DEFAULT_CONFIG.delta
     delta2: float = DEFAULT_CONFIG.delta2

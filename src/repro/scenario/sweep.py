@@ -15,15 +15,18 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.amplification.network_shuffle import NetworkShuffleBound
+from repro.auditing.auditor import AuditResult
 from repro.exceptions import ValidationError
+from repro.scenario.auditing import audit
 from repro.scenario.runner import RunResult, bound, run, stationary_bound
 from repro.scenario.spec import Scenario
 
 #: Execution modes: simulate + account, account on the materialized
-#: graph, or closed-form accounting at stationarity (no graph).
-_MODES = ("run", "bound", "stationary_bound")
+#: graph, closed-form accounting at stationarity (no graph), or the
+#: empirical distinguishing-game audit.
+_MODES = ("run", "bound", "stationary_bound", "audit")
 
-Outcome = Union[RunResult, NetworkShuffleBound]
+Outcome = Union[RunResult, NetworkShuffleBound, AuditResult]
 
 
 @dataclass(frozen=True)
@@ -36,9 +39,15 @@ class SweepPoint:
 
     @property
     def epsilon(self) -> Optional[float]:
-        """Central epsilon of this point's outcome."""
+        """Central epsilon of this point's outcome.
+
+        For ``mode="audit"`` points this is the *measured* empirical
+        lower bound, the curve an audit sweep is after.
+        """
         if isinstance(self.outcome, NetworkShuffleBound):
             return self.outcome.epsilon
+        if isinstance(self.outcome, AuditResult):
+            return self.outcome.epsilon_lower_bound
         return self.outcome.central_epsilon
 
 
@@ -94,6 +103,8 @@ def _execute(scenario: Scenario, mode: str) -> Outcome:
         return run(scenario)
     if mode == "bound":
         return bound(scenario)
+    if mode == "audit":
+        return audit(scenario)
     return stationary_bound(scenario)
 
 

@@ -97,3 +97,91 @@ class TestAttack:
     def test_rejects_bad_colluder_ids(self, small_regular):
         with pytest.raises(ValidationError):
             run_collusion_attack(small_regular, 5, [9999], rng=0)
+
+
+class TestVectorizedParity:
+    """The batched attack must match the scalar reference exactly."""
+
+    def test_observations_match_loop_reference(self, small_regular):
+        trajectories = simulate_walk_trajectories(small_regular, 8, rng=0)
+        colluders = np.array([0, 5, 9])
+        colluder_set = {0, 5, 9}
+        expected = []
+        for token in range(trajectories.shape[0]):
+            path = trajectories[token]
+            for round_index in range(1, trajectories.shape[1]):
+                if int(path[round_index]) in colluder_set:
+                    expected.append(
+                        (token, round_index, int(path[round_index - 1]))
+                    )
+                    break
+        observed = [
+            (obs.token, obs.round_index, obs.sender)
+            for obs in collect_observations(trajectories, colluders)
+        ]
+        assert observed == expected
+
+    def test_batched_posterior_matches_scalar(self, medium_regular):
+        from repro.netsim.collusion import (
+            _batched_reverse_posterior_argmax,
+            _reverse_posterior_argmax,
+        )
+
+        rng = np.random.default_rng(0)
+        anchors = rng.integers(0, medium_regular.num_nodes, 40)
+        free_rounds = rng.integers(0, 9, 40)
+        batched = _batched_reverse_posterior_argmax(
+            medium_regular, anchors, free_rounds
+        )
+        scalar = np.array([
+            _reverse_posterior_argmax(medium_regular, int(a), int(r))
+            for a, r in zip(anchors, free_rounds)
+        ])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_attack_guesses_match_scalar_pipeline(self, medium_regular):
+        """Seeded end-to-end parity: the vectorized attack reproduces the
+        per-token loop implementation bit for bit."""
+        from repro.netsim.collusion import _reverse_posterior_argmax
+
+        rounds, colluders = 10, list(range(25))
+        result = run_collusion_attack(medium_regular, rounds, colluders, rng=5)
+
+        trajectories = simulate_walk_trajectories(medium_regular, rounds, rng=5)
+        n = medium_regular.num_nodes
+        baseline = np.array([
+            _reverse_posterior_argmax(medium_regular, int(h), rounds)
+            for h in trajectories[:, -1]
+        ])
+        guesses = baseline.copy()
+        for obs in collect_observations(trajectories, np.array(colluders)):
+            guesses[obs.token] = _reverse_posterior_argmax(
+                medium_regular, obs.sender, obs.round_index - 1
+            )
+        assert result.baseline_accuracy == float(
+            np.mean(baseline == np.arange(n))
+        )
+        assert result.linkage_accuracy == float(
+            np.mean(guesses == np.arange(n))
+        )
+
+    def test_empty_colluders_vectorized(self, small_regular):
+        trajectories = simulate_walk_trajectories(small_regular, 4, rng=1)
+        assert collect_observations(trajectories, np.array([])) == []
+
+    def test_chunked_posterior_matches_unchunked(self, medium_regular, monkeypatch):
+        """Column chunking (the large-graph memory guard) must not
+        change a single guess."""
+        from repro.netsim import collusion as module
+
+        rng = np.random.default_rng(3)
+        anchors = rng.integers(0, medium_regular.num_nodes, 50)
+        free_rounds = rng.integers(0, 7, 50)
+        full = module._batched_reverse_posterior_argmax(
+            medium_regular, anchors, free_rounds
+        )
+        monkeypatch.setattr(module, "_MAX_BLOCK_CELLS", medium_regular.num_nodes * 3)
+        chunked = module._batched_reverse_posterior_argmax(
+            medium_regular, anchors, free_rounds
+        )
+        np.testing.assert_array_equal(full, chunked)

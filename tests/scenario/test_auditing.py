@@ -1,0 +1,194 @@
+"""Tests for scenario-level auditing: ``repro.audit(scenario)``."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+import repro
+from repro.auditing.auditor import AuditResult
+from repro.exceptions import ValidationError
+from repro.scenario import AuditSpec, Scenario, audit, seed_streams, sweep
+
+
+@pytest.fixture
+def scenario():
+    return Scenario(
+        graph={"kind": "k_regular", "params": {"degree": 6, "num_nodes": 128}},
+        mechanism={"kind": "rr", "params": {"epsilon": 1.0}},
+        rounds=6,
+        seed=0,
+    )
+
+
+class TestAuditEntryPoint:
+    def test_returns_audit_result(self, scenario):
+        result = audit(scenario, trials=600)
+        assert isinstance(result, AuditResult)
+        assert result.trials == 600
+        assert result.mechanism == "scenario:weighted_evidence:t=6"
+
+    def test_exposed_at_top_level(self, scenario):
+        assert repro.audit is audit
+        # The auditing subpackage stays importable alongside the function.
+        from repro.auditing.auditor import audit_network_shuffle  # noqa: F401
+
+    def test_deterministic_from_scenario_seed(self, scenario):
+        assert audit(scenario, trials=500) == audit(scenario, trials=500)
+
+    def test_different_seed_different_draws(self, scenario):
+        import dataclasses
+
+        other = dataclasses.replace(scenario, seed=1)
+        a = audit(scenario, trials=800)
+        b = audit(other, trials=800)
+        # Same estimand, different Monte Carlo draws.
+        assert (a.epsilon_lower_bound, a.best_threshold) != (
+            b.epsilon_lower_bound,
+            b.best_threshold,
+        )
+
+    def test_amplification_measured(self, scenario):
+        unmixed = audit(scenario, rounds=0, trials=2000)
+        mixed = audit(scenario, rounds=10, trials=2000)
+        assert unmixed.epsilon_lower_bound == pytest.approx(1.0, abs=0.4)
+        assert mixed.epsilon_lower_bound < unmixed.epsilon_lower_bound
+
+    def test_rounds_default_to_mixing_time(self, scenario):
+        import dataclasses
+
+        from repro.scenario import graph_summary
+
+        open_rounds = dataclasses.replace(scenario, rounds=None)
+        result = audit(open_rounds, trials=300)
+        mixing = graph_summary(open_rounds).mixing_time
+        assert result.mechanism.endswith(f"t={mixing}")
+
+    def test_epsilon0_without_mechanism(self, scenario):
+        import dataclasses
+
+        bare = dataclasses.replace(scenario, mechanism=None, epsilon0=1.0)
+        result = audit(bare, trials=400)
+        assert isinstance(result, AuditResult)
+
+    def test_requires_budget(self):
+        bare = Scenario(
+            graph={"kind": "k_regular", "params": {"degree": 6, "num_nodes": 64}},
+            rounds=2,
+        )
+        with pytest.raises(ValidationError, match="epsilon0"):
+            audit(bare)
+
+    def test_rejects_non_rr_mechanism(self, scenario):
+        import dataclasses
+
+        laplace = dataclasses.replace(
+            scenario, mechanism={"kind": "laplace", "params": {"epsilon": 1.0}}
+        )
+        with pytest.raises(ValidationError, match="binary-RR"):
+            audit(laplace)
+
+    def test_rejects_single_protocol(self, scenario):
+        import dataclasses
+
+        single = dataclasses.replace(scenario, protocol="single")
+        with pytest.raises(ValidationError, match="A_all"):
+            audit(single)
+
+    def test_audit_stream_is_independent_of_run(self, scenario):
+        """Auditing consumes the dedicated 4th child stream, so the
+        first three (graph, values, protocol) — and therefore every
+        seeded run — are untouched."""
+        streams = seed_streams(scenario.seed)
+        expected = [
+            streams.graph.integers(0, 1 << 30),
+            streams.values.integers(0, 1 << 30),
+            streams.protocol.integers(0, 1 << 30),
+        ]
+        audit(scenario, trials=300)
+        fresh = seed_streams(scenario.seed)
+        assert [
+            fresh.graph.integers(0, 1 << 30),
+            fresh.values.integers(0, 1 << 30),
+            fresh.protocol.integers(0, 1 << 30),
+        ] == expected
+
+    def test_explicit_rng_override(self, scenario):
+        a = audit(scenario, trials=400, rng=np.random.default_rng(42))
+        b = audit(scenario, trials=400, rng=np.random.default_rng(42))
+        assert a == b
+
+
+class TestAuditSpec:
+    def test_spec_controls_statistic_and_trials(self, scenario):
+        import dataclasses
+
+        specced = dataclasses.replace(
+            scenario,
+            audit={"kind": "topk_evidence", "params": {"trials": 350, "top_k": 4}},
+        )
+        result = audit(specced)
+        assert result.trials == 350
+        assert result.mechanism.startswith("scenario:topk_evidence")
+
+    def test_call_trials_override_spec(self, scenario):
+        import dataclasses
+
+        specced = dataclasses.replace(
+            scenario, audit={"kind": "report_sum", "params": {"trials": 350}}
+        )
+        assert audit(specced, trials=200).trials == 200
+
+    def test_json_round_trip(self, scenario):
+        import dataclasses
+
+        specced = dataclasses.replace(
+            scenario,
+            audit=AuditSpec.of("topk_evidence", trials=400, top_k=8),
+        )
+        restored = Scenario.from_json(specced.to_json())
+        assert restored == specced
+        assert restored.audit.params == {"trials": 400, "top_k": 8}
+        payload = json.loads(specced.to_json())
+        assert payload["audit"]["kind"] == "topk_evidence"
+
+    def test_unknown_statistic_kind_fails_loudly(self, scenario):
+        import dataclasses
+
+        bad = dataclasses.replace(scenario, audit="psychic")
+        with pytest.raises(ValidationError, match="unknown audit statistic"):
+            audit(bad)
+
+    def test_dotted_updates_reach_audit_spec(self, scenario):
+        specced = scenario.updated(audit="weighted_evidence")
+        updated = specced.updated(**{"audit.trials": 250})
+        assert updated.audit.params["trials"] == 250
+
+    def test_dotted_update_on_missing_audit_spec_fails(self, scenario):
+        with pytest.raises(ValidationError, match="no audit spec"):
+            scenario.updated(**{"audit.trials": 100})
+
+
+class TestAuditSweep:
+    def test_sweep_mode_audit(self, scenario):
+        import dataclasses
+
+        fast = dataclasses.replace(
+            scenario, audit=AuditSpec.of("weighted_evidence", trials=300)
+        )
+        result = sweep(fast, axis={"rounds": [0, 6]}, mode="audit")
+        assert len(result) == 2
+        epsilons = result.epsilons()
+        assert all(isinstance(eps, float) for eps in epsilons)
+        assert epsilons[1] < epsilons[0]
+
+    def test_sweep_audit_trials_axis(self, scenario):
+        import dataclasses
+
+        fast = dataclasses.replace(
+            scenario, audit=AuditSpec.of("weighted_evidence")
+        )
+        result = sweep(fast, axis={"audit.trials": [200, 300]}, mode="audit")
+        assert [point.outcome.trials for point in result] == [200, 300]

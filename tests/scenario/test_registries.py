@@ -165,3 +165,47 @@ class TestGraphStats:
             seed=5,
         )
         assert stationary_bound(scenario).epsilon > 0
+
+
+class TestSignatureBinding:
+    """build() binds the signature first: only genuinely bad parameters
+    are rewrapped; builder-internal TypeErrors stay loud."""
+
+    def test_builder_internal_type_error_not_swallowed(self):
+        registry = Registry("demo")
+
+        @registry.register("buggy")
+        def _buggy(*, size: int):
+            return None + size  # a genuine builder bug
+
+        with pytest.raises(TypeError, match="unsupported operand"):
+            registry.build("buggy", size=3)
+
+    def test_bad_parameters_still_wrapped(self):
+        registry = Registry("demo")
+
+        @registry.register("strict")
+        def _strict(*, size: int):
+            return size
+
+        with pytest.raises(ValidationError, match="bad parameters for demo"):
+            registry.build("strict", wrong_name=3)
+
+    def test_missing_required_parameter_wrapped(self):
+        registry = Registry("demo")
+
+        @registry.register("needs")
+        def _needs(*, size: int):
+            return size
+
+        with pytest.raises(ValidationError, match="bad parameters"):
+            registry.build("needs")
+
+    def test_valid_build_unaffected(self):
+        registry = Registry("demo")
+
+        @registry.register("ok")
+        def _ok(prefix: str, *, size: int = 2):
+            return prefix * size
+
+        assert registry.build("ok", "ab", size=3) == "ababab"

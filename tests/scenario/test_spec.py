@@ -158,3 +158,49 @@ class TestUpdated:
         base = _base()
         base.updated(**{"graph.degree": 16})
         assert base.graph.params["degree"] == 4
+
+
+class TestFrozenParams:
+    def test_params_are_immutable(self):
+        from repro.scenario import GraphSpec
+
+        spec = GraphSpec.of("k_regular", degree=4, num_nodes=64)
+        with pytest.raises(TypeError, match="immutable"):
+            spec.params["degree"] = 99
+        with pytest.raises(TypeError, match="immutable"):
+            del spec.params["degree"]
+        assert spec.params["degree"] == 4
+
+    def test_hash_stable_under_mutation_attempts(self):
+        from repro.scenario import GraphSpec
+
+        spec = GraphSpec.of("k_regular", degree=4, num_nodes=64)
+        before = hash(spec)
+        with pytest.raises(TypeError):
+            spec.params["degree"] = 99
+        assert hash(spec) == before
+
+    def test_equality_with_plain_dict(self):
+        from repro.scenario import GraphSpec
+
+        spec = GraphSpec.of("k_regular", degree=4, num_nodes=64)
+        assert spec.params == {"degree": 4, "num_nodes": 64}
+        assert not (spec.params == {"degree": 5, "num_nodes": 64})
+
+    def test_params_pickle_round_trip(self):
+        import pickle
+
+        from repro.scenario import FrozenParams, GraphSpec
+
+        spec = GraphSpec.of("k_regular", degree=4, num_nodes=64)
+        restored = pickle.loads(pickle.dumps(spec))
+        assert restored == spec
+        assert isinstance(restored.params, FrozenParams)
+
+    def test_replacing_still_works(self):
+        from repro.scenario import GraphSpec
+
+        spec = GraphSpec.of("k_regular", degree=4, num_nodes=64)
+        bigger = spec.replacing(num_nodes=128)
+        assert bigger.params == {"degree": 4, "num_nodes": 128}
+        assert spec.params["num_nodes"] == 64

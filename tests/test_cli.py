@@ -139,3 +139,72 @@ class TestScenarioCommands:
     def test_sweep_rejects_bad_mode(self, scenario_file):
         with pytest.raises(SystemExit, match="mode"):
             main(["sweep", scenario_file, "--axis", "rounds=2", "--mode", "warp"])
+
+
+class TestJsonAndAuditCommands:
+    def test_run_json(self, scenario_file, capsys):
+        import json
+
+        main(["run", scenario_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_users"] == 64
+        assert "central_epsilon" in payload
+        assert "empirical_epsilon" in payload
+
+    def test_audit_prints_digest(self, scenario_file, capsys):
+        main(["audit", scenario_file, "--trials", "300"])
+        output = capsys.readouterr().out
+        assert "epsilon_lower_bound" in output
+        assert "best_threshold" in output
+
+    def test_audit_json(self, scenario_file, capsys):
+        import json
+
+        main(["audit", scenario_file, "--trials", "300", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trials"] == 300
+        assert payload["mechanism"].startswith("scenario:weighted_evidence")
+        assert isinstance(payload["epsilon_lower_bound"], float)
+
+    def test_audit_usage_errors(self, scenario_file):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["audit"])
+        with pytest.raises(SystemExit, match="usage"):
+            main(["audit", scenario_file, "--trials"])
+        with pytest.raises(SystemExit, match="usage"):
+            main(["audit", scenario_file, "--trials", "many"])
+
+    def test_audit_invalid_scenario_fails_cleanly(self, tmp_path):
+        from repro import Scenario
+
+        scenario = Scenario(
+            graph={"kind": "k_regular", "params": {"degree": 4, "num_nodes": 64}},
+            mechanism={"kind": "laplace", "params": {"epsilon": 1.0}},
+            rounds=2,
+        )
+        path = tmp_path / "laplace.json"
+        path.write_text(scenario.to_json())
+        with pytest.raises(SystemExit, match="audit failed"):
+            main(["audit", str(path)])
+
+    def test_sweep_audit_mode_table(self, tmp_path, capsys):
+        from repro import Scenario
+
+        scenario = Scenario(
+            graph={"kind": "k_regular", "params": {"degree": 4, "num_nodes": 64}},
+            mechanism={"kind": "rr", "params": {"epsilon": 1.0}},
+            audit={"kind": "weighted_evidence", "params": {"trials": 200}},
+            rounds=4,
+            seed=0,
+        )
+        path = tmp_path / "audited.json"
+        path.write_text(scenario.to_json())
+        main([
+            "sweep", str(path),
+            "--axis", "rounds=0,4",
+            "--mode", "audit",
+        ])
+        output = capsys.readouterr().out
+        assert "eps_hat" in output
+        assert "threshold" in output
+        assert "200" in output
