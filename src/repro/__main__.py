@@ -15,7 +15,11 @@ Commands
 ``run <scenario.json> [--json]``
     Execute one declarative scenario (simulate + account) and print the
     result digest (``--json`` emits machine-readable JSON).  ``-`` reads
-    the scenario from stdin.
+    the scenario from stdin.  Time-varying topologies ride the same
+    commands via the ``schedule`` graph spec (sub-specs plus a
+    round-robin/epoch selector, or ``base`` + ``phases`` churn); such
+    scenarios must set ``rounds`` explicitly and are accounted via the
+    exact scheduled collision mass.
 ``audit <scenario.json> [--trials N] [--json]``
     Run the Theorem 6.1 distinguishing game against the scenario and
     print the measured epsilon lower bound.

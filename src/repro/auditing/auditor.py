@@ -66,12 +66,18 @@ trial count) without being bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
 import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG
 from repro.exceptions import ValidationError
+from repro.graphs.dynamic import (
+    DynamicGraphSchedule,
+    position_distribution_on_schedule,
+    simulate_tokens_on_schedule,
+    simulate_trial_walks_on_schedule,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.walks import (
     lazy_transition_matrix,
@@ -84,9 +90,25 @@ from repro.ldp.randomized_response import BinaryRandomizedResponse
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 from repro.utils.validation import check_delta, check_positive_int
 
+#: Anywhere the auditor takes a topology it accepts a static graph or a
+#: dynamic schedule; the step-walking engines handle both, the kernel
+#: engine (one dense ``M^t``) is static-only and rejects schedules.
+GraphLike = Union[Graph, DynamicGraphSchedule]
+
 #: A trial-batched attacker statistic: maps ``(payloads, holders)``
 #: arrays of shape ``(trials, n)`` to one scalar of evidence per trial.
 AuditStatistic = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _position_distribution(
+    graph: GraphLike, victim: int, rounds: int, laziness: float
+) -> np.ndarray:
+    """The victim's exact ``P(t)`` on a static or time-varying topology."""
+    if isinstance(graph, DynamicGraphSchedule):
+        return position_distribution_on_schedule(
+            graph, victim, rounds, laziness=laziness
+        )
+    return position_distribution(graph, victim, rounds, laziness=laziness)
 
 #: Cap on ``trials * n`` tokens simulated per flat batch; audits larger
 #: than this chunk the trial axis so memory stays bounded.
@@ -243,7 +265,7 @@ def epsilon_lower_bound(
 # Attacker statistics (trial-batched)
 # ----------------------------------------------------------------------
 def weighted_evidence_statistic(
-    graph: Graph,
+    graph: GraphLike,
     rounds: int,
     *,
     laziness: float = 0.0,
@@ -253,8 +275,10 @@ def weighted_evidence_statistic(
 
     Weighs each delivered payload by ``P^G_victim(t)`` at its deliverer:
     the probability the victim's report is the one that deliverer holds.
+    On a dynamic schedule the weights come from the exact scheduled
+    evolution — the adversary knows the topology sequence.
     """
-    weights = position_distribution(graph, victim, rounds, laziness=laziness)
+    weights = _position_distribution(graph, victim, rounds, laziness)
 
     def statistic(payloads: np.ndarray, holders: np.ndarray) -> np.ndarray:
         return (payloads * weights[holders]).sum(axis=1)
@@ -263,7 +287,7 @@ def weighted_evidence_statistic(
 
 
 def topk_evidence_statistic(
-    graph: Graph,
+    graph: GraphLike,
     rounds: int,
     *,
     laziness: float = 0.0,
@@ -277,7 +301,7 @@ def topk_evidence_statistic(
     how much the attack degrades with coarser side information.
     """
     check_positive_int(top_k, "top_k")
-    weights = position_distribution(graph, victim, rounds, laziness=laziness)
+    weights = _position_distribution(graph, victim, rounds, laziness)
     top_k = min(top_k, graph.num_nodes)
     in_top = np.zeros(graph.num_nodes, dtype=bool)
     in_top[np.argpartition(weights, -top_k)[-top_k:]] = True
@@ -288,7 +312,7 @@ def topk_evidence_statistic(
     return statistic
 
 
-def report_sum_statistic(graph: Graph, rounds: int, **_: Any) -> AuditStatistic:
+def report_sum_statistic(graph: GraphLike, rounds: int, **_: Any) -> AuditStatistic:
     """The position-blind adversary: sum of all delivered payloads.
 
     Ignores where reports land, so shuffling grants it nothing beyond
@@ -305,6 +329,26 @@ def report_sum_statistic(graph: Graph, rounds: int, **_: Any) -> AuditStatistic:
 # ----------------------------------------------------------------------
 # Audits
 # ----------------------------------------------------------------------
+def _world_reports(
+    randomizer: LocalRandomizer,
+    value,
+    trials: int,
+    generator: np.random.Generator,
+) -> list:
+    """``trials`` reports of one value, batched when the mechanism can.
+
+    A mechanism that overrides :meth:`LocalRandomizer.randomize_batch`
+    draws all of a world's reports in one vectorized call instead of
+    ``trials`` Python round-trips.  For mechanisms whose batch draw
+    consumes the stream per-value in trial order (binary RR: one
+    uniform per report), the batched world is bit-identical to the
+    per-trial loop; others are statistically equivalent (same law,
+    different draw granularity).  The base-class default is itself the
+    per-report loop, so falling through it changes nothing.
+    """
+    return list(randomizer.randomize_batch([value] * trials, generator))
+
+
 def audit_local_randomizer(
     randomizer: LocalRandomizer,
     value_d,
@@ -317,18 +361,21 @@ def audit_local_randomizer(
 ) -> AuditResult:
     """Audit a local randomizer on a pair of inputs.
 
-    The default statistic is the (float-coerced) report itself.
+    The default statistic is the (float-coerced) report itself.  Each
+    world's ``trials`` reports are drawn through the mechanism's
+    ``randomize_batch`` (one vectorized call for mechanisms that
+    implement it, the per-report loop otherwise).
     """
     check_positive_int(trials, "trials")
     generator = ensure_rng(rng)
     extract = statistic if statistic is not None else float
     stats_d = np.array([
-        extract(randomizer.randomize(value_d, generator))
-        for _ in range(trials)
+        extract(report)
+        for report in _world_reports(randomizer, value_d, trials, generator)
     ])
     stats_d_prime = np.array([
-        extract(randomizer.randomize(value_d_prime, generator))
-        for _ in range(trials)
+        extract(report)
+        for report in _world_reports(randomizer, value_d_prime, trials, generator)
     ])
     eps, threshold = epsilon_lower_bound(stats_d, stats_d_prime, delta)
     return AuditResult(
@@ -351,7 +398,7 @@ def _trial_chunks(trials: int, num_nodes: int):
 
 
 def _tiled_world_statistics(
-    graph: Graph,
+    graph: GraphLike,
     randomizer: BinaryRandomizedResponse,
     rounds: int,
     trials: int,
@@ -361,17 +408,28 @@ def _tiled_world_statistics(
     laziness: float,
     generator: np.random.Generator,
 ) -> np.ndarray:
-    """All of one world's trial statistics via flat tiled walk batches."""
+    """All of one world's trial statistics via flat tiled walk batches.
+
+    A dynamic schedule walks the same tiled batch through
+    :func:`simulate_trial_walks_on_schedule` — one NumPy hop per
+    scheduled round, same estimator.
+    """
     n = graph.num_nodes
     starts = np.arange(n, dtype=np.int64)
+    dynamic = isinstance(graph, DynamicGraphSchedule)
     out = np.empty(trials, dtype=np.float64)
     for done, chunk in _trial_chunks(trials, n):
         bits = generator.integers(0, 2, size=(chunk, n))
         bits[:, victim] = victim_bit
         payloads = randomizer.randomize_batch(bits, generator)
-        holders = simulate_trial_walks(
-            graph, starts, rounds, chunk, laziness=laziness, rng=generator
-        )
+        if dynamic:
+            holders = simulate_trial_walks_on_schedule(
+                graph, starts, rounds, chunk, laziness=laziness, rng=generator
+            )
+        else:
+            holders = simulate_trial_walks(
+                graph, starts, rounds, chunk, laziness=laziness, rng=generator
+            )
         out[done:done + chunk] = statistic(payloads, holders)
     return out
 
@@ -556,7 +614,7 @@ def _kernel_world_statistics(
 
 
 def _looped_world_statistics(
-    graph: Graph,
+    graph: GraphLike,
     randomizer: BinaryRandomizedResponse,
     rounds: int,
     trials: int,
@@ -574,14 +632,20 @@ def _looped_world_statistics(
     """
     n = graph.num_nodes
     starts = np.arange(n, dtype=np.int64)
+    dynamic = isinstance(graph, DynamicGraphSchedule)
     out = np.empty(trials, dtype=np.float64)
     for index in range(trials):
         bits = generator.integers(0, 2, size=n)
         bits[victim] = victim_bit
         payloads = randomizer.randomize_batch(bits, generator)
-        holders = simulate_token_walks(
-            graph, starts, rounds, laziness=laziness, rng=generator
-        )
+        if dynamic:
+            holders = simulate_tokens_on_schedule(
+                graph, starts, rounds, laziness=laziness, rng=generator
+            )
+        else:
+            holders = simulate_token_walks(
+                graph, starts, rounds, laziness=laziness, rng=generator
+            )
         out[index] = statistic(payloads[np.newaxis, :], holders[np.newaxis, :])[0]
     return out
 
@@ -596,20 +660,29 @@ _KERNEL_MAX_NODES = 2048
 _KERNEL_MIN_ROUNDS = 8
 
 
-def _resolve_method(method: str, num_nodes: int, rounds: int) -> str:
+def _resolve_method(method: str, graph: GraphLike, rounds: int) -> str:
     if method not in _AUDIT_METHODS:
         raise ValidationError(
             f"method must be one of {_AUDIT_METHODS}, got {method!r}"
         )
+    if isinstance(graph, DynamicGraphSchedule):
+        if method == "kernel":
+            raise ValidationError(
+                "method='kernel' precomputes one dense t-step kernel "
+                "M^t; a dynamic schedule has no single kernel — use "
+                "method='tiled' (or 'auto'), which walks the schedule "
+                "round by round"
+            )
+        return "tiled" if method == "auto" else method
     if method != "auto":
         return method
-    if num_nodes <= _KERNEL_MAX_NODES and rounds >= _KERNEL_MIN_ROUNDS:
+    if graph.num_nodes <= _KERNEL_MAX_NODES and rounds >= _KERNEL_MIN_ROUNDS:
         return "kernel"
     return "tiled"
 
 
 def audit_network_shuffle(
-    graph: Graph,
+    graph: GraphLike,
     epsilon0: float,
     rounds: int,
     *,
@@ -648,7 +721,7 @@ def audit_network_shuffle(
         raise ValidationError(
             f"victim {victim} out of range for {graph.num_nodes} users"
         )
-    resolved = _resolve_method(method, graph.num_nodes, rounds)
+    resolved = _resolve_method(method, graph, rounds)
     generator = ensure_rng(rng)
     rng_d, rng_d_prime = spawn_rngs(generator, 2)
     randomizer = BinaryRandomizedResponse(epsilon0)

@@ -58,8 +58,12 @@ from repro.graphs.walks import (
 )
 from repro.graphs.dynamic import (
     DynamicGraphSchedule,
+    collision_profile_on_schedule,
     evolve_on_schedule,
+    evolve_profile_on_schedule,
+    position_distribution_on_schedule,
     simulate_tokens_on_schedule,
+    simulate_trial_walks_on_schedule,
     trace_collision_on_schedule,
 )
 from repro.graphs.metrics import (
@@ -101,8 +105,12 @@ __all__ = [
     "sum_squared_positions",
     "total_variation_to_stationary",
     "DynamicGraphSchedule",
+    "collision_profile_on_schedule",
     "evolve_on_schedule",
+    "evolve_profile_on_schedule",
+    "position_distribution_on_schedule",
     "simulate_tokens_on_schedule",
+    "simulate_trial_walks_on_schedule",
     "trace_collision_on_schedule",
     "degree_statistics",
     "irregularity_gamma",

@@ -15,15 +15,16 @@ rather than spectral shortcuts.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+import scipy.sparse as sp
 
-from repro.exceptions import ValidationError
+from repro.exceptions import SimulationError, ValidationError
 from repro.graphs.graph import Graph
-from repro.graphs.walks import lazy_transition_matrix, simulate_token_walks
+from repro.graphs.walks import _HopContext, _hop_tokens, lazy_transition_matrix
 from repro.utils.rng import RngLike, ensure_rng
-from repro.utils.validation import check_probability_vector
+from repro.utils.validation import check_probability, check_probability_vector
 
 
 class DynamicGraphSchedule:
@@ -78,29 +79,77 @@ class DynamicGraphSchedule:
         return self._graphs[index]
 
 
+class _TransitionCache:
+    """Memoized per-graph transposed transition CSRs for one traversal.
+
+    Schedules typically cycle a handful of distinct topologies; building
+    (and transposing) ``lazy_transition_matrix`` once per *distinct
+    graph object* instead of once per round turns an O(rounds) rebuild
+    cost into O(num_graphs).  The cached matrix is exactly the one the
+    unmemoized loop would rebuild, so results stay bit-identical.
+    """
+
+    def __init__(self, schedule: DynamicGraphSchedule, laziness: float):
+        self._schedule = schedule
+        self._laziness = laziness
+        self._matrices: Dict[int, sp.csr_matrix] = {}
+
+    def at(self, round_index: int) -> sp.csr_matrix:
+        """``M_t^T`` (CSR) for the graph in force at ``round_index``."""
+        graph = self._schedule.graph_at(round_index)
+        matrix = self._matrices.get(id(graph))
+        if matrix is None:
+            matrix = lazy_transition_matrix(graph, self._laziness).T.tocsr()
+            self._matrices[id(graph)] = matrix
+        return matrix
+
+
 def evolve_on_schedule(
     schedule: DynamicGraphSchedule,
     initial: np.ndarray,
     steps: int,
     *,
     laziness: float = 0.0,
+    start_round: int = 0,
 ) -> np.ndarray:
     """Exact ``P(t)`` across a dynamic schedule.
 
     Each round applies the transition matrix of that round's graph:
-    ``P(t+1) = M_t^T P(t)``.
+    ``P(t+1) = M_t^T P(t)``.  ``start_round`` offsets the schedule clock
+    so evolutions can resume mid-schedule (incremental sweeps).
     """
     if steps < 0:
         raise ValidationError(f"steps must be non-negative, got {steps}")
     current = check_probability_vector(
         initial, "initial", size=schedule.num_nodes
     ).astype(np.float64)
-    for round_index in range(steps):
-        matrix_t = lazy_transition_matrix(
-            schedule.graph_at(round_index), laziness
-        ).T.tocsr()
-        current = matrix_t @ current
+    cache = _TransitionCache(schedule, laziness)
+    for round_index in range(start_round, start_round + steps):
+        current = cache.at(round_index) @ current
     return current
+
+
+def position_distribution_on_schedule(
+    schedule: DynamicGraphSchedule,
+    start_node: int,
+    steps: int,
+    *,
+    laziness: float = 0.0,
+) -> np.ndarray:
+    """``P(t)`` for a walk started deterministically at ``start_node``.
+
+    The schedule counterpart of
+    :func:`repro.graphs.walks.position_distribution` — what the
+    informed-adversary audit statistics weigh payloads by.
+    """
+    if not 0 <= start_node < schedule.num_nodes:
+        raise ValidationError(
+            f"start_node {start_node} out of range for "
+            f"{schedule.num_nodes} nodes"
+        )
+    initial = np.zeros(schedule.num_nodes)
+    initial[start_node] = 1.0
+    return evolve_on_schedule(schedule, initial, steps, laziness=laziness)
 
 
 def trace_collision_on_schedule(
@@ -120,14 +169,62 @@ def trace_collision_on_schedule(
     current = check_probability_vector(
         initial, "initial", size=schedule.num_nodes
     ).astype(np.float64)
+    cache = _TransitionCache(schedule, laziness)
     collisions = [float(current @ current)]
     for round_index in range(steps):
-        matrix_t = lazy_transition_matrix(
-            schedule.graph_at(round_index), laziness
-        ).T.tocsr()
-        current = matrix_t @ current
+        current = cache.at(round_index) @ current
         collisions.append(float(current @ current))
     return collisions
+
+
+def evolve_profile_on_schedule(
+    schedule: DynamicGraphSchedule,
+    distributions: np.ndarray,
+    steps: int,
+    *,
+    laziness: float = 0.0,
+    start_round: int = 0,
+) -> np.ndarray:
+    """Evolve a column-stacked batch of distributions across the schedule.
+
+    ``distributions`` has shape ``(n, k)`` — column ``j`` is one
+    probability vector; every column advances through the same per-round
+    transition matrices (one sparse-dense product per round).  This is
+    how the accounting layer tracks *every user's* position distribution
+    at once: start from the identity and column ``i`` is ``P^i(t)``.
+    """
+    if steps < 0:
+        raise ValidationError(f"steps must be non-negative, got {steps}")
+    current = np.asarray(distributions, dtype=np.float64)
+    if current.ndim != 2 or current.shape[0] != schedule.num_nodes:
+        raise ValidationError(
+            f"distributions must have shape ({schedule.num_nodes}, k), "
+            f"got {current.shape}"
+        )
+    cache = _TransitionCache(schedule, laziness)
+    for round_index in range(start_round, start_round + steps):
+        current = cache.at(round_index) @ current
+    return current
+
+
+def collision_profile_on_schedule(
+    schedule: DynamicGraphSchedule,
+    steps: int,
+    *,
+    laziness: float = 0.0,
+) -> np.ndarray:
+    """Exact per-user collision mass ``sum_j P^i_j(t)^2``, shape ``(n,)``.
+
+    Column ``i`` of the evolved identity is user ``i``'s exact position
+    distribution after ``steps`` scheduled rounds; its squared L2 norm
+    is the collision mass the Theorem 5.3/5.5 bounds consume.  The max
+    over users is the sound (worst-user) value — no stationarity
+    assumption, which a dynamic schedule could not honor anyway.
+    """
+    profile = evolve_profile_on_schedule(
+        schedule, np.eye(schedule.num_nodes), steps, laziness=laziness
+    )
+    return np.einsum("ij,ij->j", profile, profile)
 
 
 def simulate_tokens_on_schedule(
@@ -138,15 +235,75 @@ def simulate_tokens_on_schedule(
     laziness: float = 0.0,
     rng: RngLike = None,
 ) -> np.ndarray:
-    """Monte-Carlo token walks across a dynamic schedule."""
+    """Monte-Carlo token walks across a dynamic schedule.
+
+    Per-graph degree/CSR lookups (:class:`~repro.graphs.walks._HopContext`)
+    are memoized per *distinct topology* so a cycling schedule pays one
+    degree scan per graph, not per round, and the hop itself is the same
+    kernel as the static walk — identical draws to a static run on a
+    schedule-of-one.  A *moving* token stranded on a node the current
+    topology isolates raises
+    :class:`~repro.exceptions.SimulationError` — the exchange engine's
+    lazy-walk semantics: a token that stays put this round tolerates
+    temporary isolation.  Isolated *start* nodes stay a
+    :class:`~repro.exceptions.ValidationError`, like the static walk.
+    """
+    if steps < 0:
+        raise ValidationError(f"steps must be non-negative, got {steps}")
+    check_probability(laziness, "laziness")
     holders = np.asarray(start_nodes, dtype=np.int64).copy()
+    if holders.size and (
+        holders.min() < 0 or holders.max() >= schedule.num_nodes
+    ):
+        raise ValidationError("start_nodes out of range")
     generator = ensure_rng(rng)
+    contexts: Dict[int, _HopContext] = {}
+
+    def context_for(round_index: int) -> _HopContext:
+        graph = schedule.graph_at(round_index)
+        context = contexts.get(id(graph))
+        if context is None:
+            context = _HopContext(graph)
+            contexts[id(graph)] = context
+        return context
+
+    start_context = context_for(0)
+    if holders.size and start_context.has_isolated and np.any(
+        start_context.degrees[holders] == 0
+    ):
+        raise ValidationError("some tokens start on isolated nodes")
     for round_index in range(steps):
-        holders = simulate_token_walks(
-            schedule.graph_at(round_index),
-            holders,
-            1,
-            laziness=laziness,
-            rng=generator,
-        )
+        try:
+            holders = _hop_tokens(
+                holders, context_for(round_index), laziness, generator
+            )
+        except SimulationError as error:
+            raise SimulationError(f"round {round_index}: {error}") from None
     return holders
+
+
+def simulate_trial_walks_on_schedule(
+    schedule: DynamicGraphSchedule,
+    start_nodes: np.ndarray,
+    steps: int,
+    trials: int,
+    *,
+    laziness: float = 0.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """``trials`` independent repetitions of a scheduled token-walk batch.
+
+    The schedule counterpart of
+    :func:`repro.graphs.walks.simulate_trial_walks`: the trial axis is
+    tiled into the token axis so all ``trials x num_tokens`` walks
+    advance together, one NumPy hop per scheduled round.  Returns shape
+    ``(trials, num_tokens)``.
+    """
+    if trials < 1:
+        raise ValidationError(f"trials must be positive, got {trials}")
+    starts = np.asarray(start_nodes, dtype=np.int64)
+    tiled = np.tile(starts, trials)
+    finals = simulate_tokens_on_schedule(
+        schedule, tiled, steps, laziness=laziness, rng=rng
+    )
+    return finals.reshape(trials, starts.size)

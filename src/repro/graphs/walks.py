@@ -23,7 +23,7 @@ from typing import List
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import ValidationError
+from repro.exceptions import SimulationError, ValidationError
 from repro.graphs.graph import Graph
 from repro.graphs.spectral import stationary_distribution, transition_matrix
 from repro.utils.rng import RngLike, ensure_rng
@@ -197,27 +197,88 @@ def simulate_token_walks(
     holders = np.asarray(start_nodes, dtype=np.int64).copy()
     if holders.size and (holders.min() < 0 or holders.max() >= graph.num_nodes):
         raise ValidationError("start_nodes out of range")
-    degrees = graph.degrees()
-    if np.any(degrees[np.unique(holders)] == 0):
+    context = _HopContext(graph)
+    if context.has_isolated and np.any(context.degrees[holders] == 0):
         raise ValidationError("some tokens start on isolated nodes")
     generator = ensure_rng(rng)
-    indptr, indices = graph.indptr, graph.indices
-    # Regular graphs (the paper's main scenario) hop with a scalar
-    # degree: same uniform draws, one fewer million-element gather per
-    # round.  Results are bit-identical to the general path.
-    uniform_degree = (
-        int(degrees[0]) if degrees.size and degrees.min() == degrees.max() else None
-    )
     for _ in range(steps):
-        node_degrees = uniform_degree if uniform_degree else degrees[holders]
-        offsets = (generator.random(holders.size) * node_degrees).astype(np.int64)
-        destinations = indices[indptr[holders] + offsets]
-        if laziness > 0.0:
-            moving = generator.random(holders.size) >= laziness
-            holders = np.where(moving, destinations, holders)
-        else:
-            holders = destinations
+        holders = _hop_tokens(holders, context, laziness, generator)
     return holders
+
+
+class _HopContext:
+    """Per-graph arrays the vectorized hop needs, computed once.
+
+    This is the single home of the hop's graph-side setup — the static
+    walk builds one per call, the schedule walk memoizes one per
+    distinct topology — so the degree/CSR contract lives in one place.
+    ``uniform_degree`` is the scalar degree of a regular graph (the
+    paper's main scenario: same uniform draws, one fewer million-element
+    gather per round, bit-identical to the general path) or ``None``.
+    """
+
+    __slots__ = ("degrees", "uniform_degree", "has_isolated", "indptr", "indices")
+
+    def __init__(self, graph: Graph):
+        self.degrees = graph.degrees()
+        self.uniform_degree = (
+            int(self.degrees[0])
+            if self.degrees.size and self.degrees.min() == self.degrees.max()
+            else None
+        )
+        self.has_isolated = bool(self.degrees.size) and self.degrees.min() == 0
+        self.indptr = graph.indptr
+        self.indices = graph.indices
+
+
+def _hop_tokens(
+    holders: np.ndarray,
+    context: _HopContext,
+    laziness: float,
+    generator: np.random.Generator,
+) -> np.ndarray:
+    """One walk hop on a prebuilt :class:`_HopContext`.
+
+    A *moving* token on an isolated node raises ``SimulationError`` —
+    the lazy-walk fault-model semantics of the exchange engine: a token
+    that stays put this round (laziness) tolerates temporary isolation.
+    The draw order (hop uniforms, then the laziness mask) is the
+    established stream contract; the guard consumes no randomness.
+    """
+    degrees = context.degrees
+    node_degrees = (
+        context.uniform_degree if context.uniform_degree else degrees[holders]
+    )
+    offsets = (generator.random(holders.size) * node_degrees).astype(np.int64)
+    # Same boundary clamp as the exchange engine: floor(u * degree)
+    # can only reach degree on a contract-violating draw (u == 1.0
+    # from a stubbed/custom generator); bit-identical otherwise.
+    np.minimum(offsets, node_degrees - 1, out=offsets)
+    if context.has_isolated:
+        # Gather only where a neighbor exists (the draws above are
+        # still one per token, keeping the stream contract); whether a
+        # stranded token is an *error* depends on whether it moves.
+        stranded = degrees[holders] == 0
+        destinations = holders.copy()
+        valid = ~stranded
+        destinations[valid] = context.indices[
+            context.indptr[holders[valid]] + offsets[valid]
+        ]
+    else:
+        stranded = None
+        destinations = context.indices[context.indptr[holders] + offsets]
+    if laziness > 0.0:
+        moving = generator.random(holders.size) >= laziness
+        if stranded is not None and np.any(moving & stranded):
+            raise SimulationError(
+                "a moving token's node is isolated in the current topology"
+            )
+        return np.where(moving, destinations, holders)
+    if stranded is not None and np.any(stranded):
+        raise SimulationError(
+            "a moving token's node is isolated in the current topology"
+        )
+    return destinations
 
 
 def simulate_trial_walks(

@@ -35,11 +35,12 @@ order the per-message simulator's inboxes realize.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import SimulationError, ValidationError
+from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
 from repro.netsim.faults import DropoutModel, NoFaults
 from repro.netsim.message import SERVER_ID
@@ -53,7 +54,13 @@ class VectorizedExchange:
     Parameters
     ----------
     graph:
-        Communication graph; tokens hop along its edges.
+        Communication graph; tokens hop along its edges.  Passing a
+        :class:`~repro.graphs.dynamic.DynamicGraphSchedule` makes the
+        topology time-varying: before each round the engine swaps in the
+        schedule's graph for that round index (a pure cache rebind —
+        ``_degrees``/``_indptr``/``_indices`` — consuming no randomness,
+        so the exact RNG contract with the faithful backend is
+        untouched).
     faults:
         Dropout model — offline holders keep their tokens for the round
         (the paper's lazy-walk fault model, Section 4.5).
@@ -66,12 +73,22 @@ class VectorizedExchange:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Union[Graph, DynamicGraphSchedule],
         *,
         faults: Optional[DropoutModel] = None,
         rng: RngLike = None,
         record_trajectories: bool = False,
     ):
+        if isinstance(graph, DynamicGraphSchedule):
+            self.schedule: Optional[DynamicGraphSchedule] = graph
+            graph = graph.graph_at(0)
+        else:
+            self.schedule = None
+        # Schedule swaps cycle a handful of graph objects; memoize their
+        # degree vectors so each swap is a pure rebind, not an O(n)
+        # np.diff per round.  (graph, degrees) pairs: holding the graph
+        # pins its id, so a recycled id can never alias a stale entry.
+        self._degree_cache: dict = {}
         self.graph = graph
         self.faults = faults if faults is not None else NoFaults()
         self.rng = ensure_rng(rng)
@@ -107,6 +124,45 @@ class VectorizedExchange:
         """Whether a final delivery (:meth:`drain`) has emptied the network."""
         return self._drained
 
+    def set_graph(self, graph: Graph) -> None:
+        """Swap the communication graph in place (same node count).
+
+        Rebinds the cached degree/CSR arrays; token positions, meters,
+        iteration order, and the RNG stream are untouched — a swap
+        consumes no randomness, which is what lets a schedule-driven run
+        keep the exact RNG contract with the faithful backend.
+
+        On a schedule-constructed engine the schedule owns the topology:
+        this method is exactly how it rebinds ``graph_at(round_index)``
+        before each round, so a manual swap lasts only until the next
+        round's sync overrides it.  To intervene on topology over time,
+        encode the intervention in the schedule (its selector) instead.
+        """
+        if graph.num_nodes != self.graph.num_nodes:
+            raise ValidationError(
+                f"replacement graph has {graph.num_nodes} nodes, "
+                f"engine has {self.graph.num_nodes}"
+            )
+        self.graph = graph
+        cached = (
+            self._degree_cache.get(id(graph))
+            if self.schedule is not None else None
+        )
+        if cached is None or cached[0] is not graph:
+            cached = (graph, graph.degrees())
+            if self.schedule is not None:
+                self._degree_cache[id(graph)] = cached
+        self._degrees = cached[1]
+        self._indptr = graph.indptr
+        self._indices = graph.indices
+
+    def _sync_schedule(self) -> None:
+        """Bind the scheduled topology for the current round (if any)."""
+        if self.schedule is not None:
+            graph = self.schedule.graph_at(self.round_index)
+            if graph is not self.graph:
+                self.set_graph(graph)
+
     def seed_tokens(self, origins: np.ndarray) -> None:
         """Place one token per entry of ``origins`` at that node.
 
@@ -124,6 +180,9 @@ class VectorizedExchange:
             origins.min() < 0 or origins.max() >= self.num_users
         ):
             raise ValidationError("token origins out of range")
+        # Validate isolation against the topology in force at the next
+        # round — on a schedule the seeding round's graph, not graph 0.
+        self._sync_schedule()
         if origins.size and np.any(self._degrees[np.unique(origins)] == 0):
             raise ValidationError("some tokens start on isolated nodes")
         if self._drained:
@@ -155,6 +214,9 @@ class VectorizedExchange:
     def run_round(self) -> None:
         """One synchronous exchange round (lines 4-8 of Algorithms 1/2)."""
         n = self.num_users
+        # Topology swap first: it consumes no randomness, so the fault
+        # and hop draws below stay in lockstep with the faithful backend.
+        self._sync_schedule()
         offline = self.faults.offline_mask(n, self.round_index, self.rng)
         if self._drained:
             # Delivered tokens left the network: the round is a no-op
@@ -169,8 +231,20 @@ class VectorizedExchange:
         stayers = order[~moving_mask]
 
         sources = self.token_position[movers]
+        source_degrees = self._degrees[sources]
+        if movers.size and source_degrees.min() == 0:
+            raise SimulationError(
+                f"round {self.round_index}: a held token's node is "
+                "isolated in the current topology"
+            )
         draws = self.rng.random(movers.size)
-        offsets = (draws * self._degrees[sources]).astype(np.int64)
+        offsets = (draws * source_degrees).astype(np.int64)
+        # floor(u * degree) lands in [0, degree) for every conforming
+        # float64 draw, but a contract-violating u (a stubbed/custom
+        # generator yielding 1.0, or float32 upstream) would index one
+        # past the neighbor slice; clamping is bit-identical for all
+        # non-boundary draws.
+        np.minimum(offsets, source_degrees - 1, out=offsets)
         destinations = self._indices[self._indptr[sources] + offsets]
         self.token_position[movers] = destinations
 

@@ -20,11 +20,12 @@ the fast one (see ``tests/netsim/test_engine.py``).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import SimulationError, ValidationError
+from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
 from repro.netsim.engine import VectorizedExchange
 from repro.netsim.faults import DropoutModel, NoFaults
@@ -44,7 +45,13 @@ class RoundBasedNetwork:
     Parameters
     ----------
     graph:
-        The communication graph.
+        The communication graph, or a
+        :class:`~repro.graphs.dynamic.DynamicGraphSchedule` for a
+        time-varying topology.  On a schedule, both backends bind the
+        scheduled graph for each round before any randomness is drawn —
+        the vectorized engine swaps its CSR caches, the faithful path
+        rebinds every ``Node``'s neighbor list — so the exact RNG
+        contract (and the equivalence oracle) extends to schedules.
     faults:
         Dropout model; offline holders keep their items for the round.
     rng:
@@ -57,7 +64,7 @@ class RoundBasedNetwork:
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Union[Graph, DynamicGraphSchedule],
         *,
         faults: Optional[DropoutModel] = None,
         rng: RngLike = None,
@@ -67,7 +74,12 @@ class RoundBasedNetwork:
             raise ValidationError(
                 f"unknown backend {backend!r}; use one of {BACKENDS}"
             )
-        self.graph = graph
+        if isinstance(graph, DynamicGraphSchedule):
+            self.schedule: Optional[DynamicGraphSchedule] = graph
+            self._graph = graph.graph_at(0)
+        else:
+            self.schedule = None
+            self._graph = graph
         self.backend = backend
         self.faults = faults if faults is not None else NoFaults()
         self.rng = ensure_rng(rng)
@@ -80,17 +92,28 @@ class RoundBasedNetwork:
             self.meters: MeterBoard | VectorMeterBoard = MeterBoard()
             self.nodes = {
                 node_id: Node(
-                    node_id, graph.neighbors(node_id), self.meters.meter(node_id)
+                    node_id,
+                    self._graph.neighbors(node_id),
+                    self.meters.meter(node_id),
                 )
-                for node_id in range(graph.num_nodes)
+                for node_id in range(self._graph.num_nodes)
             }
             self.server = Server(self.meters.meter(SERVER_ID))
         else:
             self._engine = VectorizedExchange(
-                graph, faults=self.faults, rng=self.rng
+                graph if self.schedule is None else self.schedule,
+                faults=self.faults,
+                rng=self.rng,
             )
             self.meters = self._engine.meters
             self.server = Server(self.meters.server_meter)
+
+    @property
+    def graph(self) -> Graph:
+        """The topology currently in force (tracks the schedule)."""
+        if self._engine is not None:
+            return self._engine.graph
+        return self._graph
 
     @property
     def num_users(self) -> int:
@@ -149,6 +172,32 @@ class RoundBasedNetwork:
     # ------------------------------------------------------------------
     # Exchange rounds
     # ------------------------------------------------------------------
+    def set_graph(self, graph: Graph) -> None:
+        """Swap the communication graph in place (same node count).
+
+        On the vectorized backend this delegates to the engine's CSR
+        swap; on the faithful backend every ``Node``'s neighbor list is
+        rebound.  Neither path consumes randomness, so seeded runs stay
+        bit-identical across backends through a swap.
+
+        On a schedule-constructed network the schedule owns the
+        topology — it rebinds ``graph_at(round_index)`` through this
+        very method before each round, so a manual swap lasts only
+        until the next round's sync.  Encode persistent interventions
+        in the schedule's selector instead.
+        """
+        if self._engine is not None:
+            self._engine.set_graph(graph)
+            return
+        if graph.num_nodes != self._graph.num_nodes:
+            raise ValidationError(
+                f"replacement graph has {graph.num_nodes} nodes, "
+                f"network has {self._graph.num_nodes}"
+            )
+        self._graph = graph
+        for node_id, node in self.nodes.items():
+            node.neighbors = graph.neighbors(node_id)
+
     def run_exchange_round(self) -> None:
         """One synchronous exchange round (lines 4-8 of Algorithms 1/2).
 
@@ -158,6 +207,10 @@ class RoundBasedNetwork:
         if self._engine is not None:
             self._engine.run_round()
             return
+        if self.schedule is not None:
+            graph = self.schedule.graph_at(self._round_index)
+            if graph is not self._graph:
+                self.set_graph(graph)
         offline = self.faults.offline_mask(
             self.num_users, self._round_index, self.rng
         )

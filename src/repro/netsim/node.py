@@ -6,6 +6,7 @@ from typing import Any, List
 
 import numpy as np
 
+from repro.exceptions import SimulationError
 from repro.netsim.metrics import EntityMeter
 
 
@@ -50,8 +51,16 @@ class Node:
         :mod:`repro.netsim.engine`).
         """
         if self.neighbors.size == 0:
-            raise ValueError(f"node {self.node_id} has no neighbors")
-        return int(self.neighbors[int(rng.random() * self.neighbors.size)])
+            # Same exception type as the vectorized engine's isolated-
+            # holder guard, so the backends fail identically when a
+            # schedule swap strands an item on an isolated node.
+            raise SimulationError(f"node {self.node_id} has no neighbors")
+        # Clamp the boundary: floor(u * degree) stays below degree for
+        # every conforming float64 draw, but a contract-violating u
+        # (e.g. a stubbed generator yielding 1.0) would index one past
+        # the slice.  Identical to the vectorized engine's clamp.
+        offset = min(int(rng.random() * self.neighbors.size), self.neighbors.size - 1)
+        return int(self.neighbors[offset])
 
     def __repr__(self) -> str:
         return (

@@ -8,11 +8,12 @@ nothing).
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import ProtocolError, ValidationError
+from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
 from repro.ldp.base import LocalRandomizer
 from repro.netsim.faults import DropoutModel, IndependentDropout
@@ -79,7 +80,7 @@ def _randomize_inputs(
 
 
 def run_all_protocol(
-    graph: Graph,
+    graph: Union[Graph, DynamicGraphSchedule],
     rounds: int,
     *,
     values: Optional[Sequence[Any]] = None,
@@ -94,7 +95,9 @@ def run_all_protocol(
     Parameters
     ----------
     graph:
-        The communication network; every user participates.
+        The communication network; every user participates.  A
+        :class:`~repro.graphs.dynamic.DynamicGraphSchedule` runs the
+        exchange on a time-varying topology (churn, failover).
     rounds:
         Number of exchange rounds ``t``.
     values:

@@ -10,11 +10,12 @@ dummies (utility loss — the Figure 9 trade-off).
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
 from repro.ldp.base import LocalRandomizer
 from repro.netsim.faults import DropoutModel
@@ -42,7 +43,7 @@ def _make_dummy(
 
 
 def run_single_protocol(
-    graph: Graph,
+    graph: Union[Graph, DynamicGraphSchedule],
     rounds: int,
     *,
     values: Optional[Sequence[Any]] = None,

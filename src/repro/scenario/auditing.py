@@ -28,6 +28,7 @@ from repro.scenario.runner import (
     _accounting_laziness,
     _bundle_for,
     _resolve_epsilon0,
+    _resolve_rounds,
     build_mechanism,
     seed_streams,
 )
@@ -80,7 +81,10 @@ def audit(
         Overrides the scenario's (resolved) exchange rounds.
     method:
         Monte Carlo engine override, forwarded to
-        :func:`repro.auditing.auditor.audit_network_shuffle`.
+        :func:`repro.auditing.auditor.audit_network_shuffle`.  On a
+        ``schedule`` graph spec the walk-stepping engines (``tiled``,
+        ``loop``) apply and ``auto`` resolves to ``tiled``; ``kernel``
+        precomputes one static ``M^t`` and rejects schedules loudly.
     rng:
         Overrides the scenario seed's ``audit`` child stream — pass an
         explicit generator to draw audit replicas without re-deriving
@@ -93,9 +97,7 @@ def audit(
         )
     epsilon0 = _audit_epsilon0(scenario)
     bundle = _bundle_for(scenario)
-    steps = rounds if rounds is not None else scenario.rounds
-    if steps is None:
-        steps = bundle.summary.mixing_time
+    steps = _resolve_rounds(scenario, bundle, rounds)
     laziness = _accounting_laziness(scenario)
 
     spec = scenario.audit if scenario.audit is not None else AuditSpec(

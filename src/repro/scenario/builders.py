@@ -33,7 +33,10 @@ from repro.datasets.registry import get_dataset
 from repro.datasets.synthetic import build_dataset
 from repro.exceptions import ValidationError
 from repro.graphs import generators
+from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
+from repro.scenario.spec import GraphSpec
+from repro.utils.rng import spawn_rngs
 from repro.ldp import (
     BinaryRandomizedResponse,
     GaussianMechanism,
@@ -127,6 +130,105 @@ def _dataset(
     """Calibrated Table 4 stand-in (facebook, twitch, deezer, enron, google)."""
     seed = int(rng.integers(0, 2**31 - 1))
     return build_dataset(name, scale=scale, seed=seed).graph
+
+
+#: Selector kinds a schedule spec accepts.  ``round_robin`` cycles the
+#: sub-graphs one round each; ``epoch`` holds each for ``block`` rounds.
+_SCHEDULE_SELECTORS = ("round_robin", "epoch")
+
+
+@dataclass(frozen=True)
+class _EpochSelector:
+    """Hold each scheduled graph for ``block`` consecutive rounds.
+
+    A module-level callable (not a lambda) so built schedules — and the
+    RunResults that carry them — stay picklable for pooled sweeps.
+    """
+
+    block: int
+    count: int
+
+    def __call__(self, round_index: int) -> int:
+        return (round_index // self.block) % self.count
+
+
+@GRAPHS.register(
+    "schedule",
+    example={
+        "graphs": [
+            {"kind": "k_regular", "params": {"degree": 4, "num_nodes": 64}},
+            {"kind": "k_regular", "params": {"degree": 6, "num_nodes": 64}},
+        ],
+        "selector": "epoch",
+        "block": 2,
+    },
+)
+def _schedule(
+    rng: np.random.Generator,
+    *,
+    graphs: List[Any] | None = None,
+    base: Any | None = None,
+    phases: int | None = None,
+    selector: str = "round_robin",
+    block: int = 1,
+) -> DynamicGraphSchedule:
+    """Time-varying topology: sub-graph specs plus a round selector.
+
+    Two ways to supply the topologies (exactly one required):
+
+    * ``graphs`` — an explicit list of graph sub-specs (any registered
+      kind except ``schedule`` itself), e.g. a partition-then-heal pair;
+    * ``base`` + ``phases`` — seeded churn-rewiring: ``phases``
+      realizations of one ``base`` spec, each built from its own child
+      generator, so random generators (``k_regular``, ``erdos_renyi``,
+      ``watts_strogatz``, ...) re-draw their edges every phase.
+
+    ``selector="round_robin"`` cycles the sub-graphs one round each;
+    ``selector="epoch"`` holds each in force for ``block`` consecutive
+    rounds before cycling to the next.
+    """
+    if (graphs is None) == (base is None):
+        raise ValidationError(
+            "a schedule needs either 'graphs' (explicit sub-specs) or "
+            "'base' + 'phases' (seeded churn), not both"
+        )
+    if selector not in _SCHEDULE_SELECTORS:
+        raise ValidationError(
+            f"selector must be one of {_SCHEDULE_SELECTORS}, got {selector!r}"
+        )
+    check_positive_int(block, "block")
+    if selector != "epoch" and block != 1:
+        raise ValidationError(
+            "'block' applies to selector='epoch'; round_robin cycles one "
+            "round per graph"
+        )
+    if graphs is not None:
+        if phases is not None:
+            raise ValidationError(
+                "'phases' applies to 'base' churn schedules; an explicit "
+                "'graphs' list fixes the phase count"
+            )
+        if not isinstance(graphs, (list, tuple)) or not graphs:
+            raise ValidationError("'graphs' must be a non-empty list of specs")
+        specs = [GraphSpec.coerce(entry) for entry in graphs]
+    else:
+        check_positive_int(phases, "phases")
+        specs = [GraphSpec.coerce(base)] * phases
+    for spec in specs:
+        if spec.kind == "schedule":
+            raise ValidationError("schedules cannot nest schedule sub-specs")
+    # One child generator per phase: sub-graphs draw from independent
+    # streams, so inserting/removing a phase never shifts the others.
+    children = spawn_rngs(rng, len(specs))
+    built = [
+        GRAPHS.build(spec.kind, child, **spec.params)
+        for spec, child in zip(specs, children)
+    ]
+    if selector == "epoch" and block > 1:
+        return DynamicGraphSchedule(
+            built, selector=_EpochSelector(block, len(built))
+        )
+    return DynamicGraphSchedule(built)
 
 
 # ----------------------------------------------------------------------

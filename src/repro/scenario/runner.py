@@ -22,7 +22,7 @@ import json
 import time
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -35,6 +35,10 @@ from repro.amplification.network_shuffle import (
     epsilon_single_symmetric,
 )
 from repro.exceptions import ValidationError
+from repro.graphs.dynamic import (
+    DynamicGraphSchedule,
+    evolve_profile_on_schedule,
+)
 from repro.graphs.graph import Graph
 from repro.graphs.spectral import SpectralSummary, spectral_summary
 from repro.graphs.walks import evolve_distribution, position_distribution
@@ -79,10 +83,23 @@ def seed_streams(seed: int) -> SeedStreams:
 # ----------------------------------------------------------------------
 # Graph materialization (cached across a sweep)
 # ----------------------------------------------------------------------
-class _GraphBundle:
-    """A materialized graph plus its lazily computed spectral summary."""
+#: Largest schedule (node count) the exact dense collision profile will
+#: track: the accounting evolves an (n, n) matrix, so past this the
+#: memory/products cost is no longer incidental.  Refused loudly —
+#: there is no sound spectral shortcut on a time-varying topology.
+_SCHEDULE_PROFILE_MAX_NODES = 4096
 
-    def __init__(self, graph: Graph):
+
+class _GraphBundle:
+    """A materialized graph plus its lazily computed spectral summary.
+
+    For a ``schedule`` spec the materialized object is a
+    :class:`DynamicGraphSchedule`; spectral machinery (summary, mixing
+    time) is undefined on it — accounting goes through the exact
+    :meth:`schedule_collision` tracking instead.
+    """
+
+    def __init__(self, graph: Union[Graph, DynamicGraphSchedule]):
         self.graph = graph
         self._summary: Optional[SpectralSummary] = None
         # Per-laziness walk cache: laziness -> (steps, distribution).
@@ -91,12 +108,67 @@ class _GraphBundle:
         # same matrix-vector sequence as a from-scratch walk, so the
         # result is bit-identical.
         self._walks: Dict[float, tuple] = {}
+        # Schedule analogue of the walk cache, but bounded to ONE entry:
+        # laziness -> (steps, dense (n, n) profile whose column i is
+        # user i's exact position distribution).  A profile near the
+        # node cap is ~134 MB, so only the most recent laziness is
+        # retained — ascending-rounds sweeps (the common shape) still
+        # evolve incrementally; a laziness sweep recomputes per value.
+        self._profiles: Dict[float, tuple] = {}
+
+    @property
+    def is_schedule(self) -> bool:
+        return isinstance(self.graph, DynamicGraphSchedule)
 
     @property
     def summary(self) -> SpectralSummary:
+        if self.is_schedule:
+            raise ValidationError(
+                "a dynamic graph schedule has no spectral summary (no "
+                "single mixing time / stationary distribution); set "
+                "`rounds` explicitly and use analysis='stationary' — "
+                "schedule accounting tracks the exact collision mass"
+            )
         if self._summary is None:
             self._summary = spectral_summary(self.graph)
         return self._summary
+
+    def schedule_collision(self, steps: int, laziness: float) -> float:
+        """Worst-user exact collision mass after ``steps`` scheduled rounds.
+
+        Evolves every user's position distribution at once (one dense
+        (n, n) profile, one sparse-dense product per round, transition
+        CSRs memoized per distinct topology) and returns
+        ``max_i sum_j P^i_j(t)^2`` — the sound per-user value the
+        Theorem 5.3/5.5 bounds consume, with no stationarity
+        assumption.  Ascending-``rounds`` sweeps evolve incrementally
+        from the cached longest profile, bit-identical to from-scratch.
+        """
+        schedule = self.graph
+        n = schedule.num_nodes
+        if n > _SCHEDULE_PROFILE_MAX_NODES:
+            raise ValidationError(
+                f"exact schedule accounting tracks an (n, n) profile; "
+                f"n={n} exceeds the {_SCHEDULE_PROFILE_MAX_NODES}-node "
+                "cap. Run the scenario simulation-only (no mechanism / "
+                "epsilon0) and account offline."
+            )
+        key = float(laziness)
+        cached = self._profiles.get(key)
+        if cached is not None and cached[0] <= steps:
+            done, profile = cached
+        else:
+            # A descending-rounds request recomputes from scratch
+            # without downgrading the cache for later, longer requests.
+            done, profile = 0, np.eye(n)
+        profile = evolve_profile_on_schedule(
+            schedule, profile, steps - done,
+            laziness=laziness, start_round=done,
+        )
+        if cached is None or steps >= cached[0]:
+            self._profiles.clear()
+            self._profiles[key] = (steps, profile)
+        return float(np.einsum("ij,ij->j", profile, profile).max())
 
     def walk_distribution(self, steps: int, laziness: float) -> np.ndarray:
         """Exact ``P(t)`` from node 0, memoized per laziness.
@@ -136,8 +208,12 @@ def _bundle_for(scenario: Scenario) -> _GraphBundle:
     return _cached_bundle(key, scenario.seed)
 
 
-def build_graph(scenario: Scenario) -> Graph:
-    """Materialize the scenario's graph (memoized per spec + seed)."""
+def build_graph(scenario: Scenario) -> Union[Graph, DynamicGraphSchedule]:
+    """Materialize the scenario's graph (memoized per spec + seed).
+
+    A ``schedule`` spec materializes to a
+    :class:`~repro.graphs.dynamic.DynamicGraphSchedule`.
+    """
     return _bundle_for(scenario).graph
 
 
@@ -243,15 +319,43 @@ def _accounting_laziness(scenario: Scenario) -> float:
     )
 
 
-def _require_regular(graph: Graph) -> None:
+def _require_regular(graph: Union[Graph, DynamicGraphSchedule]) -> None:
     """Symmetric analysis assumes vertex transitivity: every user's walk
     distribution is a relabeling of node 0's.  On an irregular graph the
     node-0 bound would not hold for all users, so refuse."""
+    if isinstance(graph, DynamicGraphSchedule):
+        raise ValidationError(
+            "analysis='symmetric' (Theorems 5.4/5.6) assumes one vertex-"
+            "transitive topology; a dynamic schedule is not jointly "
+            "transitive — use analysis='stationary', which tracks every "
+            "user's exact collision mass across the schedule"
+        )
     if not graph.is_regular():
         raise ValidationError(
             "analysis='symmetric' (Theorems 5.4/5.6) requires a k-regular "
             "graph; use analysis='stationary' for irregular topologies"
         )
+
+
+def _resolve_rounds(
+    scenario: Scenario, bundle: _GraphBundle, override: Optional[int] = None
+) -> int:
+    """The exchange round count to account/simulate at.
+
+    Static graphs default to the mixing time (the paper's operating
+    point); a dynamic schedule has no mixing time, so it requires the
+    scenario (or the caller) to fix ``rounds`` explicitly.
+    """
+    steps = override if override is not None else scenario.rounds
+    if steps is None:
+        if bundle.is_schedule:
+            raise ValidationError(
+                "a schedule scenario has no default round count (no "
+                "mixing time on a time-varying topology); set "
+                "scenario.rounds explicitly"
+            )
+        steps = bundle.summary.mixing_time
+    return steps
 
 
 def _lazy_sum_squared(summary: SpectralSummary, steps: int, laziness: float) -> float:
@@ -278,6 +382,12 @@ def bound(scenario: Scenario, *, rounds: Optional[int] = None) -> NetworkShuffle
     at ``rounds``; ``analysis="symmetric"`` tracks the exact per-user
     position distribution (with the scenario's laziness, Section 4.5).
     ``rounds`` overrides the scenario's (resolved) round count.
+
+    A ``schedule`` graph spec is accounted *exactly*: every user's
+    position distribution is evolved through the per-round topologies
+    (:func:`repro.graphs.dynamic.evolve_profile_on_schedule`) and the
+    worst user's collision mass feeds the Theorem 5.3/5.5 bounds — no
+    stationarity assumption, which a time-varying walk could not honor.
     """
     bundle = _bundle_for(scenario)
     mechanism = build_mechanism(scenario)
@@ -287,9 +397,7 @@ def bound(scenario: Scenario, *, rounds: Optional[int] = None) -> NetworkShuffle
             "accounting requires a mechanism or an explicit epsilon0"
         )
     n = bundle.graph.num_nodes
-    steps = rounds if rounds is not None else scenario.rounds
-    if steps is None:
-        steps = bundle.summary.mixing_time
+    steps = _resolve_rounds(scenario, bundle, rounds)
     delta0 = _mechanism_delta0(mechanism)
     laziness = _accounting_laziness(scenario)
     if scenario.analysis == "symmetric":
@@ -298,7 +406,10 @@ def bound(scenario: Scenario, *, rounds: Optional[int] = None) -> NetworkShuffle
         return _theorem_bound(
             scenario, epsilon0, n, distribution=distribution, delta0=delta0
         )
-    sum_squared = _lazy_sum_squared(bundle.summary, steps, laziness)
+    if bundle.is_schedule:
+        sum_squared = bundle.schedule_collision(steps, laziness)
+    else:
+        sum_squared = _lazy_sum_squared(bundle.summary, steps, laziness)
     return _theorem_bound(
         scenario, epsilon0, n, sum_squared=sum_squared, delta0=delta0
     )
@@ -322,6 +433,12 @@ def stationary_bound(scenario: Scenario) -> NetworkShuffleBound:
     # returned laziness itself is irrelevant here: a lazy walk keeps the
     # stationary distribution, so the at-stationarity price is unchanged.
     _accounting_laziness(scenario)
+    if scenario.graph.kind == "schedule":
+        raise ValidationError(
+            "stationary_bound prices the walk *at stationarity*; a "
+            "dynamic schedule has no stationary distribution — use "
+            "bound(scenario) for exact schedule accounting"
+        )
     kind = scenario.graph.kind
     if kind in GRAPH_STATS:
         stats = GRAPH_STATS.build(kind, **scenario.graph.params)
@@ -384,7 +501,7 @@ class RunResult:
     """
 
     scenario: Scenario
-    graph: Graph
+    graph: Union[Graph, DynamicGraphSchedule]
     rounds: int
     mechanism: Optional[LocalRandomizer]
     values: Optional[List[Any]]
@@ -439,9 +556,7 @@ def run(scenario: Scenario) -> RunResult:
     streams = seed_streams(scenario.seed)
     bundle = _bundle_for(scenario)
     graph = bundle.graph
-    rounds = scenario.rounds
-    if rounds is None:
-        rounds = bundle.summary.mixing_time
+    rounds = _resolve_rounds(scenario, bundle)
     mechanism = build_mechanism(scenario)
     # Resolve the budget (and any mechanism/epsilon0 mismatch,
     # unaccountable fault model, or symmetric-on-irregular-graph

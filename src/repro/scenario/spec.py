@@ -180,7 +180,13 @@ class ComponentSpec:
 
 
 class GraphSpec(ComponentSpec):
-    """Reference into the graph registry (``"k_regular"``, ``"dataset"``, ...)."""
+    """Reference into the graph registry (``"k_regular"``, ``"dataset"``, ...).
+
+    The ``"schedule"`` kind nests further graph sub-specs in its params
+    (a time-varying topology); sub-specs are plain ``{kind, params}``
+    payloads, so a schedule round-trips through JSON like any spec and
+    its selector/block knobs sweep via dotted paths (``graph.block``).
+    """
 
 
 class MechanismSpec(ComponentSpec):

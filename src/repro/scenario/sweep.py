@@ -132,7 +132,10 @@ def sweep(
     mode:
         ``"run"`` (simulate + account), ``"bound"`` (theorem on the
         materialized graph, no simulation), or ``"stationary_bound"``
-        (closed form, no graph).
+        (closed form, no graph).  Schedule scenarios sweep through
+        ``"run"``/``"bound"``/``"audit"`` (exact scheduled accounting);
+        ``"stationary_bound"`` refuses them — a time-varying walk has
+        no stationary distribution.
     workers:
         0/1 executes sequentially in-process (graph cache shared across
         points); >= 2 fans out to a ``ProcessPoolExecutor`` — worth it

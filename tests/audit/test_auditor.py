@@ -415,3 +415,120 @@ class TestVictimParameter:
         # t=0 with the game flipping user 7: the informed adversary
         # still recovers ~the local loss.
         assert result.epsilon_lower_bound > 0.5
+
+
+class TestScheduleAuditing:
+    """The step-walking engines extend to dynamic schedules; the kernel
+    engine (one static dense M^t) refuses them loudly."""
+
+    @pytest.fixture
+    def schedule(self):
+        from repro.graphs.dynamic import DynamicGraphSchedule
+
+        return DynamicGraphSchedule([
+            random_regular_graph(4, 60, rng=0),
+            random_regular_graph(6, 60, rng=1),
+        ])
+
+    def test_auto_resolves_to_tiled(self, schedule):
+        result = audit_network_shuffle(schedule, 1.0, 4, trials=150, rng=0)
+        assert result.epsilon_lower_bound >= 0.0
+
+    def test_kernel_rejected(self, schedule):
+        with pytest.raises(ValidationError, match="kernel"):
+            audit_network_shuffle(
+                schedule, 1.0, 4, trials=150, method="kernel", rng=0
+            )
+
+    def test_tiled_and_loop_agree_statistically(self, schedule):
+        tiled = audit_network_shuffle(
+            schedule, 2.0, 0, trials=800, method="tiled", rng=0
+        )
+        looped = audit_network_shuffle(
+            schedule, 2.0, 0, trials=800, method="loop", rng=0
+        )
+        # t=0: both should measure ~eps0 (same estimator, same trial
+        # count; draws differ in granularity only).
+        assert tiled.epsilon_lower_bound == pytest.approx(
+            looped.epsilon_lower_bound, abs=0.6
+        )
+        assert tiled.epsilon_lower_bound > 0.8
+
+    def test_mixing_on_schedule_amplifies(self, schedule):
+        raw = audit_network_shuffle(schedule, 3.0, 0, trials=500, rng=1)
+        mixed = audit_network_shuffle(schedule, 3.0, 12, trials=500, rng=1)
+        assert mixed.epsilon_lower_bound < raw.epsilon_lower_bound
+
+    def test_weighted_statistic_uses_scheduled_evolution(self, schedule):
+        from repro.graphs.dynamic import position_distribution_on_schedule
+
+        statistic = weighted_evidence_statistic(schedule, 5)
+        weights = position_distribution_on_schedule(schedule, 0, 5)
+        payloads = np.ones((1, 60))
+        holders = np.tile(np.arange(60), (1, 1))
+        assert statistic(payloads, holders)[0] == pytest.approx(
+            weights.sum()
+        )
+
+
+class TestBatchedLocalAudit:
+    """audit_local_randomizer draws each world through randomize_batch."""
+
+    def test_binary_rr_bit_identical_to_per_trial_loop(self):
+        """Binary RR's batch draw consumes one uniform per report in
+        trial order — exactly the per-trial loop's stream — so the
+        batched audit reproduces the looped audit bit for bit."""
+        randomizer = BinaryRandomizedResponse(1.5)
+        batched = audit_local_randomizer(
+            randomizer, 0, 1, trials=400, rng=7
+        )
+        generator = np.random.default_rng(7)
+        stats_d = np.array([
+            float(randomizer.randomize(0, generator)) for _ in range(400)
+        ])
+        stats_d_prime = np.array([
+            float(randomizer.randomize(1, generator)) for _ in range(400)
+        ])
+        eps, threshold = epsilon_lower_bound(stats_d, stats_d_prime, 0.0)
+        assert batched.epsilon_lower_bound == eps
+        assert batched.best_threshold == threshold
+
+    def test_default_batch_falls_back_to_loop_exactly(self):
+        """A mechanism without a vectorized batch uses the base-class
+        per-report loop — the audit is unchanged for it."""
+        from repro.ldp.base import LocalRandomizer
+
+        class _Loopy(LocalRandomizer):
+            def __init__(self):
+                super().__init__(1.0)
+
+            def _randomize(self, value, rng):
+                return value if rng.random() < 0.7 else 1 - value
+
+        batched = audit_local_randomizer(_Loopy(), 0, 1, trials=300, rng=5)
+        generator = np.random.default_rng(5)
+        loopy = _Loopy()
+        stats_d = np.array([
+            float(loopy.randomize(0, generator)) for _ in range(300)
+        ])
+        stats_d_prime = np.array([
+            float(loopy.randomize(1, generator)) for _ in range(300)
+        ])
+        eps, _ = epsilon_lower_bound(stats_d, stats_d_prime, 0.0)
+        assert batched.epsilon_lower_bound == eps
+
+    def test_custom_statistic_applies_per_report(self):
+        randomizer = BinaryRandomizedResponse(2.0)
+        result = audit_local_randomizer(
+            randomizer, 0, 1, trials=500,
+            statistic=lambda report: 10.0 * float(report), rng=0,
+        )
+        assert result.epsilon_lower_bound > 0.5
+
+    def test_laplace_batch_audit_still_measures_eps(self):
+        """Laplace overrides randomize_batch (different draw granularity
+        than the loop — statistically equivalent, and much faster)."""
+        result = audit_local_randomizer(
+            LaplaceMechanism(1.0, 0.0, 1.0), 0.0, 1.0, trials=4000, rng=0
+        )
+        assert 0.2 < result.epsilon_lower_bound <= 1.2

@@ -8,8 +8,12 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.graphs.dynamic import (
     DynamicGraphSchedule,
+    collision_profile_on_schedule,
     evolve_on_schedule,
+    evolve_profile_on_schedule,
+    position_distribution_on_schedule,
     simulate_tokens_on_schedule,
+    simulate_trial_walks_on_schedule,
     trace_collision_on_schedule,
 )
 from repro.graphs.generators import (
@@ -17,7 +21,7 @@ from repro.graphs.generators import (
     cycle_graph,
     random_regular_graph,
 )
-from repro.graphs.walks import evolve_distribution
+from repro.graphs.walks import evolve_distribution, position_distribution
 
 
 @pytest.fixture
@@ -113,6 +117,97 @@ class TestTraceCollision:
             assert value == pytest.approx(1.0 / 60, rel=0.05)
 
 
+class TestMemoizedTransitions:
+    """The per-graph CSR memo must leave results bit-identical."""
+
+    def test_repeated_graph_matches_static_walk_exactly(self):
+        graph = random_regular_graph(4, 40, rng=0)
+        schedule = DynamicGraphSchedule([graph])  # every round reuses it
+        initial = np.zeros(40)
+        initial[0] = 1.0
+        dynamic = evolve_on_schedule(schedule, initial, 12)
+        static = evolve_distribution(graph, initial, 12)
+        np.testing.assert_array_equal(dynamic, static)
+
+    def test_trace_matches_manual_unmemoized_loop(self, two_graphs):
+        from repro.graphs.walks import lazy_transition_matrix
+
+        schedule = DynamicGraphSchedule(two_graphs)
+        initial = np.zeros(60)
+        initial[0] = 1.0
+        memoized = trace_collision_on_schedule(
+            schedule, initial, 9, laziness=0.2
+        )
+        current = initial.astype(np.float64)
+        manual = [float(current @ current)]
+        for round_index in range(9):
+            matrix_t = lazy_transition_matrix(
+                schedule.graph_at(round_index), 0.2
+            ).T.tocsr()
+            current = matrix_t @ current
+            manual.append(float(current @ current))
+        assert memoized == manual
+
+    def test_start_round_offsets_the_schedule_clock(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        initial = np.zeros(60)
+        initial[17] = 1.0
+        full = evolve_on_schedule(schedule, initial, 7)
+        prefix = evolve_on_schedule(schedule, initial, 3)
+        resumed = evolve_on_schedule(schedule, prefix, 4, start_round=3)
+        np.testing.assert_array_equal(full, resumed)
+
+
+class TestPositionDistributionOnSchedule:
+    def test_matches_evolved_one_hot(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        initial = np.zeros(60)
+        initial[5] = 1.0
+        np.testing.assert_array_equal(
+            position_distribution_on_schedule(schedule, 5, 8),
+            evolve_on_schedule(schedule, initial, 8),
+        )
+
+    def test_static_schedule_matches_plain_helper(self):
+        graph = random_regular_graph(4, 30, rng=2)
+        schedule = DynamicGraphSchedule([graph])
+        np.testing.assert_array_equal(
+            position_distribution_on_schedule(schedule, 0, 6),
+            position_distribution(graph, 0, 6),
+        )
+
+    def test_rejects_out_of_range_start(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        with pytest.raises(ValidationError):
+            position_distribution_on_schedule(schedule, 60, 3)
+
+
+class TestProfileEvolution:
+    def test_profile_columns_are_per_user_walks(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        profile = evolve_profile_on_schedule(schedule, np.eye(60), 6)
+        for user in (0, 13, 59):
+            np.testing.assert_array_equal(
+                profile[:, user],
+                position_distribution_on_schedule(schedule, user, 6),
+            )
+
+    def test_collision_profile_matches_per_user_traces(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        collisions = collision_profile_on_schedule(schedule, 5)
+        assert collisions.shape == (60,)
+        for user in (0, 30):
+            initial = np.zeros(60)
+            initial[user] = 1.0
+            trace = trace_collision_on_schedule(schedule, initial, 5)
+            assert collisions[user] == pytest.approx(trace[-1], abs=1e-15)
+
+    def test_rejects_wrong_shape(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        with pytest.raises(ValidationError):
+            evolve_profile_on_schedule(schedule, np.eye(10), 2)
+
+
 class TestSimulateTokens:
     def test_shape_and_range(self, two_graphs):
         schedule = DynamicGraphSchedule(two_graphs)
@@ -130,3 +225,91 @@ class TestSimulateTokens:
         initial[0] = 1.0
         exact = evolve_on_schedule(schedule, initial, 6)
         assert np.abs(empirical - exact).sum() < 0.06
+
+
+class TestScheduleWalkStranding:
+    @pytest.mark.parametrize("steps", [0, 1])
+    def test_isolated_start_is_validation_error(self, steps):
+        from repro.graphs.graph import Graph
+
+        isolating = Graph(3, [(0, 1)])  # node 2 isolated
+        schedule = DynamicGraphSchedule([isolating])
+        with pytest.raises(ValidationError, match="start on isolated"):
+            simulate_tokens_on_schedule(schedule, np.array([2]), steps, rng=0)
+
+    def test_mid_walk_stranding_is_simulation_error(self):
+        """A swap that isolates a walker's node mid-schedule raises the
+        engine's exception type, not a misleading start-node error."""
+        from repro.exceptions import SimulationError
+        from repro.graphs.graph import Graph
+
+        path = Graph(3, [(0, 1), (1, 2)])
+        isolating = Graph(3, [(0, 2)])  # node 1 isolated
+        schedule = DynamicGraphSchedule([path, isolating])
+        with pytest.raises(SimulationError, match="isolated in the current"):
+            # Round 0 moves the token from 0 to its only neighbor 1;
+            # round 1's topology strands it there.
+            simulate_tokens_on_schedule(schedule, np.array([0]), 2, rng=0)
+
+    def test_lazy_stayer_tolerates_temporary_isolation(self):
+        """The exchange engine's lazy-walk semantics: a token that stays
+        put this round (laziness) survives a topology that isolates its
+        node — only a *moving* stranded token is an error."""
+        from repro.graphs.graph import Graph
+
+        path = Graph(3, [(0, 1), (1, 2)])
+        isolating = Graph(3, [(0, 2)])  # node 1 isolated
+        schedule = DynamicGraphSchedule([path, isolating])
+        finals = simulate_tokens_on_schedule(
+            schedule, np.array([0]), 2, laziness=1.0, rng=0
+        )
+        assert int(finals[0]) == 0  # never moved, never stranded
+
+    def test_full_outage_phase_survived_by_lazy_walk(self):
+        """A zero-edge phase (total outage) must not crash the gather:
+        fully lazy tokens wait it out; a forced move raises the
+        documented SimulationError with the round prefix."""
+        from repro.exceptions import SimulationError
+        from repro.graphs.generators import cycle_graph
+        from repro.graphs.graph import Graph
+
+        outage = DynamicGraphSchedule(
+            [cycle_graph(4), Graph(4, [])],
+        )
+        finals = simulate_tokens_on_schedule(
+            outage, np.arange(4), 4, laziness=1.0, rng=0
+        )
+        np.testing.assert_array_equal(finals, np.arange(4))
+        with pytest.raises(SimulationError, match="round 1"):
+            simulate_tokens_on_schedule(outage, np.arange(4), 2, rng=0)
+
+    def test_negative_steps_rejected(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        with pytest.raises(ValidationError):
+            simulate_tokens_on_schedule(schedule, np.arange(60), -1)
+
+    def test_out_of_range_starts_rejected(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        with pytest.raises(ValidationError, match="out of range"):
+            simulate_tokens_on_schedule(schedule, np.array([60]), 1)
+
+
+class TestTrialWalksOnSchedule:
+    def test_shape_and_tiling_equivalence(self, two_graphs):
+        """The trial axis is the token axis tiled: one flat seeded call
+        produces the identical draws."""
+        schedule = DynamicGraphSchedule(two_graphs)
+        starts = np.arange(60)
+        trials = simulate_trial_walks_on_schedule(
+            schedule, starts, 5, 7, rng=3
+        )
+        assert trials.shape == (7, 60)
+        flat = simulate_tokens_on_schedule(
+            schedule, np.tile(starts, 7), 5, rng=3
+        )
+        np.testing.assert_array_equal(trials, flat.reshape(7, 60))
+
+    def test_rejects_non_positive_trials(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        with pytest.raises(ValidationError):
+            simulate_trial_walks_on_schedule(schedule, np.arange(60), 3, 0)

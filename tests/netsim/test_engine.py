@@ -12,9 +12,14 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SimulationError, ValidationError
-from repro.graphs.generators import cycle_graph, random_regular_graph
+from repro.graphs.dynamic import DynamicGraphSchedule, evolve_on_schedule
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    random_regular_graph,
+)
 from repro.graphs.graph import Graph
-from repro.graphs.walks import position_distribution
+from repro.graphs.walks import position_distribution, simulate_token_walks
 from repro.netsim.engine import VectorizedExchange
 from repro.netsim.faults import (
     AdversarialDropout,
@@ -327,3 +332,200 @@ class TestVectorizedEngineApi:
         network.run_exchange(1)
         network.deliver_to_server(select=lambda node, held, rng: held[:1])
         assert len(network.server) <= 4
+
+
+def _three_phase_schedule(n: int = 50) -> DynamicGraphSchedule:
+    return DynamicGraphSchedule([
+        random_regular_graph(4, n, rng=0),
+        random_regular_graph(6, n, rng=1),
+        cycle_graph(n),
+    ])
+
+
+class TestDynamicScheduleEquivalence:
+    """The exact RNG contract must survive per-round graph swaps."""
+
+    @pytest.mark.parametrize("faults_factory", FAULT_FACTORIES)
+    @pytest.mark.parametrize("seed", [0, 11])
+    def test_identical_held_counts_across_swaps(self, faults_factory, seed):
+        schedule = _three_phase_schedule()
+        faithful, vectorized = _paired_networks(schedule, faults_factory, seed)
+        for _ in range(9):
+            faithful.run_exchange_round()
+            vectorized.run_exchange_round()
+            np.testing.assert_array_equal(
+                faithful.held_counts(), vectorized.held_counts()
+            )
+
+    def test_identical_meters_and_delivery_across_swaps(self):
+        schedule = _three_phase_schedule()
+        faithful, vectorized = _paired_networks(schedule, NoFaults, 5)
+        faithful.run_exchange(7)
+        vectorized.run_exchange(7)
+        for user in range(schedule.num_nodes):
+            a = faithful.meters.meter(user)
+            b = vectorized.meters.meter(user)
+            assert a.messages_sent == b.messages_sent
+            assert a.messages_received == b.messages_received
+            assert a.peak_items == b.peak_items
+        faithful.deliver_to_server()
+        vectorized.deliver_to_server()
+        assert faithful.server.delivered_by == vectorized.server.delivered_by
+        assert faithful.server.reports == vectorized.server.reports
+
+    def test_drain_then_reseed_across_swap_boundary(self):
+        """A second campaign seeded mid-schedule must stay in lockstep:
+        the reseed validates against (and the next round walks) the
+        topology in force at that round, on both backends."""
+        schedule = _three_phase_schedule()
+        nets = {}
+        for backend in ("faithful", "vectorized"):
+            net = RoundBasedNetwork(
+                schedule, faults=IndependentDropout(0.2), rng=3, backend=backend
+            )
+            net.seed_items({i: [("first", i)] for i in range(50)})
+            net.run_exchange(2)          # stops on the swap boundary
+            net.deliver_to_server()
+            net.seed_items({i: [("second", i)] for i in range(50)})
+            net.run_exchange(4)          # crosses two more swaps
+            nets[backend] = net
+        faithful, vectorized = nets["faithful"], nets["vectorized"]
+        np.testing.assert_array_equal(
+            faithful.held_counts(), vectorized.held_counts()
+        )
+        assert faithful.drain_held() == vectorized.drain_held()
+
+    def test_schedule_of_one_matches_static_graph(self, small_regular):
+        """A single-graph schedule is bit-identical to the static run —
+        the swap machinery consumes no randomness."""
+        static = RoundBasedNetwork(small_regular, rng=9, backend="vectorized")
+        dynamic = RoundBasedNetwork(
+            DynamicGraphSchedule([small_regular]), rng=9, backend="vectorized"
+        )
+        for net in (static, dynamic):
+            net.seed_items({i: [i] for i in range(small_regular.num_nodes)})
+            net.run_exchange(6)
+        np.testing.assert_array_equal(
+            static.held_counts(), dynamic.held_counts()
+        )
+        assert static.drain_held() == dynamic.drain_held()
+
+    def test_engine_tracks_scheduled_topology(self):
+        schedule = _three_phase_schedule()
+        engine = VectorizedExchange(schedule, rng=0)
+        engine.seed_tokens(np.arange(50))
+        for round_index in range(5):
+            engine.run_round()
+            assert engine.graph is schedule.graph_at(round_index)
+
+    def test_engine_marginal_matches_exact_schedule_evolution(self):
+        schedule = _three_phase_schedule()
+        samples = 4000
+        engine = VectorizedExchange(schedule, rng=123)
+        engine.seed_tokens(np.zeros(samples, dtype=np.int64))
+        engine.run(5)
+        empirical = engine.held_counts() / samples
+        initial = np.zeros(50)
+        initial[0] = 1.0
+        exact = evolve_on_schedule(schedule, initial, 5)
+        assert np.abs(empirical - exact).sum() < 0.15
+
+    def test_set_graph_rejects_node_count_mismatch(self, small_regular):
+        engine = VectorizedExchange(small_regular, rng=0)
+        with pytest.raises(ValidationError):
+            engine.set_graph(complete_graph(small_regular.num_nodes + 1))
+        network = RoundBasedNetwork(small_regular, rng=0, backend="faithful")
+        with pytest.raises(ValidationError):
+            network.set_graph(complete_graph(small_regular.num_nodes + 1))
+
+    def test_set_graph_rebinds_both_backends(self, small_regular):
+        replacement = complete_graph(small_regular.num_nodes)
+        for backend in ("faithful", "vectorized"):
+            network = RoundBasedNetwork(small_regular, rng=0, backend=backend)
+            network.set_graph(replacement)
+            assert network.graph is replacement
+            if backend == "faithful":
+                np.testing.assert_array_equal(
+                    network.nodes[0].neighbors, replacement.neighbors(0)
+                )
+
+    @pytest.mark.parametrize("backend", ["faithful", "vectorized"])
+    def test_isolated_node_under_swap_raises(self, backend):
+        """An item stranded on a node the new topology isolates must
+        fail loudly — with the same exception type on both backends —
+        not hop through a garbage CSR offset."""
+        path = Graph(3, [(0, 1), (1, 2)])
+        isolating = Graph(3, [(0, 2)])  # node 1 isolated
+        schedule = DynamicGraphSchedule([path, isolating])
+        network = RoundBasedNetwork(schedule, rng=0, backend=backend)
+        network.seed_items({0: ["item"]})
+        network.run_exchange_round()  # node 0's only neighbor is 1
+        np.testing.assert_array_equal(network.held_counts(), [0, 1, 0])
+        with pytest.raises(SimulationError):
+            network.run_exchange_round()  # round 1 isolates node 1
+
+    def test_seed_validates_against_scheduled_topology(self):
+        """Reseeding after a drain checks isolation against the graph in
+        force at the seeding round, not graph 0."""
+        full = Graph(2, [(0, 1)])
+        isolating = Graph(2, [])
+        schedule = DynamicGraphSchedule(
+            [full, isolating], selector=lambda r: 0 if r < 1 else 1
+        )
+        engine = VectorizedExchange(schedule, rng=0)
+        engine.seed_tokens(np.array([0]))  # valid on graph 0
+        engine.run_round()
+        engine.drain()
+        with pytest.raises(ValidationError):
+            engine.seed_tokens(np.array([0]))  # round 1 isolates node 0
+
+
+class _PinnedRng(np.random.Generator):
+    """A real Generator whose uniform doubles are pinned to one value."""
+
+    def __init__(self, value: float):
+        super().__init__(np.random.PCG64(0))
+        self._value = value
+
+    def random(self, size=None, dtype=np.float64, out=None):
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+
+class TestOffsetBoundaryClamp:
+    """floor(u * degree) must never index past the neighbor slice.
+
+    A conforming float64 draw (u <= 1 - 2^-53) provably cannot reach
+    offset == degree, so the top-of-range stub asserts the exact
+    last-neighbor mapping; the u == 1.0 stub models a contract-violating
+    generator (custom RngLike subclass, float32 upstream) and fails
+    without the clamp — the regression the fix guards.
+    """
+
+    @pytest.mark.parametrize("value", [1.0 - 2.0**-53, 1.0])
+    def test_vectorized_boundary_draw_hits_last_neighbor(self, value):
+        graph = cycle_graph(7)
+        last = graph.num_nodes - 1  # pre-fix, u=1.0 indexes past indices
+        engine = VectorizedExchange(graph, rng=_PinnedRng(value))
+        engine.seed_tokens(np.array([last]))
+        engine.run_round()
+        assert int(engine.token_position[0]) == int(graph.neighbors(last)[-1])
+
+    @pytest.mark.parametrize("value", [1.0 - 2.0**-53, 1.0])
+    def test_faithful_boundary_draw_hits_last_neighbor(self, value):
+        graph = cycle_graph(7)
+        network = RoundBasedNetwork(graph, rng=0, backend="faithful")
+        node = network.nodes[0]
+        assert node.sample_neighbor(_PinnedRng(value)) == int(
+            graph.neighbors(0)[-1]
+        )
+
+    @pytest.mark.parametrize("value", [1.0 - 2.0**-53, 1.0])
+    def test_token_walk_boundary_draw_hits_last_neighbor(self, value):
+        graph = cycle_graph(7)
+        last = graph.num_nodes - 1
+        finals = simulate_token_walks(
+            graph, np.array([last]), 1, rng=_PinnedRng(value)
+        )
+        assert int(finals[0]) == int(graph.neighbors(last)[-1])

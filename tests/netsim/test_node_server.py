@@ -52,8 +52,10 @@ class TestNode:
         assert counts[0] == counts[3] == counts[4] == 0
 
     def test_sample_neighbor_isolated_raises(self):
+        from repro.exceptions import SimulationError
+
         isolated = Node(0, np.array([], dtype=np.int64), EntityMeter())
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             isolated.sample_neighbor(np.random.default_rng(0))
 
     def test_repr(self, node):

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import ValidationError
+from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
 from repro.ldp.base import LocalRandomizer
 from repro.netsim.faults import DropoutModel
@@ -73,7 +74,9 @@ class TestExamplesBuild:
     @pytest.mark.parametrize("kind", GRAPHS.available())
     def test_every_graph_example_builds(self, kind):
         graph = GRAPHS.build(kind, np.random.default_rng(0), **GRAPHS.example(kind))
-        assert isinstance(graph, Graph)
+        # The "schedule" kind materializes to a DynamicGraphSchedule;
+        # everything else to a static Graph.
+        assert isinstance(graph, (Graph, DynamicGraphSchedule))
         assert graph.num_nodes > 0
 
     @pytest.mark.parametrize("kind", MECHANISMS.available())

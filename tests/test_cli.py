@@ -21,6 +21,31 @@ def scenario_file(tmp_path):
     return str(path)
 
 
+@pytest.fixture
+def schedule_scenario_file(tmp_path):
+    scenario = Scenario(
+        graph={
+            "kind": "schedule",
+            "params": {
+                "graphs": [
+                    {"kind": "k_regular",
+                     "params": {"degree": 4, "num_nodes": 64}},
+                    {"kind": "k_regular",
+                     "params": {"degree": 6, "num_nodes": 64}},
+                ],
+                "selector": "epoch",
+                "block": 2,
+            },
+        },
+        mechanism={"kind": "rr", "params": {"epsilon": 1.0}},
+        rounds=6,
+        seed=0,
+    )
+    path = tmp_path / "schedule_scenario.json"
+    path.write_text(scenario.to_json())
+    return str(path)
+
+
 class TestCli:
     def test_info(self, capsys):
         main(["info"])
@@ -83,6 +108,38 @@ class TestScenarioCommands:
     def test_run_usage_error(self):
         with pytest.raises(SystemExit, match="usage"):
             main(["run"])
+
+    def test_run_schedule_scenario(self, schedule_scenario_file, capsys):
+        main(["run", schedule_scenario_file])
+        output = capsys.readouterr().out
+        assert "central_epsilon" in output
+        assert "rounds" in output
+
+    def test_audit_schedule_scenario(self, schedule_scenario_file, capsys):
+        main(["audit", schedule_scenario_file, "--trials", "100"])
+        output = capsys.readouterr().out
+        assert "epsilon_lower_bound" in output
+
+    def test_sweep_schedule_scenario(self, schedule_scenario_file, capsys):
+        main([
+            "sweep", schedule_scenario_file,
+            "--axis", "rounds=2,4",
+            "--axis", "graph.block=1,2",
+            "--mode", "bound",
+        ])
+        output = capsys.readouterr().out
+        assert "central eps" in output
+        assert output.count("\n") >= 6  # 4 grid rows plus table frame
+
+    def test_stationary_sweep_on_schedule_fails_cleanly(
+        self, schedule_scenario_file
+    ):
+        with pytest.raises(SystemExit, match="sweep failed"):
+            main([
+                "sweep", schedule_scenario_file,
+                "--axis", "rounds=2,4",
+                "--mode", "stationary_bound",
+            ])
 
     def test_sweep_prints_grid_table(self, scenario_file, capsys):
         main([
