@@ -1,0 +1,85 @@
+"""Sweep-engine benchmark: shared graph cache vs per-point rebuild.
+
+The tentpole claim of the campaign-grade sweep engine is that a
+graph-heavy grid materializes each distinct graph (and its spectral
+summary) once, not once per grid point.  A rounds-axis ``bound`` sweep
+on a mid-size regular graph is the canonical shape: the per-point
+theorem arithmetic is microseconds, so the pre-engine cost was entirely
+the per-point graph build + eigensolve the cache now amortizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.scenario import GraphSpec, Scenario, clear_graph_cache, sweep
+from repro.scenario.sweep import _execute
+
+_NUM_NODES = 2_000
+_DEGREE = 6
+_ROUNDS_AXIS = list(range(2, 18, 2))  # 8 grid points
+
+#: Required advantage of the shared-cache sweep over rebuilding the
+#: graph bundle at every grid point (the ISSUE 5 acceptance bound; the
+#: measured local ratio is far higher).
+_MIN_SPEEDUP = 3.0
+
+
+def _base() -> Scenario:
+    return Scenario(
+        graph=GraphSpec.of("k_regular", degree=_DEGREE, num_nodes=_NUM_NODES),
+        epsilon0=1.0,
+        seed=0,
+    )
+
+
+def _per_point_rebuild() -> list:
+    """The pre-engine behavior: every point pays graph + spectrum."""
+    epsilons = []
+    for rounds in _ROUNDS_AXIS:
+        clear_graph_cache()
+        outcome = _execute(_base().updated(rounds=rounds), "bound", "digest")
+        epsilons.append(outcome.epsilon)
+    clear_graph_cache()
+    return epsilons
+
+
+def test_shared_cache_speedup_over_per_point_rebuild():
+    base = _base()
+    axis = {"rounds": _ROUNDS_AXIS}
+
+    started = time.perf_counter()
+    cold_epsilons = _per_point_rebuild()
+    cold = time.perf_counter() - started
+
+    clear_graph_cache()
+    started = time.perf_counter()
+    result = sweep(base, axis=axis, mode="bound")
+    shared = time.perf_counter() - started
+
+    assert result.cache_stats.builds == 1
+    assert result.epsilons() == pytest.approx(cold_epsilons, rel=1e-9)
+    ratio = cold / shared
+    print(
+        f"\nper-point rebuild: {cold:.3f}s  shared cache: {shared:.3f}s  "
+        f"speedup: {ratio:.1f}x ({_NUM_NODES} nodes, "
+        f"{len(_ROUNDS_AXIS)} grid points)"
+    )
+    assert ratio >= _MIN_SPEEDUP, (
+        f"shared-cache sweep is only {ratio:.1f}x the per-point rebuild "
+        f"(required >= {_MIN_SPEEDUP}x)"
+    )
+
+
+def test_bench_sweep_shared_cache(benchmark):
+    """pytest-benchmark timing of the shared-cache sweep (JSON artifact).
+
+    The first iteration builds the bundle; later iterations measure the
+    steady-state engine (cache hits + theorem arithmetic only), which
+    is the figure the bench job tracks against baseline.json.
+    """
+    base = _base()
+    benchmark(lambda: sweep(base, axis={"rounds": _ROUNDS_AXIS}, mode="bound"))
+    clear_graph_cache()

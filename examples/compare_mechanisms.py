@@ -6,33 +6,46 @@ every amplification mechanism in the paper's Table 1 plus the measured
 system costs of the three architectures in Table 3 — the decision table
 a practitioner would actually want.
 
+The network-shuffling rows are priced through the declarative Scenario
+API (`repro.stationary_bound` — closed form, no graph build even at
+n=10,000) and the network-shuffling cost row is one `repro.run` of the
+same scenario on the faithful engine.
+
 Run:  python examples/compare_mechanisms.py
 """
 
 from __future__ import annotations
 
+from repro import Scenario, run, stationary_bound
 from repro.amplification import (
     clones_epsilon,
-    epsilon_all_stationary,
-    epsilon_single_stationary,
     subsampling_epsilon,
     uniform_shuffle_epsilon,
 )
 from repro.baselines import run_mixnet, run_prochlo
 from repro.experiments.reporting import format_table
-from repro.graphs import random_regular_graph
-from repro.protocols import run_all_protocol
 
 N = 10_000
 EPSILON0 = 1.0
 DELTA = 1e-6
 
 
+def _network_scenario(protocol: str, n: int, engine: str = "fast") -> Scenario:
+    return Scenario(
+        graph={"kind": "k_regular", "params": {"degree": 8, "num_nodes": n}},
+        protocol=protocol,
+        epsilon0=EPSILON0,
+        engine=engine,
+        delta=DELTA,
+        delta2=DELTA,
+        seed=0,
+    )
+
+
 def main() -> None:
     print(f"population n={N}, local budget eps0={EPSILON0}, delta={DELTA}\n")
 
     # --- privacy comparison (Table 1) ---------------------------------
-    sum_squared = 1.0 / N  # regular communication graph (Gamma = 1)
     rows = [
         ("no amplification (pure LDP)", "none", EPSILON0),
         ("uniform subsampling", "trusted sampler",
@@ -42,9 +55,9 @@ def main() -> None:
         ("uniform shuffling (clones, FMT21)", "trusted shuffler",
          clones_epsilon(EPSILON0, N, DELTA)),
         ("network shuffling, A_all", "none (decentralized)",
-         epsilon_all_stationary(EPSILON0, N, sum_squared, DELTA, DELTA).epsilon),
+         stationary_bound(_network_scenario("all", N)).epsilon),
         ("network shuffling, A_single", "none (decentralized)",
-         epsilon_single_stationary(EPSILON0, N, sum_squared, DELTA).epsilon),
+         stationary_bound(_network_scenario("single", N)).epsilon),
     ]
     print(format_table(
         ["mechanism", "trusted entity", "central eps"],
@@ -56,8 +69,9 @@ def main() -> None:
     values = [0] * n_sim
     prochlo = run_prochlo(values, rng=0)
     mixnet = run_mixnet(values, rng=0)
-    graph = random_regular_graph(8, n_sim, rng=0)
-    shuffle = run_all_protocol(graph, 8, engine="faithful", rng=0)
+    shuffle = run(
+        _network_scenario("all", n_sim, engine="faithful").updated(rounds=8)
+    )
     user_meters = [shuffle.meters.meter(u) for u in range(n_sim)]
 
     print("\nmeasured system costs at n=512:")

@@ -6,6 +6,12 @@ bimodal sample exactly as in the paper's Section 5.6 experiment),
 perturbs it with PrivUnit at eps0-LDP, and the updates are network-
 shuffled on the Twitch stand-in before the server averages them.
 
+The whole pipeline is ONE declarative scenario — graph, mechanism,
+workload values, and the custom N(5,1)^d dummy factory are all spec
+data — and the eps0 x protocol grid is one `repro.sweep` call: the
+stand-in materializes once (shared graph cache) and every point rides
+it.  `results="full"` keeps the payloads the estimator needs.
+
 Compares A_all (all reports delivered) against A_single (one report per
 user, missing ones replaced by N(5,1)^d dummies) at several eps0.
 
@@ -14,39 +20,52 @@ Run:  python examples/federated_mean_estimation.py
 
 from __future__ import annotations
 
-
-from repro.datasets import build_dataset
-from repro.estimation import generate_bimodal_unit_vectors, run_mean_estimation
-from repro.graphs.spectral import spectral_summary
+from repro import Scenario, sweep
+from repro.estimation import mean_estimate_from_run
 
 DIMENSION = 200
 EPS0_GRID = (1.0, 2.0, 4.0)
 
 
 def main() -> None:
-    dataset = build_dataset("twitch", scale=0.5, seed=0)
-    graph = dataset.graph
-    summary = spectral_summary(graph)
-    print(f"twitch stand-in at half scale: n={graph.num_nodes}, "
-          f"rounds={summary.mixing_time}")
-
-    values = generate_bimodal_unit_vectors(
-        graph.num_nodes, DIMENSION, rng=0
+    base = Scenario(
+        graph={"kind": "dataset",
+               "params": {"name": "twitch", "scale": 0.5, "seed": 0}},
+        mechanism={"kind": "privunit",
+                   "params": {"epsilon": EPS0_GRID[0], "dimension": DIMENSION}},
+        values={"kind": "bimodal_unit_vectors",
+                "params": {"dimension": DIMENSION}},
+        dummies={"kind": "privunit_normal"},
+        seed=3,
     )
+    grid = sweep(
+        base,
+        axis={"mechanism.epsilon": list(EPS0_GRID),
+              "protocol": ["all", "single"]},
+        mode="run",
+        results="full",
+    )
+
+    first = grid.points[0].outcome
+    print(f"twitch stand-in at half scale: n={first.graph.num_nodes}, "
+          f"rounds={first.rounds}  "
+          f"(graph built {grid.cache_stats.builds}x for "
+          f"{len(grid)} grid points)")
     print(f"clients hold d={DIMENSION} unit vectors "
           f"(half N(1,1)^d, half N(10,1)^d, normalized)\n")
 
-    header = f"{'eps0':>5} {'protocol':>9} {'sq.error':>10} {'dummies':>8}"
+    header = (f"{'eps0':>5} {'protocol':>9} {'central eps':>12} "
+              f"{'sq.error':>10} {'dummies':>8}")
     print(header)
     print("-" * len(header))
-    for eps0 in EPS0_GRID:
-        for protocol in ("all", "single"):
-            result = run_mean_estimation(
-                graph, values, eps0,
-                protocol=protocol, rounds=summary.mixing_time, rng=3,
-            )
-            print(f"{eps0:>5.1f} {protocol:>9} "
-                  f"{result.squared_error:>10.4f} {result.dummy_count:>8}")
+    for point in grid:
+        result = point.outcome
+        estimate = mean_estimate_from_run(result)
+        print(f"{point.coordinates['mechanism.epsilon']:>5.1f} "
+              f"{point.coordinates['protocol']:>9} "
+              f"{result.central_epsilon:>12.3f} "
+              f"{estimate.squared_error:>10.4f} "
+              f"{estimate.dummy_count:>8}")
     print("\nA_all is unbiased (every report arrives); A_single pays the")
     print("dummy-substitution penalty but gives a stronger central bound")
     print("at the same eps0 (see benchmarks/test_figure9_utility.py).")

@@ -2,26 +2,30 @@
 """Auditing network shuffling: measure the privacy you actually get.
 
 The theorems bound the central privacy loss from above; this example
-attacks the deployment from below with the distinguishing game
-(``repro.auditing``): run the protocol repeatedly on two worlds that
-differ only in one victim's bit, and see how well the strongest
-statistic the paper's threat model allows can tell them apart.
+attacks the deployment from below with the distinguishing game: run the
+protocol repeatedly on two worlds that differ only in one victim's bit,
+and see how well the strongest statistic the paper's threat model
+allows can tell them apart.
 
 The measured lower bound eps_hat starts near the local eps0 (no rounds:
 the final-round link is fully identifying) and collapses as exchange
 rounds accumulate — privacy amplification you can *see*, not just
 prove.
 
+The deployment is one declarative scenario; the eps_hat-vs-rounds curve
+is `repro.sweep(mode="audit")` over a `rounds` axis, so the graph
+materializes once and the kernel-engine audits extend one memoized
+M^t power chain instead of rebuilding it per point.
+
 Run:  python examples/privacy_audit.py        (~1 minute)
 """
 
 from __future__ import annotations
 
-from repro.amplification import epsilon_all_stationary
-from repro.auditing import audit_local_randomizer, audit_network_shuffle
-from repro.graphs import random_regular_graph
-from repro.graphs.spectral import spectral_summary
+from repro import Scenario, bound, sweep
+from repro.auditing import audit_local_randomizer
 from repro.ldp import BinaryRandomizedResponse
+from repro.scenario import graph_summary
 
 EPSILON0 = 1.0
 NUM_USERS = 200
@@ -36,24 +40,27 @@ def main() -> None:
     print(f"bare randomized response: eps0 = {EPSILON0}, "
           f"measured eps_hat = {local.epsilon_lower_bound:.3f}")
 
-    graph = random_regular_graph(6, NUM_USERS, rng=0)
-    summary = spectral_summary(graph)
-    print(f"\ngraph: n={NUM_USERS}, 6-regular, "
-          f"mixing time = {summary.mixing_time}\n")
+    scenario = Scenario(
+        graph={"kind": "k_regular",
+               "params": {"degree": 6, "num_nodes": NUM_USERS}},
+        epsilon0=EPSILON0,
+        rounds=0,
+        audit={"kind": "weighted_evidence", "params": {"trials": TRIALS}},
+        delta=1e-6,
+        delta2=1e-6,
+        seed=1,
+    )
+    mixing = graph_summary(scenario).mixing_time
+    print(f"\ngraph: n={NUM_USERS}, 6-regular, mixing time = {mixing}\n")
+
+    rounds_axis = [0, 2, 6, mixing]
+    audits = sweep(scenario, axis={"rounds": rounds_axis}, mode="audit")
 
     print(f"{'rounds':>7} {'measured eps_hat':>17} {'Thm 5.3 bound':>14}")
-    for rounds in (0, 2, 6, summary.mixing_time):
-        audit = audit_network_shuffle(
-            graph, EPSILON0, rounds, trials=TRIALS, rng=1
-        )
-        upper = epsilon_all_stationary(
-            EPSILON0,
-            NUM_USERS,
-            summary.sum_squared_bound(rounds),
-            1e-6,
-            1e-6,
-        ).epsilon
-        print(f"{rounds:>7} {audit.epsilon_lower_bound:>17.3f} "
+    for point in audits:
+        rounds = point.coordinates["rounds"]
+        upper = bound(scenario, rounds=rounds).epsilon
+        print(f"{rounds:>7} {point.outcome.epsilon_lower_bound:>17.3f} "
               f"{upper:>14.3f}")
 
     print("\nthe attacker's certified loss collapses with rounds — the")

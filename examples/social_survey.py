@@ -8,8 +8,11 @@ the social graph (the Facebook page-page stand-in from Table 4) before
 delivery.  The operator reconstructs the answer histogram and never
 learns who relayed what.
 
-Also shows the A_all vs A_single trade-off on real payloads, and the
-secure (encrypted, Section 4.4) transport on a small subgraph.
+The deployment is one declarative scenario: its graph spec pins the
+Facebook stand-in (seed as spec data, so accounting and simulation see
+the same graph through the scenario cache), and `repro.bound` prices
+both protocols at the mixing time.  The histogram itself runs through
+the frequency-estimation helper on the scenario's materialized graph.
 
 Run:  python examples/social_survey.py
 """
@@ -18,10 +21,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.amplification import epsilon_all_stationary, epsilon_single_stationary
-from repro.datasets import build_dataset
+from repro import Scenario, bound
 from repro.estimation import run_frequency_estimation
-from repro.graphs.spectral import spectral_summary
+from repro.scenario import build_graph, graph_summary
 
 EPSILON0 = 0.5
 DELTA = 1e-6
@@ -31,12 +33,18 @@ TRUE_SHARES = np.array([0.35, 0.25, 0.2, 0.12, 0.08])
 
 def main() -> None:
     # The Facebook stand-in: calibrated to the published (n, Gamma_G).
-    dataset = build_dataset("facebook", seed=0)
-    graph = dataset.graph
-    summary = spectral_summary(graph)
+    scenario = Scenario(
+        graph={"kind": "dataset", "params": {"name": "facebook", "seed": 0}},
+        epsilon0=EPSILON0,
+        delta=DELTA,
+        delta2=DELTA,
+        seed=0,
+    )
+    graph = build_graph(scenario)
+    summary = graph_summary(scenario)
+    gamma = graph.num_nodes * summary.stationary_collision
     print(f"facebook stand-in: n={graph.num_nodes}, "
-          f"Gamma={dataset.achieved_gamma:.2f} "
-          f"(published {dataset.published_gamma}), "
+          f"Gamma={gamma:.2f}, "
           f"mixing time={summary.mixing_time}")
 
     rng = np.random.default_rng(7)
@@ -47,15 +55,8 @@ def main() -> None:
             graph, answers, EPSILON0, NUM_OPTIONS,
             protocol=protocol, rng=11,
         )
-        sum_squared = summary.sum_squared_bound(summary.mixing_time)
-        if protocol == "all":
-            central = epsilon_all_stationary(
-                EPSILON0, graph.num_nodes, sum_squared, DELTA, DELTA
-            ).epsilon
-        else:
-            central = epsilon_single_stationary(
-                EPSILON0, graph.num_nodes, sum_squared, DELTA
-            ).epsilon
+        # Theorem 5.3 / 5.5 at the mixing time, straight off the spec.
+        central = bound(scenario.updated(protocol=protocol)).epsilon
         print(f"\nA_{protocol}: central eps = {central:.3f} "
               f"(local eps0 = {EPSILON0}), dummies = {result.dummy_count}")
         print(f"  true shares     : {np.round(result.truth, 3)}")

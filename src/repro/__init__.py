@@ -52,6 +52,7 @@ from repro.core.accounting import PrivacyAccountant
 from repro.core.shuffler import NetworkShuffler
 from repro.exceptions import ReproError
 from repro.scenario import (
+    RunDigest,
     RunResult,
     Scenario,
     SweepResult,
@@ -62,13 +63,14 @@ from repro.scenario import (
     sweep,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AuditResult",
     "NetworkShuffler",
     "PrivacyAccountant",
     "ReproError",
+    "RunDigest",
     "RunResult",
     "Scenario",
     "SweepResult",

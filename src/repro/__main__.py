@@ -7,8 +7,13 @@ Commands
 ``table1 | table3 | table4 | figure4 .. figure9``
     Regenerate one paper artifact (same as
     ``python -m repro.experiments.<id>``).
-``runall [dir] [--full]``
-    Regenerate every artifact into a directory.
+``experiments <artifact|all> [--fast | --full] [--out DIR]``
+    Regenerate paper artifacts through the campaign registry.
+    ``--fast`` uses the toy-scale CI preset, ``--full`` the full-scale
+    one; ``--out`` writes ``<artifact>.txt`` files plus a
+    machine-readable ``manifest.json`` instead of printing.
+``runall [dir] [--fast | --full]``
+    Regenerate every artifact into a directory (plus manifest.json).
 ``plan <n> <target_eps>``
     Deployment planning: local budgets achieving a central target on a
     regular graph of ``n`` users (both protocols).
@@ -53,6 +58,35 @@ def _artifact(name: str) -> None:
 
     module = importlib.import_module(f"repro.experiments.{name}")
     module.main()
+
+
+def _experiments(arguments: list[str]) -> None:
+    usage = (
+        "usage: python -m repro experiments <artifact|all> "
+        "[--fast | --full] [--out DIR]"
+    )
+    from repro.experiments import campaigns
+
+    preset, arguments = campaigns.parse_preset_flags(arguments)
+    out: str | None = None
+    if "--out" in arguments:
+        index = arguments.index("--out")
+        if index + 1 >= len(arguments):
+            raise SystemExit(usage)
+        out = arguments[index + 1]
+        del arguments[index:index + 2]
+    if len(arguments) != 1:
+        raise SystemExit(usage)
+    name = arguments[0]
+    names = None if name == "all" else [name]
+    if names is not None and name not in campaigns.ARTIFACTS:
+        known = ", ".join(["all", *campaigns.artifact_names()])
+        raise SystemExit(f"unknown artifact {name!r}; known: {known}")
+    manifest = campaigns.run_campaign(
+        names, preset=preset, output_dir=out, echo=print
+    )
+    if out is not None:
+        print(f"manifest: {manifest['manifest_path']}")
 
 
 def _plan(arguments: list[str]) -> None:
@@ -209,11 +243,18 @@ def _sweep(arguments: list[str]) -> None:
         raise SystemExit(f"sweep failed: {error}") from None
     names = list(result.axis)
     audited = mode == "audit"
-    headers = [*names, "eps_hat" if audited else "central eps"]
     simulated = mode == "run"
+    if not simulated and not audited:
+        # Accounting-only grids need no extra columns; the shared
+        # SweepResult renderer covers them.
+        from repro.experiments.reporting import sweep_table
+
+        print(sweep_table(result))
+        return
+    headers = [*names, "eps_hat" if audited else "central eps"]
     if simulated:
         headers += ["empirical eps", "dummies"]
-    elif audited:
+    else:
         headers += ["threshold", "trials"]
     rows = []
     for point in result:
@@ -221,10 +262,11 @@ def _sweep(arguments: list[str]) -> None:
         eps = point.epsilon
         row.append("-" if eps is None else round(eps, 4))
         if simulated:
+            # Run-mode points come back as slim RunDigests.
             empirical = point.outcome.empirical_epsilon
             row.append("-" if empirical is None else round(empirical, 4))
-            row.append(point.outcome.protocol_result.dummy_count)
-        elif audited:
+            row.append(point.outcome.dummy_count)
+        else:
             row.append(round(point.outcome.best_threshold, 4))
             row.append(point.outcome.trials)
         rows.append(tuple(row))
@@ -240,6 +282,8 @@ def main(argv: list[str] | None = None) -> None:
     command, rest = arguments[0], arguments[1:]
     if command in _ARTIFACTS:
         _artifact(command)
+    elif command == "experiments":
+        _experiments(rest)
     elif command == "runall":
         from repro.experiments.runall import main as runall_main
 
@@ -254,7 +298,8 @@ def main(argv: list[str] | None = None) -> None:
         _sweep(rest)
     else:
         known = ", ".join(
-            ("info", *_ARTIFACTS, "runall", "plan", "run", "audit", "sweep")
+            ("info", *_ARTIFACTS, "experiments", "runall", "plan", "run",
+             "audit", "sweep")
         )
         raise SystemExit(f"unknown command {command!r}; known: {known}")
 

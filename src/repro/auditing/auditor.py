@@ -480,6 +480,16 @@ class _KernelSampler:
     constant at doubling exponents and stops as soon as composition is
     viable (every stage kernel must itself be mixed, or its rejection
     passes would dominate what the shorter build saves).
+
+    ``power_cache`` (scenario sweeps pass the graph bundle's) maps
+    ``step -> (M^step)^T`` across sampler builds for the same
+    ``(graph, laziness)``: a build seeds its chain from the largest
+    cached power below its target and records its own largest power
+    back, so an ascending rounds-axis audit sweep pays ``O(t_max)``
+    sparse-dense products in total instead of rebuilding each ``M^t``
+    from scratch.  Every cached power was produced by the identical
+    sequential product chain a cold build would execute, so warm and
+    cold builds are bit-identical.
     """
 
     _MAX_REJECTION_PASSES = 48
@@ -490,7 +500,14 @@ class _KernelSampler:
     #: past a few of them the sampling cost eats the build saving.
     _MAX_STAGES = 4
 
-    def __init__(self, graph: Graph, rounds: int, laziness: float):
+    def __init__(
+        self,
+        graph: Graph,
+        rounds: int,
+        laziness: float,
+        *,
+        power_cache: Optional[Dict[int, np.ndarray]] = None,
+    ):
         n = graph.num_nodes
         matrix_t = lazy_transition_matrix(graph, laziness).T.tocsr()
         kernel_t = np.eye(n)
@@ -498,6 +515,16 @@ class _KernelSampler:
 
         def advance(target: int) -> None:
             nonlocal kernel_t, step
+            if power_cache:
+                # Fast-forward through the largest cached power in
+                # (step, target]; cached powers come from the identical
+                # sequential chain, so the result is bit-identical.
+                best = max(
+                    (s for s in power_cache if step < s <= target),
+                    default=None,
+                )
+                if best is not None:
+                    kernel_t, step = power_cache[best], best
             while step < target:
                 kernel_t = matrix_t @ kernel_t
                 step += 1
@@ -523,6 +550,12 @@ class _KernelSampler:
         for exponent in sorted(set(exponents)):
             advance(exponent)
             tables[exponent] = _KernelTable(kernel_t)
+        if power_cache is not None and step >= max(power_cache, default=0):
+            # Keep only the longest power: ascending sweeps (the common
+            # shape) extend it incrementally, and one dense (n, n)
+            # matrix bounds the cache's memory.
+            power_cache.clear()
+            power_cache[step] = kernel_t
         self.num_nodes = n
         self._stages = [tables[exponent] for exponent in exponents]
         self._tiled_base: Optional[np.ndarray] = None
@@ -693,6 +726,7 @@ def audit_network_shuffle(
     statistic: Optional[AuditStatistic] = None,
     confidence: float = 0.95,
     method: str = "auto",
+    kernel_sampler: Optional[_KernelSampler] = None,
     label: Optional[str] = None,
     rng: RngLike = None,
 ) -> AuditResult:
@@ -714,6 +748,14 @@ def audit_network_shuffle(
     ``"loop"`` is the retained per-trial reference — statistically
     equivalent to both fast engines, not bit-identical (different draw
     granularity).
+
+    ``kernel_sampler`` injects a pre-built (memoized) ``_KernelSampler``
+    for the kernel engine — the scenario layer passes the graph
+    bundle's, so audit sweeps stop rebuilding ``M^t`` per grid point.
+    It must have been built for this exact ``(graph, rounds, laziness)``
+    (the sampler build is deterministic, so a memoized instance is
+    bit-identical to a cold one); ignored when the resolved method is
+    not ``"kernel"``.
     """
     check_positive_int(trials, "trials")
     check_positive_int(rounds + 1, "rounds + 1")
@@ -731,7 +773,10 @@ def audit_network_shuffle(
         )
 
     if resolved == "kernel":
-        sampler = _KernelSampler(graph, rounds, laziness)
+        sampler = (
+            kernel_sampler if kernel_sampler is not None
+            else _KernelSampler(graph, rounds, laziness)
+        )
 
         def world_statistics(victim_bit: int, world_rng: np.random.Generator):
             return _kernel_world_statistics(

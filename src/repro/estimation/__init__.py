@@ -8,6 +8,7 @@
 """
 
 from repro.estimation.mean import (
+    mean_estimate_from_run,
     MeanEstimationResult,
     generate_bimodal_unit_vectors,
     make_dummy_factory,
@@ -29,6 +30,7 @@ __all__ = [
     "MeanEstimationResult",
     "generate_bimodal_unit_vectors",
     "make_dummy_factory",
+    "mean_estimate_from_run",
     "run_mean_estimation",
     "true_mean",
     "FrequencyEstimationResult",

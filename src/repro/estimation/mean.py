@@ -84,6 +84,30 @@ def true_mean(values: np.ndarray) -> np.ndarray:
     return np.asarray(values, dtype=np.float64).mean(axis=0)
 
 
+def mean_estimate_from_run(result) -> MeanEstimationResult:
+    """The server's mean estimate from a scenario ``RunResult``.
+
+    ``result`` is a :class:`repro.scenario.RunResult` whose values are
+    vectors and whose mechanism debiases (PrivUnit et al.): the server
+    averages the delivered payloads and is scored against the mean of
+    the raw values.  This is THE estimator — Figure 9 and the federated
+    example both consume it, so the figure can never drift from the
+    library's definition.
+    """
+    payloads = np.asarray(result.payloads(), dtype=np.float64)
+    truth = true_mean(result.values)
+    estimate = payloads.mean(axis=0)
+    return MeanEstimationResult(
+        protocol=result.protocol_result.protocol,
+        epsilon0=result.mechanism.epsilon,
+        estimate=estimate,
+        truth=truth,
+        squared_error=squared_l2_error(estimate, truth),
+        dummy_count=result.protocol_result.dummy_count,
+        num_reports=payloads.shape[0],
+    )
+
+
 @dataclass(frozen=True)
 class MeanEstimationResult:
     """Outcome of one private mean-estimation run."""

@@ -7,9 +7,13 @@ most: Google (``n ~= 1e6``) amplifies the most.
 At the mixing time the Equation 7 correction ``(1-alpha)^{2t}`` is
 negligible, so ``sum P^2 ~= Gamma_G / n`` — which means this figure
 needs only the published ``(n, Gamma_G)`` pairs and works at full
-scale, including Google's 855,802 nodes, without materializing graphs.
-A ``use_standins=True`` mode recomputes the curves from the calibrated
-stand-ins instead (achieved ``Gamma``, achieved ``alpha``).
+scale, including Google's 855,802 nodes, without materializing graphs:
+each dataset is a ``dataset``-graph scenario at ``scale=1.0`` swept
+over ``epsilon0`` in ``stationary_bound`` mode (the ``GRAPH_STATS``
+closed form prices every point).  ``use_standins=True`` swaps in the
+calibrated stand-ins instead — an ``epsilon0`` sweep in ``bound`` mode
+at the mixing time (achieved ``Gamma``, achieved ``alpha``), sharing
+one materialized graph per dataset through the scenario cache.
 """
 
 from __future__ import annotations
@@ -19,12 +23,10 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.amplification.network_shuffle import epsilon_all_stationary, sum_squared_bound
-from repro.datasets.registry import dataset_names, get_dataset
-from repro.datasets.synthetic import build_dataset
+from repro.datasets.registry import dataset_names
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import format_table
-from repro.graphs.spectral import spectral_summary
+from repro.scenario import GraphSpec, Scenario, graph_summary, sweep
 
 
 @dataclass(frozen=True)
@@ -54,37 +56,47 @@ def run_figure6(
     if eps0_values is None:
         eps0_values = np.linspace(0.1, 1.2, 12)
     eps0_array = np.asarray(eps0_values, dtype=np.float64)
+    axis = {"epsilon0": [float(eps0) for eps0 in eps0_array]}
 
     curves: List[DatasetCurve] = []
     for name in datasets:
         if use_standins:
-            dataset = build_dataset(name, seed=config.seed)
-            summary = spectral_summary(dataset.graph)
-            n = dataset.num_nodes
-            sum_squared = summary.sum_squared_bound(summary.mixing_time)
-            gamma = dataset.achieved_gamma
+            # Materialized stand-in, achieved spectrum: Equation 7 at
+            # the mixing time (rounds=None resolves to it).
+            scenario = Scenario(
+                graph=GraphSpec.of("dataset", name=name, seed=config.seed),
+                protocol="all",
+                epsilon0=float(eps0_array[0]),
+                delta=config.delta,
+                delta2=config.delta2,
+                seed=config.seed,
+            )
+            curve = sweep(scenario, axis=axis, mode="bound")
+            summary = graph_summary(scenario)
+            n = curve.points[0].outcome.n
+            gamma = n * summary.stationary_collision
         else:
-            spec = get_dataset(name)
-            n = spec.num_nodes
-            gamma = spec.gamma
-            # Stationary limit: at the mixing time the spectral
-            # correction is O(1/n^2) and irrelevant.
-            sum_squared = gamma / n
-        epsilon = np.array(
-            [
-                epsilon_all_stationary(
-                    eps0, n, sum_squared, config.delta, config.delta2
-                ).epsilon
-                for eps0 in eps0_array
-            ]
-        )
+            # Published (n, Gamma) at full scale: the closed form needs
+            # no graph, Google included.
+            scenario = Scenario(
+                graph=GraphSpec.of("dataset", name=name, scale=1.0),
+                protocol="all",
+                epsilon0=float(eps0_array[0]),
+                delta=config.delta,
+                delta2=config.delta2,
+                seed=config.seed,
+            )
+            curve = sweep(scenario, axis=axis, mode="stationary_bound")
+            outcome = curve.points[0].outcome
+            n = outcome.n
+            gamma = n * outcome.sum_squared
         curves.append(
             DatasetCurve(
                 dataset=name,
                 n=n,
                 gamma=gamma,
                 eps0_values=eps0_array,
-                epsilon=epsilon,
+                epsilon=np.asarray(curve.epsilons()),
             )
         )
     return curves

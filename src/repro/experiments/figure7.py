@@ -6,6 +6,11 @@ amplification at large ``eps0`` (its amplification factor is
 ``e^{eps0}(e^{eps0}-1)`` versus ``A_all``'s ``e^{2 eps0}(e^{eps0}-1)``),
 while at small ``eps0`` the two are comparable (where ``A_all``'s
 Lemma 5.1 slack term actually matters more).
+
+Each dataset is one full-scale ``dataset``-graph scenario priced at the
+published ``(n, Gamma)`` stationary limit; the two curves are a single
+``protocol x epsilon0`` sweep in ``stationary_bound`` mode — no graph
+is ever materialized.
 """
 
 from __future__ import annotations
@@ -15,13 +20,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.amplification.network_shuffle import (
-    epsilon_all_stationary,
-    epsilon_single_stationary,
-)
-from repro.datasets.registry import get_dataset
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import format_table
+from repro.scenario import GraphSpec, Scenario, sweep
 
 FIGURE7_DATASETS = ("twitch", "google")
 
@@ -56,35 +57,35 @@ def run_figure7(
     if eps0_values is None:
         eps0_values = np.linspace(0.2, 5.0, 25)
     eps0_array = np.asarray(eps0_values, dtype=np.float64)
+    eps0_list = [float(eps0) for eps0 in eps0_array]
 
     comparisons: List[ProtocolComparison] = []
     for name in datasets:
-        spec = get_dataset(name)
-        sum_squared = spec.gamma / spec.num_nodes
-        eps_all = np.array(
-            [
-                epsilon_all_stationary(
-                    eps0, spec.num_nodes, sum_squared, config.delta, config.delta2
-                ).epsilon
-                for eps0 in eps0_array
-            ]
+        base = Scenario(
+            graph=GraphSpec.of("dataset", name=name, scale=1.0),
+            protocol="all",
+            epsilon0=eps0_list[0],
+            delta=config.delta,
+            delta2=config.delta2,
+            seed=config.seed,
         )
-        eps_single = np.array(
-            [
-                epsilon_single_stationary(
-                    eps0, spec.num_nodes, sum_squared, config.delta
-                ).epsilon
-                for eps0 in eps0_array
-            ]
+        # Grid order iterates the last axis fastest: all of A_all's
+        # eps0 curve, then all of A_single's.
+        curve = sweep(
+            base,
+            axis={"protocol": ["all", "single"], "epsilon0": eps0_list},
+            mode="stationary_bound",
         )
+        epsilons = np.asarray(curve.epsilons())
+        outcome = curve.points[0].outcome
         comparisons.append(
             ProtocolComparison(
                 dataset=name,
-                n=spec.num_nodes,
-                gamma=spec.gamma,
+                n=outcome.n,
+                gamma=outcome.n * outcome.sum_squared,
                 eps0_values=eps0_array,
-                epsilon_all=eps_all,
-                epsilon_single=eps_single,
+                epsilon_all=epsilons[: len(eps0_list)],
+                epsilon_single=epsilons[len(eps0_list):],
             )
         )
     return comparisons

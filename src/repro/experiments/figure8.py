@@ -13,6 +13,11 @@ shapes: ``Gamma = 1`` beats ``Gamma = 10``; ``n = 1e6`` beats
 ``n = 1e4``; every curve sits below ``eps = eps0`` in the small-``eps0``
 regime (amplification), with the ``A_all`` curves crossing above it as
 ``eps0`` grows.
+
+The whole grid is ONE four-axis sweep over the abstract ``gamma`` graph
+kind (``GRAPH_STATS`` only — nothing materializable, nothing
+materialized): ``protocol x graph.gamma x graph.num_nodes x epsilon0``
+in ``stationary_bound`` mode.
 """
 
 from __future__ import annotations
@@ -22,12 +27,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.amplification.network_shuffle import (
-    epsilon_all_stationary,
-    epsilon_single_stationary,
-)
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import format_table
+from repro.scenario import GraphSpec, Scenario, sweep
 
 
 @dataclass(frozen=True)
@@ -63,37 +65,42 @@ def run_figure8(
     if eps0_values is None:
         eps0_values = np.linspace(0.2, 2.0, 19)
     eps0_array = np.asarray(eps0_values, dtype=np.float64)
+    eps0_list = [float(eps0) for eps0 in eps0_array]
 
+    base = Scenario(
+        graph=GraphSpec.of(
+            "gamma", gamma=float(gammas[0]), num_nodes=int(n_values[0])
+        ),
+        protocol=protocols[0],
+        epsilon0=eps0_list[0],
+        delta=config.delta,
+        delta2=config.delta2,
+        seed=config.seed,
+    )
+    grid = sweep(
+        base,
+        axis={
+            "protocol": list(protocols),
+            "graph.gamma": [float(gamma) for gamma in gammas],
+            "graph.num_nodes": [int(n) for n in n_values],
+            "epsilon0": eps0_list,
+        },
+        mode="stationary_bound",
+    )
+    epsilons = np.asarray(grid.epsilons()).reshape(
+        len(protocols), len(gammas), len(n_values), len(eps0_list)
+    )
     curves: List[ParameterCurve] = []
-    for protocol in protocols:
-        for gamma in gammas:
-            for n in n_values:
-                sum_squared = gamma / n
-                if protocol == "all":
-                    epsilon = np.array(
-                        [
-                            epsilon_all_stationary(
-                                eps0, n, sum_squared, config.delta, config.delta2
-                            ).epsilon
-                            for eps0 in eps0_array
-                        ]
-                    )
-                else:
-                    epsilon = np.array(
-                        [
-                            epsilon_single_stationary(
-                                eps0, n, sum_squared, config.delta
-                            ).epsilon
-                            for eps0 in eps0_array
-                        ]
-                    )
+    for p_index, protocol in enumerate(protocols):
+        for g_index, gamma in enumerate(gammas):
+            for n_index, n in enumerate(n_values):
                 curves.append(
                     ParameterCurve(
                         gamma=gamma,
                         n=n,
                         protocol=protocol,
                         eps0_values=eps0_array,
-                        epsilon=epsilon,
+                        epsilon=epsilons[p_index, g_index, n_index],
                     )
                 )
     return curves

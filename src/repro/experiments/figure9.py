@@ -9,6 +9,18 @@ Expected shape: at any fixed central ``eps``, ``A_all``'s error is
 consistently *below* ``A_single``'s — the dummy-report and dropped-
 report penalty outweighs ``A_single``'s stronger amplification, the
 paper's counter-example to "``A_single`` is better at large eps0".
+
+The whole experiment is declarative: one scenario carries the Twitch
+stand-in (wiring seed pinned as spec data), the ``privunit`` mechanism,
+the ``bimodal_unit_vectors`` workload, and the ``privunit_normal``
+dummy factory (the paper's normalized ``N(5, 1)^d`` dummy — the spec
+kind this migration introduced).  Per ``(protocol, eps0)`` point the
+``repeats`` replications are a ``seed`` sweep in ``run`` mode with
+``results="full"`` (the estimator needs payloads).  The stand-in's
+wiring seed is pinned spec data, so every replica resolves to the same
+calibrated graph (one expensive ``build_dataset`` for the whole
+figure), and the mixing time is derived once and pinned as ``rounds``
+before the seed axis — replicas vary only the values/protocol streams.
 """
 
 from __future__ import annotations
@@ -18,16 +30,18 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.amplification.network_shuffle import (
-    epsilon_all_stationary,
-    epsilon_single_stationary,
-)
-from repro.datasets.synthetic import build_dataset
-from repro.estimation.mean import generate_bimodal_unit_vectors, run_mean_estimation
+from repro.estimation.mean import mean_estimate_from_run
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import format_table
-from repro.graphs.spectral import spectral_summary
-from repro.utils.rng import ensure_rng
+from repro.scenario import (
+    DummySpec,
+    GraphSpec,
+    MechanismSpec,
+    Scenario,
+    ValuesSpec,
+    graph_summary,
+    sweep,
+)
 
 
 @dataclass(frozen=True)
@@ -41,6 +55,32 @@ class TradeoffPoint:
     dummy_count: int
 
 
+def figure9_scenario(
+    *,
+    epsilon0: float = 1.0,
+    protocol: str = "all",
+    dataset: str = "twitch",
+    dimension: int = 200,
+    scale: Optional[float] = None,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+) -> Scenario:
+    """The declarative scenario behind one Figure 9 point."""
+    return Scenario(
+        graph=GraphSpec.of(
+            "dataset", name=dataset, scale=scale, seed=config.seed
+        ),
+        mechanism=MechanismSpec.of(
+            "privunit", epsilon=epsilon0, dimension=dimension
+        ),
+        values=ValuesSpec.of("bimodal_unit_vectors", dimension=dimension),
+        dummies=DummySpec.of("privunit_normal"),
+        protocol=protocol,
+        delta=config.delta,
+        delta2=config.delta2,
+        seed=config.seed,
+    )
+
+
 def run_figure9(
     *,
     eps0_values: Sequence[float] = (1.0, 2.0, 3.0, 4.0, 5.0),
@@ -52,48 +92,38 @@ def run_figure9(
 ) -> List[TradeoffPoint]:
     """Simulate the mean-estimation trade-off on the Twitch stand-in.
 
-    ``repeats`` runs are averaged per point to smooth the squared error.
+    ``repeats`` seed-derived runs are averaged per point to smooth the
+    squared error.
     """
-    synthetic = build_dataset(dataset, scale=scale, seed=config.seed)
-    graph = synthetic.graph
-    summary = spectral_summary(graph)
-    rounds = summary.mixing_time
-    sum_squared = summary.sum_squared_bound(rounds)
-    rng = ensure_rng(config.seed)
-
-    values = generate_bimodal_unit_vectors(
-        graph.num_nodes, dimension, rng=rng
+    base = figure9_scenario(
+        dataset=dataset, dimension=dimension, scale=scale, config=config
     )
-
+    # Resolve the operating point (the stand-in's mixing time) once:
+    # the seed axis below varies only the values/protocol streams, and
+    # pinning `rounds` keeps the replicas from each re-deriving it
+    # through a fresh spectral summary.
+    base = base.updated(rounds=graph_summary(base).mixing_time)
+    seeds = [config.seed + repeat for repeat in range(repeats)]
     points: List[TradeoffPoint] = []
     for eps0 in eps0_values:
         for protocol in ("all", "single"):
-            if protocol == "all":
-                central = epsilon_all_stationary(
-                    eps0, graph.num_nodes, sum_squared, config.delta, config.delta2
-                ).epsilon
-            else:
-                central = epsilon_single_stationary(
-                    eps0, graph.num_nodes, sum_squared, config.delta
-                ).epsilon
+            scenario = base.updated(
+                protocol=protocol, **{"mechanism.epsilon": float(eps0)}
+            )
+            replicas = sweep(
+                scenario, axis={"seed": seeds}, mode="run", results="full"
+            )
             errors = []
             dummies = []
-            for repeat in range(repeats):
-                result = run_mean_estimation(
-                    graph,
-                    values,
-                    eps0,
-                    protocol=protocol,
-                    rounds=rounds,
-                    rng=rng,
-                )
-                errors.append(result.squared_error)
-                dummies.append(result.dummy_count)
+            for point in replicas:
+                estimate = mean_estimate_from_run(point.outcome)
+                errors.append(estimate.squared_error)
+                dummies.append(estimate.dummy_count)
             points.append(
                 TradeoffPoint(
                     protocol=protocol,
-                    epsilon0=eps0,
-                    central_epsilon=central,
+                    epsilon0=float(eps0),
+                    central_epsilon=float(replicas.epsilons()[0]),
                     squared_error=float(np.mean(errors)),
                     dummy_count=int(np.mean(dummies)),
                 )

@@ -13,11 +13,14 @@ the shapes Table 1 talks about:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import TYPE_CHECKING, Iterable, List, Sequence
 
 import numpy as np
 
 from repro.exceptions import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.scenario.sweep import SweepResult
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -52,6 +55,32 @@ def _cell(value: object) -> str:
             return f"{value:.3e}"
         return f"{value:.4f}"
     return str(value)
+
+
+def sweep_table(
+    result: "SweepResult",
+    *,
+    value_header: str = "central eps",
+    precision: int = 4,
+) -> str:
+    """Render a :class:`~repro.scenario.sweep.SweepResult` as a table.
+
+    One row per grid point in grid order: the axis coordinates followed
+    by the point's central epsilon (the measured lower bound for audit
+    sweeps).  The standard rendering for sweep-backed experiments and
+    the CLI's accounting-mode sweeps.
+    """
+    names = list(result.axis)
+    rows = []
+    for point in result:
+        epsilon = point.epsilon
+        rows.append(
+            (
+                *[point.coordinates[name] for name in names],
+                "-" if epsilon is None else round(epsilon, precision),
+            )
+        )
+    return format_table([*names, value_header], rows)
 
 
 def fit_power_law(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:

@@ -2,67 +2,52 @@
 
 Usage::
 
-    python -m repro.experiments.runall [output_dir]
+    python -m repro.experiments.runall [output_dir] [--fast | --full]
 
 Writes one ``<artifact>.txt`` per table/figure (default directory:
-``experiments_output/``) and prints a summary.  Figure 9 runs at half
-scale by default to keep the full regeneration under a couple of
-minutes; pass ``--full`` for the full-scale Twitch stand-in.
+``experiments_output/``) plus a machine-readable ``manifest.json``
+recording, for every artifact, its path, generation preset, and elapsed
+seconds.  Artifact filenames are identical across presets — the
+manifest, not the name, says how each file was produced (historically
+the half-scale default and ``--full`` wrote indistinguishable files).
+
+Figure 9 runs at half scale by default to keep the full regeneration
+under a couple of minutes; pass ``--full`` for the full-scale Twitch
+stand-in, or ``--fast`` for the toy-scale CI smoke preset.
 """
 
 from __future__ import annotations
 
 import sys
-import time
 from pathlib import Path
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
-from repro.experiments import figure4, figure5, figure6, figure7, figure8
-from repro.experiments import table1, table3, table4
-from repro.experiments.figure9 import render_figure9, run_figure9
-
-
-def _figure9_text(full: bool) -> str:
-    points = run_figure9(
-        eps0_values=(1.0, 2.0, 3.0, 4.0, 5.0),
-        scale=None if full else 0.5,
-        repeats=3,
-    )
-    return render_figure9(points)
+from repro.experiments import campaigns
 
 
 def artifact_generators(full: bool) -> Dict[str, Callable[[], str]]:
-    """Name -> text generator for every artifact."""
+    """Name -> text generator for every artifact (campaign-backed)."""
+    preset = "full" if full else "default"
     return {
-        "table1": lambda: table1.render_table1(table1.run_table1()),
-        "table3": lambda: table3.render_table3(*table3.run_table3()),
-        "table4": lambda: table4.render_table4(table4.run_table4()),
-        "figure4": lambda: figure4.render_figure4(figure4.run_figure4()),
-        "figure5": lambda: figure5.render_figure5(figure5.run_figure5()),
-        "figure6": lambda: figure6.render_figure6(figure6.run_figure6()),
-        "figure7": lambda: figure7.render_figure7(figure7.run_figure7()),
-        "figure8": lambda: figure8.render_figure8(figure8.run_figure8()),
-        "figure9": lambda: _figure9_text(full),
+        name: (lambda n=name: campaigns.generate(n, preset))
+        for name in campaigns.artifact_names()
     }
 
 
-def main(argv: list[str] | None = None) -> None:
-    """Regenerate all artifacts into the output directory."""
+def main(argv: Optional[list] = None) -> Dict[str, object]:
+    """Regenerate all artifacts; returns (and writes) the manifest."""
     arguments = list(sys.argv[1:] if argv is None else argv)
-    full = "--full" in arguments
-    if full:
-        arguments.remove("--full")
+    preset, arguments = campaigns.parse_preset_flags(arguments)
     output_dir = Path(arguments[0]) if arguments else Path("experiments_output")
-    output_dir.mkdir(parents=True, exist_ok=True)
 
-    for name, generate in artifact_generators(full).items():
-        started = time.time()
-        text = generate()
-        elapsed = time.time() - started
-        path = output_dir / f"{name}.txt"
-        path.write_text(text + "\n")
-        print(f"{name:>8}: wrote {path} ({elapsed:.1f}s)")
-    print(f"\nall artifacts regenerated in {output_dir}/")
+    manifest = campaigns.run_campaign(
+        preset=preset, output_dir=output_dir, echo=print
+    )
+    print(
+        f"\nall artifacts regenerated in {output_dir}/ "
+        f"(preset: {preset}; manifest: {manifest['manifest_path']})"
+    )
+    return manifest
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ from repro.baselines.mixnet import run_mixnet
 from repro.baselines.prochlo import run_prochlo
 from repro.experiments.config import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.reporting import fit_power_law, format_table
-from repro.scenario import GraphSpec, Scenario, clear_graph_cache, run
+from repro.scenario import GraphSpec, Scenario, clear_graph_cache, sweep
 
 #: Fixed exchange rounds for the constant-rounds network-shuffling runs.
 _FIXED_ROUNDS = 8
@@ -71,9 +71,30 @@ _CLAIMS = {
 def measure_complexity(
     n_values: Sequence[int], *, config: ExperimentConfig = DEFAULT_CONFIG
 ) -> List[ComplexityPoint]:
-    """Run all three mechanisms at every ``n`` and record the counters."""
+    """Run all three mechanisms at every ``n`` and record the counters.
+
+    The network-shuffling column is one declarative ``graph.num_nodes``
+    sweep in ``run`` mode; ``results="full"`` keeps the per-user meter
+    boards the complexity fits read (a digest only carries aggregates).
+    The vectorized backend meters identically to the per-message path
+    (shared RNG contract) at a fraction of the cost.
+    """
+    base = Scenario(
+        graph=GraphSpec.of(
+            "k_regular", degree=_DEGREE, num_nodes=int(n_values[0])
+        ),
+        rounds=_FIXED_ROUNDS,
+        engine="vectorized",
+        seed=config.seed,
+    )
+    shuffles = sweep(
+        base,
+        axis={"graph.num_nodes": [int(n) for n in n_values]},
+        mode="run",
+        results="full",
+    )
     points: List[ComplexityPoint] = []
-    for n in n_values:
+    for n, shuffle_point in zip(n_values, shuffles):
         values = [0] * n
         prochlo = run_prochlo(values, rng=config.seed)
         points.append(
@@ -93,14 +114,7 @@ def measure_complexity(
                 max_user_traffic=mixnet.max_user_traffic(),
             )
         )
-        # The vectorized backend meters identically to the per-message
-        # path (shared RNG contract) at a fraction of the cost.
-        shuffle = run(Scenario(
-            graph=GraphSpec.of("k_regular", degree=_DEGREE, num_nodes=n),
-            rounds=_FIXED_ROUNDS,
-            engine="vectorized",
-            seed=config.seed,
-        ))
+        shuffle = shuffle_point.outcome
         user_meters = [shuffle.meters.meter(u) for u in range(n)]
         points.append(
             ComplexityPoint(
@@ -115,8 +129,9 @@ def measure_complexity(
             )
         )
     # Don't leave the largest measured graphs pinned in the scenario
-    # cache after the experiment returns.
-    clear_graph_cache()
+    # cache after the experiment returns — but an unrelated experiment
+    # must not detach a disk tier the caller attached.
+    clear_graph_cache(detach_spill=False)
     return points
 
 

@@ -13,9 +13,12 @@ mapping is returned alongside the graph.
 from __future__ import annotations
 
 import gzip
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
+
+import numpy as np
 
 from repro.exceptions import ValidationError
 from repro.graphs.graph import Graph
@@ -90,6 +93,54 @@ def read_edge_list(
     return LoadedGraph(
         graph=Graph(len(labels), edges), labels=tuple(labels)
     )
+
+
+def save_graph_npz(graph: Graph, path: PathLike) -> None:
+    """Persist a graph's CSR arrays as a compressed ``.npz`` file.
+
+    This is the binary interchange format of the sweep engine's on-disk
+    graph cache: a materialized graph round-trips exactly (same CSR
+    layout, hence the same hop draws under the exchange engine's RNG
+    contract) without re-running the generator.
+
+    The write is atomic (temp file + ``os.replace``): the cache treats
+    an existing file as a complete graph, and concurrent sweep
+    processes sharing a persistent spill directory must never observe a
+    torn archive.
+    """
+    file_path = Path(path)
+    # The temp name must keep the .npz suffix or np.savez appends one.
+    temp_path = file_path.with_name(
+        f".{file_path.stem}.tmp{os.getpid()}.npz"
+    )
+    try:
+        np.savez_compressed(
+            temp_path,
+            num_nodes=np.int64(graph.num_nodes),
+            indptr=graph.indptr,
+            indices=graph.indices,
+        )
+        os.replace(temp_path, file_path)
+    finally:
+        if temp_path.exists():
+            temp_path.unlink()
+
+
+def load_graph_npz(path: PathLike) -> Graph:
+    """Inverse of :func:`save_graph_npz`."""
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ValidationError(f"no such file: {file_path}")
+    with np.load(file_path) as payload:
+        try:
+            num_nodes = int(payload["num_nodes"])
+            indptr = np.asarray(payload["indptr"], dtype=np.int64)
+            indices = np.asarray(payload["indices"], dtype=np.int64)
+        except KeyError as error:
+            raise ValidationError(
+                f"{file_path} is not a graph cache file (missing {error})"
+            ) from None
+    return Graph.from_csr(num_nodes, indptr, indices)
 
 
 def write_edge_list(

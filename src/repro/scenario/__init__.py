@@ -30,6 +30,7 @@ string keys resolve through extensible registries
 from repro.scenario.auditing import audit
 from repro.scenario.builders import (
     AUDIT_STATISTICS,
+    DUMMIES,
     FAULTS,
     GRAPH_STATS,
     GRAPHS,
@@ -38,11 +39,18 @@ from repro.scenario.builders import (
     VALUES,
     GraphStats,
 )
+from repro.scenario.cache import (
+    GRAPH_CACHE,
+    CacheCounters,
+    GraphBundle,
+    GraphCache,
+)
 from repro.scenario.registry import Registration, Registry
 from repro.scenario.runner import (
     RunResult,
     SeedStreams,
     bound,
+    build_dummy_factory,
     build_faults,
     build_graph,
     build_mechanism,
@@ -56,6 +64,7 @@ from repro.scenario.runner import (
 from repro.scenario.spec import (
     AuditSpec,
     ComponentSpec,
+    DummySpec,
     FaultSpec,
     FrozenParams,
     GraphSpec,
@@ -64,8 +73,10 @@ from repro.scenario.spec import (
     ValuesSpec,
 )
 from repro.scenario.sweep import (
+    RunDigest,
     SweepPoint,
     SweepResult,
+    digest_run,
     sweep,
     sweep_scenarios,
 )
@@ -73,12 +84,18 @@ from repro.scenario.sweep import (
 __all__ = [
     "AUDIT_STATISTICS",
     "AuditSpec",
+    "CacheCounters",
     "ComponentSpec",
+    "DummySpec",
+    "DUMMIES",
     "FaultSpec",
     "FAULTS",
     "FrozenParams",
+    "GraphBundle",
+    "GraphCache",
     "GraphSpec",
     "GraphStats",
+    "GRAPH_CACHE",
     "GRAPH_STATS",
     "GRAPHS",
     "MechanismSpec",
@@ -86,6 +103,7 @@ __all__ = [
     "REGISTRIES",
     "Registration",
     "Registry",
+    "RunDigest",
     "RunResult",
     "Scenario",
     "SeedStreams",
@@ -95,11 +113,13 @@ __all__ = [
     "ValuesSpec",
     "audit",
     "bound",
+    "build_dummy_factory",
     "build_faults",
     "build_graph",
     "build_mechanism",
     "build_values",
     "clear_graph_cache",
+    "digest_run",
     "graph_summary",
     "run",
     "seed_streams",

@@ -20,7 +20,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.auditing.auditor import AuditResult, audit_network_shuffle
+from repro.auditing.auditor import (
+    _KERNEL_MAX_NODES,
+    AuditResult,
+    _resolve_method,
+    audit_network_shuffle,
+)
 from repro.exceptions import ValidationError
 from repro.ldp.randomized_response import BinaryRandomizedResponse
 from repro.scenario.builders import AUDIT_STATISTICS
@@ -119,6 +124,21 @@ def audit(
         spec.kind, bundle.graph, steps, laziness, **params
     )
     generator = rng if rng is not None else seed_streams(scenario.seed).audit
+    # When the kernel engine will run, hand it the bundle's memoized
+    # sampler: repeated audits (eps0/trials axes) reuse it outright and
+    # a rounds axis extends the cached matrix power chain — both
+    # bit-identical to a cold build (the sampler build is
+    # deterministic; only sampling consumes randomness).  Memoization
+    # is gated to the auto heuristic's node cap: past it the dense
+    # stage tables are hundreds of MB, so an explicitly requested
+    # kernel audit on a larger graph builds call-scoped (freed on
+    # return) instead of pinning them in the process-wide cache.
+    sampler = None
+    if (
+        _resolve_method(method, bundle.graph, steps) == "kernel"
+        and bundle.graph.num_nodes <= _KERNEL_MAX_NODES
+    ):
+        sampler = bundle.kernel_sampler(steps, laziness)
     return audit_network_shuffle(
         bundle.graph,
         epsilon0,
@@ -130,6 +150,7 @@ def audit(
         statistic=statistic,
         confidence=confidence,
         method=method,
+        kernel_sampler=sampler,
         label=f"scenario:{spec.kind}:t={steps}",
         rng=generator,
     )

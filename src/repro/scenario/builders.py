@@ -31,6 +31,7 @@ from repro.auditing.auditor import (
 )
 from repro.datasets.registry import get_dataset
 from repro.datasets.synthetic import build_dataset
+from repro.estimation.mean import generate_bimodal_unit_vectors, make_dummy_factory
 from repro.exceptions import ValidationError
 from repro.graphs import generators
 from repro.graphs.dynamic import DynamicGraphSchedule
@@ -125,11 +126,22 @@ def _watts_strogatz(
 
 @GRAPHS.register("dataset", example={"name": "deezer", "scale": 0.05})
 def _dataset(
-    rng: np.random.Generator, *, name: str, scale: float | None = None
+    rng: np.random.Generator,
+    *,
+    name: str,
+    scale: float | None = None,
+    seed: int | None = None,
 ) -> Graph:
-    """Calibrated Table 4 stand-in (facebook, twitch, deezer, enron, google)."""
-    seed = int(rng.integers(0, 2**31 - 1))
-    return build_dataset(name, scale=scale, seed=seed).graph
+    """Calibrated Table 4 stand-in (facebook, twitch, deezer, enron, google).
+
+    ``seed`` pins the calibration/wiring seed as explicit spec data
+    (the migrated experiments use it so their stand-ins match the
+    historical ``build_dataset(name, seed=...)`` graphs bit for bit);
+    ``None`` draws it from the scenario's graph stream.
+    """
+    if seed is None:
+        seed = int(rng.integers(0, 2**31 - 1))
+    return build_dataset(name, scale=scale, seed=int(seed)).graph
 
 
 #: Selector kinds a schedule spec accepts.  ``round_robin`` cycles the
@@ -320,11 +332,35 @@ def _grid_stats(*, rows: int, cols: int, periodic: bool = False) -> GraphStats:
 
 
 @GRAPH_STATS.register("dataset", example={"name": "twitch"})
-def _dataset_stats(*, name: str, scale: float | None = None) -> GraphStats:
-    """Published (n, Gamma_G) of the Table 4 dataset at ``scale``."""
+def _dataset_stats(
+    *, name: str, scale: float | None = None, seed: int | None = None
+) -> GraphStats:
+    """Published (n, Gamma_G) of the Table 4 dataset at ``scale``.
+
+    ``seed`` is accepted (and irrelevant) so a materializable dataset
+    spec with a pinned wiring seed still prices through the closed form.
+    """
     spec = get_dataset(name)
     n = spec.scaled_nodes(spec.default_scale if scale is None else scale)
     return GraphStats(n, spec.gamma / n)
+
+
+@GRAPH_STATS.register("gamma", example={"gamma": 1.0, "num_nodes": 10_000})
+def _gamma_stats(*, gamma: float, num_nodes: int) -> GraphStats:
+    """Abstract stationary-limit graph: just ``(n, Gamma_G)``.
+
+    Figure 8's parameter study sweeps ``Gamma`` and ``n`` directly with
+    no concrete topology; this kind prices such grids through
+    ``stationary_bound`` and is deliberately *not* materializable
+    (``GRAPHS`` has no ``gamma`` entry — there is no graph to build).
+    """
+    check_positive_int(num_nodes, "num_nodes")
+    if not 1.0 <= gamma <= num_nodes:
+        raise ValidationError(
+            f"Gamma_G = n sum pi^2 lies in [1, n] (Cauchy-Schwarz / "
+            f"sum pi^2 <= 1); got {gamma} at n={num_nodes}"
+        )
+    return GraphStats(num_nodes, gamma / num_nodes)
 
 
 # ----------------------------------------------------------------------
@@ -435,6 +471,27 @@ def _choice(
     return rng.choice(num_options, size=num_users, p=probabilities).tolist()
 
 
+@VALUES.register("bimodal_unit_vectors", example={"dimension": 8})
+def _bimodal_unit_vectors(
+    rng: np.random.Generator,
+    num_users: int,
+    *,
+    dimension: int = 200,
+    low_mean: float = 1.0,
+    high_mean: float = 10.0,
+) -> List[np.ndarray]:
+    """The paper's Section 5.6 population: normalized bimodal samples.
+
+    First half ``N(low_mean, 1)^d``, second half ``N(high_mean, 1)^d``,
+    every row normalized to the unit sphere — the Figure 9 workload
+    PrivUnit perturbs.
+    """
+    vectors = generate_bimodal_unit_vectors(
+        num_users, dimension, low_mean=low_mean, high_mean=high_mean, rng=rng
+    )
+    return list(vectors)
+
+
 @VALUES.register("normal", example={"mean": 0.5, "std": 0.1})
 def _normal(
     rng: np.random.Generator,
@@ -450,6 +507,44 @@ def _normal(
     if lower is not None or upper is not None:
         draws = np.clip(draws, lower, upper)
     return draws.tolist()
+
+
+# ----------------------------------------------------------------------
+# Dummy-report factories (A_single, Algorithm 2 line 10)
+# ----------------------------------------------------------------------
+#: Builders have signature ``builder(mechanism, **params) -> factory``
+#: where ``mechanism`` is the scenario's built ``A_ldp`` (or ``None``)
+#: and ``factory(rng)`` yields one dummy payload.  The factory draws
+#: from the protocol generator exactly where the default ``A_ldp(0)``
+#: dummy would, so swapping factories never shifts other draws.
+DUMMIES = Registry("dummy factory")
+
+
+@DUMMIES.register("mechanism_zero", example={})
+def _mechanism_zero(mechanism, *, value: Any = 0):
+    """The Algorithm 2 default, explicit: each dummy is ``A_ldp(value)``."""
+    if mechanism is None:
+        raise ValidationError(
+            "the 'mechanism_zero' dummy factory randomizes a constant "
+            "through the scenario mechanism; this scenario has none"
+        )
+
+    def factory(rng: np.random.Generator):
+        return mechanism.randomize(value, rng)
+
+    return factory
+
+
+@DUMMIES.register("privunit_normal", example={"mean": 5.0})
+def _privunit_normal(mechanism, *, mean: float = 5.0):
+    """Figure 9's dummy: PrivUnit of a normalized ``N(mean, 1)^d`` draw."""
+    if not isinstance(mechanism, PrivUnit):
+        raise ValidationError(
+            "the 'privunit_normal' dummy factory perturbs a unit vector "
+            "through PrivUnit; pair it with mechanism kind 'privunit' "
+            f"(got {type(mechanism).__name__ if mechanism else None})"
+        )
+    return make_dummy_factory(mechanism, dummy_mean=mean)
 
 
 # ----------------------------------------------------------------------
@@ -496,5 +591,22 @@ REGISTRIES: Dict[str, Registry] = {
     "mechanism": MECHANISMS,
     "faults": FAULTS,
     "values": VALUES,
+    "dummies": DUMMIES,
     "audit": AUDIT_STATISTICS,
 }
+
+#: Registries whose runtime registrations the sweep engine records and
+#: replays into pool workers (``GRAPH_STATS`` rides along: a runtime
+#: graph kind may pair with a closed form).  Keys are stable replay
+#: labels, not scenario fields.
+REPLAYABLE_REGISTRIES: Dict[str, Registry] = {
+    **REGISTRIES,
+    "graph_stats": GRAPH_STATS,
+}
+
+# Everything registered above ships with the library.  Snapshot the key
+# sets so the sweep engine can tell runtime registrations (which pool
+# workers need replayed) apart from built-ins (which workers re-import).
+for _registry in REPLAYABLE_REGISTRIES.values():
+    _registry.mark_builtin()
+del _registry

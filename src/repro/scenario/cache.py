@@ -1,0 +1,430 @@
+"""The shared graph cache behind the scenario runner and sweep engine.
+
+One materialized graph serves every grid point (and, for pooled sweeps,
+every worker) that references the same resolved ``(graph spec, seed)``
+pair:
+
+* in-process, bundles live in a bounded LRU keyed by the spec's
+  canonical JSON — sequential sweeps and repeated ``run``/``bound``
+  calls share them for free;
+* across *fork*-started pool workers the warmed cache is inherited
+  through copy-on-write memory;
+* across *spawn*-started workers (and as a safety net under fork) the
+  parent spills each distinct static graph to an on-disk ``.npz`` CSR
+  file (:func:`repro.graphs.io.save_graph_npz`) that workers load
+  instead of re-running the generator.
+
+Every path is counted (:class:`CacheCounters`), so a sweep can assert
+the contract the engine exists for: **each distinct graph is built
+exactly once per host**.
+
+The bundle also memoizes the two expensive per-graph derivatives the
+accounting and auditing layers keep asking for — the spectral summary /
+walk profiles (as before), and now the auditor's dense ``M^t`` endpoint
+sampler (:class:`repro.auditing.auditor._KernelSampler`), keyed by
+``(rounds, laziness)`` with an incremental power cache so a
+rounds-axis audit sweep extends the longest kernel computed so far
+instead of rebuilding ``M^t`` from scratch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+from repro.graphs.dynamic import (
+    DynamicGraphSchedule,
+    evolve_profile_on_schedule,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.io import load_graph_npz, save_graph_npz
+from repro.graphs.spectral import SpectralSummary, spectral_summary
+from repro.graphs.walks import evolve_distribution, position_distribution
+from repro.utils.rng import spawn_rngs
+
+
+@dataclass(frozen=True)
+class SeedStreams:
+    """The child generators derived from a scenario seed."""
+
+    graph: np.random.Generator
+    values: np.random.Generator
+    protocol: np.random.Generator
+    audit: np.random.Generator
+
+
+def seed_streams(seed: int) -> SeedStreams:
+    """Derive the (graph, values, protocol, audit) generators from ``seed``.
+
+    This is the public determinism contract: hand-wired pipelines that
+    want to reproduce ``run(scenario)`` exactly should draw their
+    generators from here.  The ``audit`` stream is the fourth
+    SeedSequence child, so adding it left the first three — and every
+    pre-existing seeded run — bit-identical.
+    """
+    graph_rng, values_rng, protocol_rng, audit_rng = spawn_rngs(int(seed), 4)
+    return SeedStreams(
+        graph=graph_rng,
+        values=values_rng,
+        protocol=protocol_rng,
+        audit=audit_rng,
+    )
+
+
+#: Largest schedule (node count) the exact dense collision profile will
+#: track: the accounting evolves an (n, n) matrix, so past this the
+#: memory/products cost is no longer incidental.  Refused loudly —
+#: there is no sound spectral shortcut on a time-varying topology.
+_SCHEDULE_PROFILE_MAX_NODES = 4096
+
+
+class GraphBundle:
+    """A materialized graph plus its lazily computed derivatives.
+
+    For a ``schedule`` spec the materialized object is a
+    :class:`DynamicGraphSchedule`; spectral machinery (summary, mixing
+    time) is undefined on it — accounting goes through the exact
+    :meth:`schedule_collision` tracking instead.
+    """
+
+    #: How many distinct (rounds, laziness) kernel samplers stay
+    #: resident per bundle.  Each holds dense (n, n) stage tables, so
+    #: two suffices for the common sweep shapes (one warm kernel, one
+    #: being superseded) without letting a long rounds axis pin
+    #: hundreds of megabytes.
+    _KERNEL_SAMPLER_CAP = 2
+
+    def __init__(self, graph: Union[Graph, DynamicGraphSchedule]):
+        self.graph = graph
+        self._summary: Optional[SpectralSummary] = None
+        # Per-laziness walk cache: laziness -> (steps, distribution).
+        # Ascending `rounds` sweeps evolve incrementally (O(T) total
+        # mat-vecs instead of O(T^2)); chained evolution applies the
+        # same matrix-vector sequence as a from-scratch walk, so the
+        # result is bit-identical.
+        self._walks: Dict[float, tuple] = {}
+        # Schedule analogue of the walk cache, but bounded to ONE entry:
+        # laziness -> (steps, dense (n, n) profile whose column i is
+        # user i's exact position distribution).  A profile near the
+        # node cap is ~134 MB, so only the most recent laziness is
+        # retained — ascending-rounds sweeps (the common shape) still
+        # evolve incrementally; a laziness sweep recomputes per value.
+        self._profiles: Dict[float, tuple] = {}
+        # Auditor kernel samplers keyed (rounds, laziness), plus the
+        # per-laziness power cache the samplers extend incrementally.
+        self._kernel_samplers: OrderedDict[Tuple[int, float], Any] = (
+            OrderedDict()
+        )
+        self._kernel_powers: Dict[float, Dict[int, np.ndarray]] = {}
+        #: Kernel memo telemetry (tests assert reuse through these).
+        self.kernel_builds = 0
+        self.kernel_hits = 0
+        #: Whether the build provably ignored the seed-derived graph
+        #: stream (set by the cache; drives spec-keyed sharing/spill).
+        self.seed_independent = False
+
+    @property
+    def is_schedule(self) -> bool:
+        return isinstance(self.graph, DynamicGraphSchedule)
+
+    @property
+    def summary(self) -> SpectralSummary:
+        if self.is_schedule:
+            raise ValidationError(
+                "a dynamic graph schedule has no spectral summary (no "
+                "single mixing time / stationary distribution); set "
+                "`rounds` explicitly and use analysis='stationary' — "
+                "schedule accounting tracks the exact collision mass"
+            )
+        if self._summary is None:
+            self._summary = spectral_summary(self.graph)
+        return self._summary
+
+    def schedule_collision(self, steps: int, laziness: float) -> float:
+        """Worst-user exact collision mass after ``steps`` scheduled rounds.
+
+        Evolves every user's position distribution at once (one dense
+        (n, n) profile, one sparse-dense product per round, transition
+        CSRs memoized per distinct topology) and returns
+        ``max_i sum_j P^i_j(t)^2`` — the sound per-user value the
+        Theorem 5.3/5.5 bounds consume, with no stationarity
+        assumption.  Ascending-``rounds`` sweeps evolve incrementally
+        from the cached longest profile, bit-identical to from-scratch.
+        """
+        schedule = self.graph
+        n = schedule.num_nodes
+        if n > _SCHEDULE_PROFILE_MAX_NODES:
+            raise ValidationError(
+                f"exact schedule accounting tracks an (n, n) profile; "
+                f"n={n} exceeds the {_SCHEDULE_PROFILE_MAX_NODES}-node "
+                "cap. Run the scenario simulation-only (no mechanism / "
+                "epsilon0) and account offline."
+            )
+        key = float(laziness)
+        cached = self._profiles.get(key)
+        if cached is not None and cached[0] <= steps:
+            done, profile = cached
+        else:
+            # A descending-rounds request recomputes from scratch
+            # without downgrading the cache for later, longer requests.
+            done, profile = 0, np.eye(n)
+        profile = evolve_profile_on_schedule(
+            schedule, profile, steps - done,
+            laziness=laziness, start_round=done,
+        )
+        if cached is None or steps >= cached[0]:
+            self._profiles.clear()
+            self._profiles[key] = (steps, profile)
+        return float(np.einsum("ij,ij->j", profile, profile).max())
+
+    def walk_distribution(self, steps: int, laziness: float) -> np.ndarray:
+        """Exact ``P(t)`` from node 0, memoized per laziness.
+
+        The cache keeps the *longest* walk computed so far, so a
+        descending-rounds request recomputes from scratch without
+        downgrading the cache for later, longer requests.
+        """
+        key = float(laziness)
+        cached = self._walks.get(key)
+        if cached is not None and cached[0] <= steps:
+            done, distribution = cached
+            distribution = evolve_distribution(
+                self.graph, distribution, steps - done, laziness=laziness
+            )
+        else:
+            distribution = position_distribution(
+                self.graph, 0, steps, laziness=laziness
+            )
+        if cached is None or steps >= cached[0]:
+            self._walks[key] = (steps, distribution)
+        return distribution
+
+    def kernel_sampler(self, rounds: int, laziness: float):
+        """The auditor's dense ``M^t`` endpoint sampler, memoized.
+
+        Keyed by ``(rounds, laziness)`` — together with the bundle's own
+        spec+seed identity that is the full (graph spec, rounds,
+        laziness) key of the ROADMAP follow-up.  Repeated audits of the
+        same configuration (eps0/trials axes) reuse the sampler object
+        outright; a new ``rounds`` value seeds its kernel build from
+        the longest matrix power already computed for this laziness, so
+        an ascending rounds-axis sweep pays ``O(t_max)`` sparse-dense
+        products in total instead of ``O(sum t_i)``.  Both reuse paths
+        are bit-identical to a cold build (the power cache replays the
+        exact same product sequence).
+        """
+        from repro.auditing.auditor import _KernelSampler
+
+        if self.is_schedule:
+            raise ValidationError(
+                "the kernel sampler precomputes one dense t-step kernel; "
+                "a dynamic schedule has no single kernel"
+            )
+        key = (int(rounds), float(laziness))
+        sampler = self._kernel_samplers.get(key)
+        if sampler is not None:
+            self._kernel_samplers.move_to_end(key)
+            self.kernel_hits += 1
+            return sampler
+        powers = self._kernel_powers.setdefault(key[1], {})
+        sampler = _KernelSampler(
+            self.graph, key[0], key[1], power_cache=powers
+        )
+        self.kernel_builds += 1
+        self._kernel_samplers[key] = sampler
+        while len(self._kernel_samplers) > self._KERNEL_SAMPLER_CAP:
+            self._kernel_samplers.popitem(last=False)
+        # Drop power chains for laziness values no retained sampler
+        # uses: each chain pins a dense (n, n) matrix, and a
+        # laziness-axis sweep would otherwise accumulate one per value.
+        live = {retained for _, retained in self._kernel_samplers}
+        for stale in [lz for lz in self._kernel_powers if lz not in live]:
+            del self._kernel_powers[stale]
+        return sampler
+
+
+@dataclass
+class CacheCounters:
+    """How the graph cache satisfied requests (monotone counts)."""
+
+    builds: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+
+    def snapshot(self) -> "CacheCounters":
+        return CacheCounters(self.builds, self.memory_hits, self.disk_hits)
+
+    def delta(self, since: "CacheCounters") -> "CacheCounters":
+        """Counts accumulated after the ``since`` snapshot."""
+        return CacheCounters(
+            builds=self.builds - since.builds,
+            memory_hits=self.memory_hits - since.memory_hits,
+            disk_hits=self.disk_hits - since.disk_hits,
+        )
+
+    def merge(self, other: "CacheCounters") -> None:
+        """Fold another process's counter deltas into this one."""
+        self.builds += other.builds
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+
+    @property
+    def requests(self) -> int:
+        """Total bundle requests observed."""
+        return self.builds + self.memory_hits + self.disk_hits
+
+
+def graph_cache_key(graph_payload: Mapping[str, Any], seed: int) -> str:
+    """Canonical cache key of a resolved graph spec + scenario seed."""
+    return json.dumps(
+        {"graph": graph_payload, "seed": int(seed)}, sort_keys=True
+    )
+
+
+def spec_cache_key(graph_payload: Mapping[str, Any]) -> str:
+    """Seedless identity of a graph spec (for seed-independent sharing)."""
+    return json.dumps(graph_payload, sort_keys=True)
+
+
+class GraphCache:
+    """Bounded LRU of :class:`GraphBundle` with an optional disk tier.
+
+    ``maxsize`` bounds how many materialized graphs stay resident (axes
+    other than the graph share one bundle); ``spill_dir`` — when set —
+    is consulted on a memory miss before the generator runs, and is how
+    spawn-started sweep workers inherit the parent's materializations.
+    """
+
+    def __init__(self, maxsize: int = 8):
+        self.maxsize = maxsize
+        self._bundles: OrderedDict[str, GraphBundle] = OrderedDict()
+        # Spec-only aliases for graphs *proven* seed-independent (their
+        # builder drew nothing from the graph stream): a seed-axis
+        # sweep over a pinned-wiring-seed spec shares one bundle
+        # instead of building per replica.
+        self._spec_bundles: OrderedDict[str, GraphBundle] = OrderedDict()
+        self.counters = CacheCounters()
+        self.spill_dir: Optional[Path] = None
+
+    # -- keying --------------------------------------------------------
+    @staticmethod
+    def _spill_name(key: str) -> str:
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:32] + ".npz"
+
+    def spill_path(self, key: str, directory: Optional[Path] = None) -> Path:
+        """Where ``key``'s CSR arrays live on disk (under ``directory``)."""
+        base = directory if directory is not None else self.spill_dir
+        if base is None:
+            raise ValidationError("graph cache has no spill directory")
+        return Path(base) / self._spill_name(key)
+
+    # -- lookup --------------------------------------------------------
+    def bundle(self, key: str, builder, *,
+               spec_key: Optional[str] = None) -> GraphBundle:
+        """The bundle for ``key``, from memory, disk, or ``builder()``.
+
+        ``builder`` is a zero-argument callable returning ``(graph,
+        seed_independent)`` — the flag says whether the build provably
+        ignored the seed-derived stream (it drew nothing from it); it
+        runs only on a full miss, and the counters record which tier
+        answered.  ``spec_key`` is the seedless identity of the graph
+        spec: when a build proves seed-independent, the bundle is also
+        published under it, so other seeds resolve to the same bundle
+        (one build, shared spectral/kernel derivatives) instead of
+        rebuilding a bit-identical graph per seed.
+        """
+        cached = self._bundles.get(key)
+        if cached is not None:
+            self._bundles.move_to_end(key)
+            self.counters.memory_hits += 1
+            return cached
+        if spec_key is not None:
+            shared = self._spec_bundles.get(spec_key)
+            if shared is not None:
+                self._spec_bundles.move_to_end(spec_key)
+                self.counters.memory_hits += 1
+                return shared
+        graph = None
+        seed_independent = False
+        if self.spill_dir is not None:
+            path = self.spill_path(key)
+            if path.exists():
+                graph = load_graph_npz(path)
+                self.counters.disk_hits += 1
+            elif spec_key is not None:
+                # Spec-keyed files exist only for graphs a previous
+                # build proved seed-independent, so a hit here is safe
+                # to share across seeds.
+                spec_path = self.spill_path(spec_key)
+                if spec_path.exists():
+                    graph = load_graph_npz(spec_path)
+                    seed_independent = True
+                    self.counters.disk_hits += 1
+        if graph is None:
+            graph, seed_independent = builder()
+            self.counters.builds += 1
+        bundle = GraphBundle(graph)
+        bundle.seed_independent = bool(seed_independent)
+        self._bundles[key] = bundle
+        while len(self._bundles) > self.maxsize:
+            self._bundles.popitem(last=False)
+        if seed_independent and spec_key is not None:
+            self._spec_bundles[spec_key] = bundle
+            while len(self._spec_bundles) > self.maxsize:
+                self._spec_bundles.popitem(last=False)
+        return bundle
+
+    def spill(self, key: str, bundle: GraphBundle, directory: Path,
+              *, spec_key: Optional[str] = None) -> Optional[Path]:
+        """Persist ``bundle``'s graph for ``key`` under ``directory``.
+
+        A seed-independent bundle spills under its ``spec_key`` instead,
+        so a seed axis writes (and workers load) one copy rather than
+        one per seed.  Returns the written path, or ``None`` for a
+        dynamic schedule — schedules have no single CSR; spawn-started
+        workers rebuild them (fork-started workers still inherit the
+        bundle).
+        """
+        if bundle.is_schedule:
+            return None
+        if bundle.seed_independent and spec_key is not None:
+            key = spec_key
+        path = self.spill_path(key, directory)
+        if not path.exists():
+            save_graph_npz(bundle.graph, path)
+        return path
+
+    def stats(self) -> CacheCounters:
+        """A snapshot of the counters."""
+        return self.counters.snapshot()
+
+    def clear(self, *, detach_spill: bool = True) -> None:
+        """Drop memoized bundles (tests, or after changing builders).
+
+        By default the disk tier is detached too: a full clear exists
+        to force builders to run again, and a stale ``.npz`` would
+        silently shadow new builder behavior — the next sweep with an
+        explicit ``spill_dir`` re-attaches it.  Pass
+        ``detach_spill=False`` to release memory only (what experiments
+        do after a large-n grid) without dropping a standing disk tier
+        someone else attached.  Counters are left alone: a clear
+        changes residency, not history.
+        """
+        self._bundles.clear()
+        self._spec_bundles.clear()
+        if detach_spill:
+            self.spill_dir = None
+
+    def __len__(self) -> int:
+        return len(self._bundles)
+
+
+#: The process-wide cache every runner/sweep call shares.
+GRAPH_CACHE = GraphCache()

@@ -34,6 +34,7 @@ class Registry:
     def __init__(self, label: str):
         self.label = label
         self._entries: Dict[str, Registration] = {}
+        self._builtin_keys: Optional[frozenset] = None
 
     def register(
         self,
@@ -92,6 +93,40 @@ class Registry:
                 f"bad parameters for {self.label} {kind!r}: {error}"
             ) from error
         return registration.builder(*bound.args, **bound.kwargs)
+
+    def mark_builtin(self) -> None:
+        """Snapshot the current keys as the built-in set.
+
+        Called once by :mod:`repro.scenario.builders` after the shipped
+        components register.  Anything registered afterwards is a
+        *runtime* registration: invisible to a freshly spawned process,
+        so pooled sweeps record and replay it (see
+        :func:`repro.scenario.sweep.sweep`).
+        """
+        self._builtin_keys = frozenset(self._entries)
+
+    def runtime_entries(self) -> List[Registration]:
+        """Registrations added after :meth:`mark_builtin`, in key order.
+
+        These are the entries a spawn-started worker process would not
+        have; the sweep engine ships and replays them.
+        """
+        builtin = self._builtin_keys or frozenset()
+        return [
+            self._entries[kind]
+            for kind in sorted(self._entries)
+            if kind not in builtin
+        ]
+
+    def adopt(self, registration: Registration) -> None:
+        """Replay a recorded registration into this registry.
+
+        A no-op when ``kind`` is already present (fork-started workers
+        inherit runtime registrations; replaying must be idempotent).
+        """
+        if registration.kind in self._entries:
+            return
+        self._entries[registration.kind] = registration
 
     def example(self, kind: str) -> Dict[str, Any]:
         """A copy of the registered example parameters for ``kind``."""

@@ -18,10 +18,8 @@ either engine; the scenario tests assert this.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
@@ -35,177 +33,81 @@ from repro.amplification.network_shuffle import (
     epsilon_single_symmetric,
 )
 from repro.exceptions import ValidationError
-from repro.graphs.dynamic import (
-    DynamicGraphSchedule,
-    evolve_profile_on_schedule,
-)
+from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
-from repro.graphs.spectral import SpectralSummary, spectral_summary
-from repro.graphs.walks import evolve_distribution, position_distribution
+from repro.graphs.spectral import SpectralSummary
 from repro.ldp.base import LocalRandomizer
 from repro.netsim.faults import DropoutModel, NoFaults
 from repro.protocols.all_protocol import run_all_protocol
 from repro.protocols.reports import ProtocolResult
 from repro.protocols.single_protocol import run_single_protocol
-from repro.scenario.builders import FAULTS, GRAPH_STATS, GRAPHS, MECHANISMS, VALUES
-from repro.scenario.spec import GraphSpec, Scenario
-from repro.utils.rng import spawn_rngs
+from repro.scenario.builders import (
+    DUMMIES,
+    FAULTS,
+    GRAPH_STATS,
+    GRAPHS,
+    MECHANISMS,
+    VALUES,
+)
+from repro.scenario.cache import (
+    GRAPH_CACHE,
+    GraphBundle,
+    SeedStreams,
+    graph_cache_key,
+    seed_streams,
+    spec_cache_key,
+)
+from repro.scenario.spec import Scenario
 
-
-@dataclass(frozen=True)
-class SeedStreams:
-    """The child generators derived from a scenario seed."""
-
-    graph: np.random.Generator
-    values: np.random.Generator
-    protocol: np.random.Generator
-    audit: np.random.Generator
-
-
-def seed_streams(seed: int) -> SeedStreams:
-    """Derive the (graph, values, protocol, audit) generators from ``seed``.
-
-    This is the public determinism contract: hand-wired pipelines that
-    want to reproduce ``run(scenario)`` exactly should draw their
-    generators from here.  The ``audit`` stream is the fourth
-    SeedSequence child, so adding it left the first three — and every
-    pre-existing seeded run — bit-identical.
-    """
-    graph_rng, values_rng, protocol_rng, audit_rng = spawn_rngs(int(seed), 4)
-    return SeedStreams(
-        graph=graph_rng,
-        values=values_rng,
-        protocol=protocol_rng,
-        audit=audit_rng,
-    )
+__all__ = [
+    "RunResult",
+    "SeedStreams",
+    "bound",
+    "build_dummy_factory",
+    "build_faults",
+    "build_graph",
+    "build_mechanism",
+    "build_values",
+    "clear_graph_cache",
+    "graph_summary",
+    "run",
+    "seed_streams",
+    "stationary_bound",
+]
 
 
 # ----------------------------------------------------------------------
-# Graph materialization (cached across a sweep)
+# Graph materialization (cached across a sweep; see scenario/cache.py)
 # ----------------------------------------------------------------------
-#: Largest schedule (node count) the exact dense collision profile will
-#: track: the accounting evolves an (n, n) matrix, so past this the
-#: memory/products cost is no longer incidental.  Refused loudly —
-#: there is no sound spectral shortcut on a time-varying topology.
-_SCHEDULE_PROFILE_MAX_NODES = 4096
+def _bundle_for(scenario: Scenario) -> GraphBundle:
+    payload = scenario.graph.to_dict()
+    key = graph_cache_key(payload, scenario.seed)
 
-
-class _GraphBundle:
-    """A materialized graph plus its lazily computed spectral summary.
-
-    For a ``schedule`` spec the materialized object is a
-    :class:`DynamicGraphSchedule`; spectral machinery (summary, mixing
-    time) is undefined on it — accounting goes through the exact
-    :meth:`schedule_collision` tracking instead.
-    """
-
-    def __init__(self, graph: Union[Graph, DynamicGraphSchedule]):
-        self.graph = graph
-        self._summary: Optional[SpectralSummary] = None
-        # Per-laziness walk cache: laziness -> (steps, distribution).
-        # Ascending `rounds` sweeps evolve incrementally (O(T) total
-        # mat-vecs instead of O(T^2)); chained evolution applies the
-        # same matrix-vector sequence as a from-scratch walk, so the
-        # result is bit-identical.
-        self._walks: Dict[float, tuple] = {}
-        # Schedule analogue of the walk cache, but bounded to ONE entry:
-        # laziness -> (steps, dense (n, n) profile whose column i is
-        # user i's exact position distribution).  A profile near the
-        # node cap is ~134 MB, so only the most recent laziness is
-        # retained — ascending-rounds sweeps (the common shape) still
-        # evolve incrementally; a laziness sweep recomputes per value.
-        self._profiles: Dict[float, tuple] = {}
-
-    @property
-    def is_schedule(self) -> bool:
-        return isinstance(self.graph, DynamicGraphSchedule)
-
-    @property
-    def summary(self) -> SpectralSummary:
-        if self.is_schedule:
-            raise ValidationError(
-                "a dynamic graph schedule has no spectral summary (no "
-                "single mixing time / stationary distribution); set "
-                "`rounds` explicitly and use analysis='stationary' — "
-                "schedule accounting tracks the exact collision mass"
-            )
-        if self._summary is None:
-            self._summary = spectral_summary(self.graph)
-        return self._summary
-
-    def schedule_collision(self, steps: int, laziness: float) -> float:
-        """Worst-user exact collision mass after ``steps`` scheduled rounds.
-
-        Evolves every user's position distribution at once (one dense
-        (n, n) profile, one sparse-dense product per round, transition
-        CSRs memoized per distinct topology) and returns
-        ``max_i sum_j P^i_j(t)^2`` — the sound per-user value the
-        Theorem 5.3/5.5 bounds consume, with no stationarity
-        assumption.  Ascending-``rounds`` sweeps evolve incrementally
-        from the cached longest profile, bit-identical to from-scratch.
-        """
-        schedule = self.graph
-        n = schedule.num_nodes
-        if n > _SCHEDULE_PROFILE_MAX_NODES:
-            raise ValidationError(
-                f"exact schedule accounting tracks an (n, n) profile; "
-                f"n={n} exceeds the {_SCHEDULE_PROFILE_MAX_NODES}-node "
-                "cap. Run the scenario simulation-only (no mechanism / "
-                "epsilon0) and account offline."
-            )
-        key = float(laziness)
-        cached = self._profiles.get(key)
-        if cached is not None and cached[0] <= steps:
-            done, profile = cached
-        else:
-            # A descending-rounds request recomputes from scratch
-            # without downgrading the cache for later, longer requests.
-            done, profile = 0, np.eye(n)
-        profile = evolve_profile_on_schedule(
-            schedule, profile, steps - done,
-            laziness=laziness, start_round=done,
+    def build():
+        # Probe whether the builder actually consumed the seed-derived
+        # graph stream: a build that drew nothing (e.g. a dataset spec
+        # with its wiring seed pinned as data, or a deterministic
+        # topology like "complete") is provably identical across
+        # scenario seeds, so the cache may share it seed-independently.
+        # Both consumption channels are watched — direct draws mutate
+        # the bit generator state, while child-stream derivation (the
+        # schedule builder's churn phases) advances the SeedSequence
+        # spawn counter without touching the state.
+        rng = seed_streams(scenario.seed).graph
+        bit_generator = rng.bit_generator
+        state_before = bit_generator.state
+        spawned_before = getattr(
+            bit_generator.seed_seq, "n_children_spawned", 0
         )
-        if cached is None or steps >= cached[0]:
-            self._profiles.clear()
-            self._profiles[key] = (steps, profile)
-        return float(np.einsum("ij,ij->j", profile, profile).max())
+        graph = GRAPHS.build(scenario.graph.kind, rng, **scenario.graph.params)
+        untouched = (
+            bit_generator.state == state_before
+            and getattr(bit_generator.seed_seq, "n_children_spawned", 0)
+            == spawned_before
+        )
+        return graph, untouched
 
-    def walk_distribution(self, steps: int, laziness: float) -> np.ndarray:
-        """Exact ``P(t)`` from node 0, memoized per laziness.
-
-        The cache keeps the *longest* walk computed so far, so a
-        descending-rounds request recomputes from scratch without
-        downgrading the cache for later, longer requests.
-        """
-        key = float(laziness)
-        cached = self._walks.get(key)
-        if cached is not None and cached[0] <= steps:
-            done, distribution = cached
-            distribution = evolve_distribution(
-                self.graph, distribution, steps - done, laziness=laziness
-            )
-        else:
-            distribution = position_distribution(
-                self.graph, 0, steps, laziness=laziness
-            )
-        if cached is None or steps >= cached[0]:
-            self._walks[key] = (steps, distribution)
-        return distribution
-
-
-# Count-based cache: 8 bundles covers typical sweeps (axes other than
-# the graph share one bundle) while bounding how many materialized
-# graphs stay resident; call clear_graph_cache() after a large-n sweep.
-@lru_cache(maxsize=8)
-def _cached_bundle(graph_key: str, seed: int) -> _GraphBundle:
-    spec = GraphSpec.coerce(json.loads(graph_key))
-    graph = GRAPHS.build(spec.kind, seed_streams(seed).graph, **spec.params)
-    return _GraphBundle(graph)
-
-
-def _bundle_for(scenario: Scenario) -> _GraphBundle:
-    key = json.dumps(scenario.graph.to_dict(), sort_keys=True)
-    return _cached_bundle(key, scenario.seed)
+    return GRAPH_CACHE.bundle(key, build, spec_key=spec_cache_key(payload))
 
 
 def build_graph(scenario: Scenario) -> Union[Graph, DynamicGraphSchedule]:
@@ -222,9 +124,13 @@ def graph_summary(scenario: Scenario) -> SpectralSummary:
     return _bundle_for(scenario).summary
 
 
-def clear_graph_cache() -> None:
-    """Drop memoized graphs (tests, or after registering new builders)."""
-    _cached_bundle.cache_clear()
+def clear_graph_cache(*, detach_spill: bool = True) -> None:
+    """Drop memoized graphs (tests, or after changing builders).
+
+    ``detach_spill=False`` frees memory without detaching a standing
+    on-disk spill tier (see :meth:`GraphCache.clear`).
+    """
+    GRAPH_CACHE.clear(detach_spill=detach_spill)
 
 
 # ----------------------------------------------------------------------
@@ -338,7 +244,7 @@ def _require_regular(graph: Union[Graph, DynamicGraphSchedule]) -> None:
 
 
 def _resolve_rounds(
-    scenario: Scenario, bundle: _GraphBundle, override: Optional[int] = None
+    scenario: Scenario, bundle: GraphBundle, override: Optional[int] = None
 ) -> int:
     """The exchange round count to account/simulate at.
 
@@ -415,13 +321,20 @@ def bound(scenario: Scenario, *, rounds: Optional[int] = None) -> NetworkShuffle
     )
 
 
-def stationary_bound(scenario: Scenario) -> NetworkShuffleBound:
+def stationary_bound(
+    scenario: Scenario, *, materialize: bool = False
+) -> NetworkShuffleBound:
     """Closed-form guarantee *at stationarity* without building the graph.
 
     Uses the ``GRAPH_STATS`` registry (``sum_i P_i^2 -> sum_i pi_i^2 =
     Gamma_G / n``) when the graph kind has a closed form, falling back
     to materializing the graph otherwise.  This is what grid evaluations
     over million-user populations (Table 1, planning) call.
+
+    ``materialize=True`` skips the closed form and prices the
+    *materialized* graph's exact stationary collision instead — the
+    stand-in studies (Figure 4's asymptote, ``use_standins`` curves)
+    want the achieved ``Gamma``, not the published one.
     """
     mechanism = build_mechanism(scenario)
     epsilon0 = _resolve_epsilon0(scenario, mechanism)
@@ -440,7 +353,7 @@ def stationary_bound(scenario: Scenario) -> NetworkShuffleBound:
             "bound(scenario) for exact schedule accounting"
         )
     kind = scenario.graph.kind
-    if kind in GRAPH_STATS:
+    if kind in GRAPH_STATS and not materialize:
         stats = GRAPH_STATS.build(kind, **scenario.graph.params)
         n, collision = stats.num_nodes, stats.stationary_collision
     else:
@@ -481,6 +394,23 @@ def build_values(
         return None
     return VALUES.build(
         scenario.values.kind, rng, num_users, **scenario.values.params
+    )
+
+
+def build_dummy_factory(
+    scenario: Scenario, mechanism: Optional[LocalRandomizer]
+) -> Optional[Any]:
+    """Instantiate the scenario's dummy-report factory (or None).
+
+    Dummy reports exist only in ``A_single`` (Algorithm 2 line 10:
+    empty-handed users substitute one); ``A_all`` delivers every real
+    report, so a ``dummies`` spec is inert there — kept legal so one
+    base scenario can sweep a ``protocol`` axis across both algorithms.
+    """
+    if scenario.dummies is None:
+        return None
+    return DUMMIES.build(
+        scenario.dummies.kind, mechanism, **scenario.dummies.params
     )
 
 
@@ -580,7 +510,12 @@ def run(scenario: Scenario) -> RunResult:
     if scenario.protocol == "all":
         protocol_result = run_all_protocol(graph, rounds, **protocol_kwargs)
     else:
-        protocol_result = run_single_protocol(graph, rounds, **protocol_kwargs)
+        protocol_result = run_single_protocol(
+            graph,
+            rounds,
+            dummy_factory=build_dummy_factory(scenario, mechanism),
+            **protocol_kwargs,
+        )
 
     run_bound: Optional[NetworkShuffleBound] = None
     empirical: Optional[float] = None

@@ -201,6 +201,18 @@ class ValuesSpec(ComponentSpec):
     """Reference into the workload-values registry (``"bernoulli"``, ...)."""
 
 
+class DummySpec(ComponentSpec):
+    """Reference into the dummy-factory registry (``"privunit_normal"``, ...).
+
+    ``A_single`` substitutes one dummy report per empty-handed user
+    (Algorithm 2 line 10); by default that is ``A_ldp(0)``.  A dummy
+    spec swaps in a custom payload factory — Figure 9's normalized
+    ``N(5, 1)^d`` PrivUnit draw being the canonical case.  Inert under
+    ``A_all`` (which delivers every real report), so a ``protocol``
+    axis can sweep across both algorithms from one base scenario.
+    """
+
+
 class AuditSpec(ComponentSpec):
     """Reference into the audit-statistic registry, plus audit knobs.
 
@@ -222,6 +234,7 @@ _SPEC_FIELDS: Dict[str, type] = {
     "mechanism": MechanismSpec,
     "faults": FaultSpec,
     "values": ValuesSpec,
+    "dummies": DummySpec,
     "audit": AuditSpec,
 }
 
@@ -255,6 +268,10 @@ class Scenario:
     values:
         Optional workload-values reference; materialized into one value
         per user before randomization.
+    dummies:
+        Optional dummy-report factory reference for ``A_single``
+        (Algorithm 2 line 10); ``None`` keeps the default ``A_ldp(0)``
+        dummy.  Inert under ``A_all``.
     audit:
         Optional empirical-audit reference (attacker statistic plus
         ``trials``/``confidence`` knobs) consumed by
@@ -281,6 +298,7 @@ class Scenario:
     laziness: float = 0.0
     analysis: str = "stationary"
     values: Optional[ValuesSpec] = None
+    dummies: Optional[DummySpec] = None
     audit: Optional[AuditSpec] = None
     epsilon0: Optional[float] = None
     delta: float = DEFAULT_CONFIG.delta

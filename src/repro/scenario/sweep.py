@@ -1,24 +1,69 @@
-"""Parameter sweeps: expand a grid of scenarios and execute them.
+"""The sweep engine: shared-cache grid execution over scenarios.
 
 ``sweep(base, axis={"rounds": [1, 2, 4], "graph.degree": [4, 8]})``
 takes the cartesian product of the axes (dotted paths, see
 :meth:`Scenario.updated`), derives one scenario per grid point, and
-executes them sequentially or on a ``ProcessPoolExecutor`` — the shape
-every figure-style eps-vs-parameter curve needs.
+executes them sequentially or on a ``ProcessPoolExecutor``.
+
+What makes it an *engine* rather than a loop:
+
+* **One graph build per host.**  Grid points share the process-wide
+  :data:`~repro.scenario.cache.GRAPH_CACHE`; pooled sweeps
+  pre-materialize each distinct graph once in the parent, spill it to
+  an on-disk ``.npz`` cache that spawn-started workers load (fork
+  workers inherit the warmed cache outright), and return cache-hit
+  counters so the contract is assertable (``SweepResult.cache_stats``).
+* **Digest returns by default.**  ``mode="run"`` points come back as
+  slim :class:`RunDigest` values (summary scalars + meter aggregates) —
+  a million-user grid no longer pickles graphs and report lists across
+  the pool; ``results="full"`` opts back into whole ``RunResult``s.
+* **Runtime registrations replay into workers.**  Custom
+  ``GRAPHS``/``MECHANISMS``/... kinds registered after import are
+  recorded and re-registered inside each worker, so spawn-started pools
+  see them; unpicklable builders fail loudly at submission instead of
+  deep inside the pool.
 """
 
 from __future__ import annotations
 
-import itertools
+import multiprocessing
+import pickle
+import tempfile
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import itertools
 
 from repro.amplification.network_shuffle import NetworkShuffleBound
 from repro.auditing.auditor import AuditResult
 from repro.exceptions import ValidationError
 from repro.scenario.auditing import audit
-from repro.scenario.runner import RunResult, bound, run, stationary_bound
+from repro.scenario.builders import REPLAYABLE_REGISTRIES
+from repro.scenario.cache import (
+    GRAPH_CACHE,
+    CacheCounters,
+    graph_cache_key,
+    spec_cache_key,
+)
+from repro.scenario.registry import Registration
+from repro.scenario.runner import (
+    RunResult,
+    _bundle_for,
+    bound,
+    run,
+    stationary_bound,
+)
 from repro.scenario.spec import Scenario
 
 #: Execution modes: simulate + account, account on the materialized
@@ -26,7 +71,91 @@ from repro.scenario.spec import Scenario
 #: empirical distinguishing-game audit.
 _MODES = ("run", "bound", "stationary_bound", "audit")
 
-Outcome = Union[RunResult, NetworkShuffleBound, AuditResult]
+#: Return shapes for ``mode="run"`` points: slim digests (default) or
+#: whole ``RunResult``s.
+_RESULTS = ("digest", "full")
+
+
+@dataclass(frozen=True)
+class RunDigest:
+    """What a ``run`` grid point keeps: summary scalars + meter totals.
+
+    Everything heavy — the graph, the server reports, the values, the
+    per-user meter board — stays in the worker; a digest is a few
+    hundred bytes regardless of ``n``, which is what lets pooled sweeps
+    scale to million-user grids.  The field names mirror
+    :meth:`RunResult.summary`.
+    """
+
+    protocol: str
+    engine: str
+    num_users: int
+    rounds: int
+    dummy_count: int
+    elapsed_seconds: float
+    central_epsilon: Optional[float] = None
+    central_delta: Optional[float] = None
+    theorem: Optional[str] = None
+    epsilon0: Optional[float] = None
+    empirical_epsilon: Optional[float] = None
+    total_messages_sent: Optional[int] = None
+    max_messages_sent: Optional[int] = None
+    max_peak_items: Optional[int] = None
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able digest (same shape as ``RunResult.summary()``)."""
+        payload: Dict[str, Any] = {
+            "protocol": self.protocol,
+            "engine": self.engine,
+            "num_users": self.num_users,
+            "rounds": self.rounds,
+            "dummy_count": self.dummy_count,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+        if self.central_epsilon is not None:
+            payload.update(
+                central_epsilon=self.central_epsilon,
+                central_delta=self.central_delta,
+                theorem=self.theorem,
+                epsilon0=self.epsilon0,
+            )
+        if self.empirical_epsilon is not None:
+            payload["empirical_epsilon"] = self.empirical_epsilon
+        if self.total_messages_sent is not None:
+            payload["total_messages_sent"] = self.total_messages_sent
+            payload["max_peak_items"] = self.max_peak_items
+        return payload
+
+
+def digest_run(result: RunResult) -> RunDigest:
+    """Condense a :class:`RunResult` into its :class:`RunDigest`."""
+    bound_ = result.bound
+    meters = result.protocol_result.meters
+    return RunDigest(
+        protocol=result.protocol_result.protocol,
+        engine=result.scenario.engine,
+        num_users=result.protocol_result.num_users,
+        rounds=result.rounds,
+        dummy_count=result.protocol_result.dummy_count,
+        elapsed_seconds=round(result.elapsed_seconds, 6),
+        central_epsilon=None if bound_ is None else bound_.epsilon,
+        central_delta=None if bound_ is None else bound_.delta,
+        theorem=None if bound_ is None else bound_.theorem,
+        epsilon0=None if bound_ is None else bound_.epsilon0,
+        empirical_epsilon=result.empirical_epsilon,
+        total_messages_sent=(
+            None if meters is None else int(meters.total_messages_sent())
+        ),
+        max_messages_sent=(
+            None if meters is None else int(meters.max_messages_sent())
+        ),
+        max_peak_items=(
+            None if meters is None else int(meters.max_peak_items())
+        ),
+    )
+
+
+Outcome = Union[RunResult, RunDigest, NetworkShuffleBound, AuditResult]
 
 
 @dataclass(frozen=True)
@@ -57,6 +186,10 @@ class SweepResult:
 
     axis: Dict[str, List[Any]]
     points: List[SweepPoint]
+    #: How the graph cache served the sweep, summed over the parent and
+    #: every worker: ``builds`` counts generator runs, so a pooled sweep
+    #: over G distinct graphs should report ``builds == G`` per host.
+    cache_stats: CacheCounters = field(default_factory=CacheCounters)
 
     def epsilons(self) -> List[Optional[float]]:
         """Central epsilon per point, in grid order."""
@@ -98,9 +231,97 @@ def sweep_scenarios(
     return grid
 
 
-def _execute(scenario: Scenario, mode: str) -> Outcome:
+# ----------------------------------------------------------------------
+# Registration replay (runtime registry entries -> pool workers)
+# ----------------------------------------------------------------------
+#: A recorded runtime registration: (registry label, kind, builder,
+#: example, doc).  Builders travel by pickle reference; signatures are
+#: recomputed on the far side.
+_RecordedRegistration = Tuple[str, str, Any, Dict[str, Any], str]
+
+
+def _used_kinds(
+    grid: Sequence[Tuple[Dict[str, Any], Scenario]],
+    mode: str,
+) -> Dict[str, set]:
+    """Which registry kinds the grid's scenarios actually reference."""
+    used: Dict[str, set] = {label: set() for label in REPLAYABLE_REGISTRIES}
+    for _, scenario in grid:
+        for field_name in (
+            "graph", "mechanism", "faults", "values", "dummies", "audit"
+        ):
+            spec = getattr(scenario, field_name)
+            if spec is None:
+                continue
+            used[field_name].add(spec.kind)
+            if field_name == "graph" and spec.kind == "schedule":
+                # Schedule params nest further graph sub-specs.
+                sub_specs = list(spec.params.get("graphs") or [])
+                if spec.params.get("base") is not None:
+                    sub_specs.append(spec.params["base"])
+                for sub in sub_specs:
+                    if isinstance(sub, str):
+                        used["graph"].add(sub)
+                    elif isinstance(sub, Mapping) and "kind" in sub:
+                        used["graph"].add(sub["kind"])
+    # Only stationary_bound consults GRAPH_STATS (same kind keys); a
+    # broken runtime stats builder must not abort modes that never
+    # touch it.
+    if mode == "stationary_bound":
+        used["graph_stats"] = set(used["graph"])
+    return used
+
+
+def _runtime_registrations(
+    used: Dict[str, set],
+) -> List[_RecordedRegistration]:
+    """Record post-import registrations the grid needs, for replay.
+
+    Only consulted for non-fork pools (fork workers inherit the live
+    registries, so nothing needs to travel).  Every runtime
+    registration that pickles travels to the workers; an unpicklable
+    one is fatal only when the grid actually references its kind — a
+    stray local-function registration elsewhere in the process must
+    not poison unrelated sweeps.
+    """
+    recorded: List[_RecordedRegistration] = []
+    for label, registry in REPLAYABLE_REGISTRIES.items():
+        for entry in registry.runtime_entries():
+            try:
+                pickle.dumps(entry.builder)
+            except Exception as error:
+                if entry.kind in used.get(label, ()):
+                    raise ValidationError(
+                        f"the {registry.label} builder for kind "
+                        f"{entry.kind!r} is not picklable ({error}); "
+                        "pooled sweeps replay runtime registrations into "
+                        "worker processes, so the builder must be a "
+                        "module-level function (not a lambda or closure). "
+                        "Define it at module scope, or run the sweep "
+                        "with workers=0."
+                    ) from error
+                continue
+            recorded.append(
+                (label, entry.kind, entry.builder, dict(entry.example), entry.doc)
+            )
+    return recorded
+
+
+def _replay_registrations(recorded: Sequence[_RecordedRegistration]) -> None:
+    """Re-register recorded entries in this process (idempotent)."""
+    for label, kind, builder, example, doc in recorded:
+        REPLAYABLE_REGISTRIES[label].adopt(
+            Registration(kind=kind, builder=builder, example=example, doc=doc)
+        )
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def _execute(scenario: Scenario, mode: str, results: str) -> Outcome:
     if mode == "run":
-        return run(scenario)
+        outcome = run(scenario)
+        return digest_run(outcome) if results == "digest" else outcome
     if mode == "bound":
         return bound(scenario)
     if mode == "audit":
@@ -108,10 +329,81 @@ def _execute(scenario: Scenario, mode: str) -> Outcome:
     return stationary_bound(scenario)
 
 
-def _execute_serialized(payload: Tuple[str, str]) -> Outcome:
-    """Process-pool entry point (module-level for pickling)."""
-    scenario_json, mode = payload
-    return _execute(Scenario.from_json(scenario_json), mode)
+def _initialize_worker(
+    registrations: List[_RecordedRegistration], spill_dir: Optional[str]
+) -> None:
+    """Pool-worker initializer: replay registrations, attach the spill.
+
+    Runs once per worker process (not per grid point), so the recorded
+    registrations and cache configuration cross the pool exactly once.
+    """
+    _replay_registrations(registrations)
+    if spill_dir is not None:
+        GRAPH_CACHE.spill_dir = Path(spill_dir)
+
+
+def _execute_serialized(
+    payload: Tuple[str, str, str],
+) -> Tuple[Outcome, CacheCounters]:
+    """Process-pool entry point (module-level for pickling).
+
+    Executes one grid point and returns the outcome together with the
+    cache-counter delta this call produced — the parent sums the
+    deltas into ``SweepResult.cache_stats``.
+    """
+    scenario_json, mode, results = payload
+    before = GRAPH_CACHE.stats()
+    outcome = _execute(Scenario.from_json(scenario_json), mode, results)
+    return outcome, GRAPH_CACHE.stats().delta(before)
+
+
+def _materializing_grid(
+    grid: Sequence[Tuple[Dict[str, Any], Scenario]],
+    mode: str,
+) -> List[Tuple[Dict[str, Any], Scenario]]:
+    """The grid entries whose graphs this ``mode`` will materialize.
+
+    ``stationary_bound`` prices closed-form kinds (including stats-only
+    kinds like ``gamma``, which have no builder at all) without a
+    graph; only its fallback kinds — those missing a ``GRAPH_STATS``
+    entry — need the warmup.  Every other mode materializes everything.
+    """
+    if mode != "stationary_bound":
+        return list(grid)
+    from repro.scenario.builders import GRAPH_STATS
+
+    return [
+        entry for entry in grid if entry[1].graph.kind not in GRAPH_STATS
+    ]
+
+
+def _prepare_pool_graphs(
+    grid: Sequence[Tuple[Dict[str, Any], Scenario]],
+    spill_dir: Path,
+) -> None:
+    """Materialize each distinct grid graph once and spill it to disk.
+
+    Fork-started workers inherit the warmed in-memory cache; spawn-
+    started workers load the ``.npz`` CSR files.  Either way the
+    generator runs exactly once per distinct (graph spec, seed) on this
+    host — and seed-independent graphs (shared across a seed axis)
+    spill exactly one spec-keyed copy.  Dynamic schedules cannot spill
+    (no single CSR) — they are still pre-built for fork inheritance and
+    rebuilt under spawn.
+    """
+    seen = set()
+    for _, scenario in grid:
+        payload = scenario.graph.to_dict()
+        key = graph_cache_key(payload, scenario.seed)
+        if key in seen:
+            continue
+        seen.add(key)
+        GRAPH_CACHE.spill(
+            key,
+            _bundle_for(scenario),
+            spill_dir,
+            spec_key=spec_cache_key(payload),
+        )
 
 
 def sweep(
@@ -120,6 +412,9 @@ def sweep(
     axis: Mapping[str, Sequence[Any]],
     mode: str = "run",
     workers: int = 0,
+    results: str = "digest",
+    mp_context: Optional[str] = None,
+    spill_dir: Optional[str] = None,
 ) -> SweepResult:
     """Execute the grid ``base x axis``.
 
@@ -131,34 +426,119 @@ def sweep(
         Mapping of dotted parameter path -> values to sweep.
     mode:
         ``"run"`` (simulate + account), ``"bound"`` (theorem on the
-        materialized graph, no simulation), or ``"stationary_bound"``
-        (closed form, no graph).  Schedule scenarios sweep through
+        materialized graph, no simulation), ``"stationary_bound"``
+        (closed form, no graph), or ``"audit"`` (empirical
+        distinguishing game).  Schedule scenarios sweep through
         ``"run"``/``"bound"``/``"audit"`` (exact scheduled accounting);
         ``"stationary_bound"`` refuses them — a time-varying walk has
         no stationary distribution.
     workers:
-        0/1 executes sequentially in-process (graph cache shared across
-        points); >= 2 fans out to a ``ProcessPoolExecutor`` — worth it
-        when each point's *simulation* dominates, not for closed forms.
-        Note each worker pickles its full ``RunResult`` (graph, reports,
-        meters) back to the parent, so at very large ``n`` the IPC cost
-        can eat the speedup; prefer ``mode="bound"`` there, or
-        sequential execution with the shared graph cache.
-        Worker processes import the built-in registries only: under a
-        spawn/forkserver start method (macOS/Windows default), kinds
-        registered at runtime are absent in the workers and the sweep
-        fails with "unknown ... kind" — run scenarios that use custom
-        registrations with ``workers=0``.
+        0/1 executes sequentially in-process; >= 2 fans out to a
+        ``ProcessPoolExecutor``.  The graph cache is shared either way:
+        sequential points reuse the in-process bundle, and pooled
+        sweeps pre-materialize each distinct graph once in the parent
+        (fork workers inherit it, spawn workers load the on-disk spill)
+        — ``SweepResult.cache_stats`` reports exactly how.  Runtime
+        registry registrations travel too: fork workers inherit them
+        outright; under spawn/forkserver they are recorded and replayed
+        inside every worker, and an unpicklable builder the grid uses
+        is rejected loudly up front.
+    results:
+        ``"digest"`` (default) returns each ``mode="run"`` point as a
+        slim :class:`RunDigest` — summary scalars plus meter aggregates,
+        nothing proportional to ``n`` — which keeps pooled large-``n``
+        sweeps from pickling graphs and report lists back to the
+        parent.  ``"full"`` opts back into whole :class:`RunResult`
+        objects (payloads, allocation, per-user meters).  Other modes
+        already return slim outcomes and ignore this.
+    mp_context:
+        Multiprocessing start method for the pool (``"fork"``,
+        ``"spawn"``, ``"forkserver"``); ``None`` uses the platform
+        default.  Mostly for tests and spawn-only platforms.
+    spill_dir:
+        Directory for the on-disk graph cache shared with workers;
+        ``None`` uses a sweep-lifetime temporary directory (pooled
+        sweeps only).  Passing a persistent path points this process's
+        graph cache at it as a standing disk tier — the sweep loads
+        whatever is already spilled there (instead of re-running
+        generators) and spills what is not, so materializations are
+        reused across sweeps *and across processes*.
     """
     if mode not in _MODES:
         raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
+    if results not in _RESULTS:
+        raise ValidationError(
+            f"results must be one of {_RESULTS}, got {results!r}"
+        )
     grid = sweep_scenarios(base, axis)
+    parent_before = GRAPH_CACHE.stats()
+    persistent_spill: Optional[Path] = None
+    if spill_dir is not None:
+        # A persistent spill directory is a cache tier for THIS process
+        # too: point the parent cache at it before any materialization,
+        # so a fresh process re-running the sweep loads yesterday's
+        # .npz instead of re-running the generator.
+        persistent_spill = Path(spill_dir)
+        persistent_spill.mkdir(parents=True, exist_ok=True)
+        GRAPH_CACHE.spill_dir = persistent_spill
     if workers and workers > 1:
-        payloads = [(scenario.to_json(), mode) for _, scenario in grid]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_execute_serialized, payloads))
+        context = multiprocessing.get_context(mp_context)
+        # Fork workers inherit the live registries (and any closure
+        # builders) outright — recording/pickling registrations is both
+        # unnecessary and stricter than pre-engine behavior there.
+        # Spawn/forkserver workers import fresh registries, so the
+        # grid's runtime registrations must travel by pickle.
+        if context.get_start_method() == "fork":
+            registrations: List[_RecordedRegistration] = []
+        else:
+            registrations = _runtime_registrations(_used_kinds(grid, mode))
+        worker_stats = CacheCounters()
+        temp: Optional[tempfile.TemporaryDirectory] = None
+        spill_path: Optional[Path] = None
+        # Warm exactly what this mode will materialize: closed-form
+        # stationary points need no graph (and stats-only kinds have
+        # none to build); fallback kinds get the one-build-per-host
+        # treatment as usual.
+        warm_grid = _materializing_grid(grid, mode)
+        if warm_grid:
+            if persistent_spill is None:
+                temp = tempfile.TemporaryDirectory(prefix="repro-graphs-")
+                spill_path = Path(temp.name)
+            else:
+                spill_path = persistent_spill
+            _prepare_pool_graphs(warm_grid, spill_path)
+        payloads = [
+            (scenario.to_json(), mode, results) for _, scenario in grid
+        ]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_initialize_worker,
+                initargs=(
+                    registrations,
+                    None if spill_path is None else str(spill_path),
+                ),
+            ) as pool:
+                returned = list(pool.map(_execute_serialized, payloads))
+        finally:
+            if temp is not None:
+                temp.cleanup()
+        outcomes = [outcome for outcome, _ in returned]
+        for _, delta in returned:
+            worker_stats.merge(delta)
+        cache_stats = GRAPH_CACHE.stats().delta(parent_before)
+        cache_stats.merge(worker_stats)
     else:
-        outcomes = [_execute(scenario, mode) for _, scenario in grid]
+        if persistent_spill is not None:
+            warm_grid = _materializing_grid(grid, mode)
+            if warm_grid:
+                # Sequential sweeps honor the persistent tier too: load
+                # what exists, spill what doesn't, so the next process
+                # reuses it.
+                _prepare_pool_graphs(warm_grid, persistent_spill)
+        outcomes = [_execute(scenario, mode, results) for _, scenario in grid]
+        cache_stats = GRAPH_CACHE.stats().delta(parent_before)
     points = [
         SweepPoint(coordinates=coordinates, scenario=scenario, outcome=outcome)
         for (coordinates, scenario), outcome in zip(grid, outcomes)
@@ -166,4 +546,5 @@ def sweep(
     return SweepResult(
         axis={name: list(values) for name, values in axis.items()},
         points=points,
+        cache_stats=cache_stats,
     )

@@ -89,3 +89,30 @@ class TestGeometricRange:
     def test_rejects_bad_bounds(self):
         with pytest.raises(ValidationError):
             geometric_range(10.0, 1.0, 3)
+
+
+class TestSweepTable:
+    def _sweep(self):
+        from repro.scenario import GraphSpec, Scenario, sweep
+
+        base = Scenario(
+            graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+            epsilon0=1.0,
+            seed=0,
+        )
+        return sweep(base, axis={"rounds": [2, 4]}, mode="bound")
+
+    def test_renders_axes_and_epsilons(self):
+        from repro.experiments.reporting import sweep_table
+
+        result = self._sweep()
+        table = sweep_table(result)
+        assert "rounds" in table and "central eps" in table
+        for point in result:
+            assert str(round(point.epsilon, 4)) in table
+
+    def test_custom_value_header(self):
+        from repro.experiments.reporting import sweep_table
+
+        table = sweep_table(self._sweep(), value_header="eps_hat")
+        assert "eps_hat" in table

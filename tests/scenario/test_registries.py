@@ -212,3 +212,102 @@ class TestSignatureBinding:
             return prefix * size
 
         assert registry.build("ok", "ab", size=3) == "ababab"
+
+
+class TestDummyFactories:
+    def test_available_kinds(self):
+        from repro.scenario import DUMMIES
+
+        assert set(DUMMIES.available()) >= {"mechanism_zero", "privunit_normal"}
+
+    def test_mechanism_zero_randomizes_through_the_mechanism(self):
+        from repro.ldp import BinaryRandomizedResponse
+        from repro.scenario import DUMMIES
+
+        factory = DUMMIES.build(
+            "mechanism_zero", BinaryRandomizedResponse(1.0)
+        )
+        report = factory(np.random.default_rng(0))
+        assert report in (0, 1)
+
+    def test_mechanism_zero_requires_a_mechanism(self):
+        from repro.scenario import DUMMIES
+
+        with pytest.raises(ValidationError, match="has none"):
+            DUMMIES.build("mechanism_zero", None)
+
+    def test_privunit_normal_requires_privunit(self):
+        from repro.ldp import BinaryRandomizedResponse
+        from repro.scenario import DUMMIES
+
+        with pytest.raises(ValidationError, match="privunit"):
+            DUMMIES.build("privunit_normal", BinaryRandomizedResponse(1.0))
+
+    def test_privunit_normal_yields_unit_scale_vectors(self):
+        from repro.ldp import PrivUnit
+        from repro.scenario import DUMMIES
+
+        factory = DUMMIES.build("privunit_normal", PrivUnit(2.0, 8))
+        dummy = factory(np.random.default_rng(0))
+        assert dummy.shape == (8,)
+
+
+class TestDummySpecInScenario:
+    def test_round_trips_through_json(self):
+        scenario = Scenario(
+            graph=GraphSpec.of("complete", num_nodes=16),
+            mechanism={"kind": "privunit",
+                       "params": {"epsilon": 2.0, "dimension": 4}},
+            values={"kind": "bimodal_unit_vectors",
+                    "params": {"dimension": 4}},
+            dummies={"kind": "privunit_normal", "params": {"mean": 5.0}},
+            protocol="single",
+            rounds=2,
+        )
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_single_protocol_uses_the_custom_dummy(self):
+        scenario = Scenario(
+            graph=GraphSpec.of("complete", num_nodes=16),
+            mechanism={"kind": "privunit",
+                       "params": {"epsilon": 2.0, "dimension": 4}},
+            values={"kind": "bimodal_unit_vectors",
+                    "params": {"dimension": 4}},
+            dummies={"kind": "privunit_normal"},
+            protocol="single",
+            rounds=3,
+            seed=4,
+        )
+        result = run(scenario)
+        if result.protocol_result.dummy_count:
+            dummies = [
+                report.payload
+                for report in result.protocol_result.server_reports
+                if report.origin == -1
+            ]
+            assert all(d.shape == (4,) for d in dummies)
+
+    def test_dummies_inert_under_a_all(self):
+        """A protocol axis can sweep both algorithms from one base."""
+        scenario = Scenario(
+            graph=GraphSpec.of("complete", num_nodes=16),
+            mechanism={"kind": "privunit",
+                       "params": {"epsilon": 2.0, "dimension": 4}},
+            values={"kind": "bimodal_unit_vectors",
+                    "params": {"dimension": 4}},
+            dummies={"kind": "privunit_normal"},
+            protocol="all",
+            rounds=2,
+        )
+        result = run(scenario)
+        assert result.protocol_result.dummy_count == 0
+
+    def test_dotted_sweep_reaches_dummy_params(self):
+        scenario = Scenario(
+            graph=GraphSpec.of("complete", num_nodes=16),
+            dummies={"kind": "privunit_normal"},
+            protocol="single",
+            rounds=2,
+        )
+        updated = scenario.updated(**{"dummies.mean": 7.5})
+        assert updated.dummies.params["mean"] == 7.5

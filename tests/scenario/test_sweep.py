@@ -9,6 +9,7 @@ from repro.exceptions import ValidationError
 from repro.scenario import (
     GraphSpec,
     MechanismSpec,
+    RunDigest,
     RunResult,
     Scenario,
     sweep,
@@ -50,13 +51,31 @@ class TestExpansion:
 
 
 class TestExecution:
-    def test_run_mode_returns_run_results(self):
+    def test_run_mode_returns_digests_by_default(self):
         result = sweep(_base(), axis={"rounds": [1, 3]}, mode="run")
         assert len(result) == 2
-        assert all(isinstance(p.outcome, RunResult) for p in result)
+        assert all(isinstance(p.outcome, RunDigest) for p in result)
         # More mixing, better amplification.
         eps = result.epsilons()
         assert eps[1] < eps[0]
+
+    def test_results_full_returns_run_results(self):
+        digests = sweep(_base(), axis={"rounds": [1, 3]}, mode="run")
+        full = sweep(
+            _base(), axis={"rounds": [1, 3]}, mode="run", results="full"
+        )
+        assert all(isinstance(p.outcome, RunResult) for p in full)
+        # A digest is exactly the full result's summary scalars.
+        assert full.epsilons() == digests.epsilons()
+        for digest_point, full_point in zip(digests, full):
+            assert (
+                digest_point.outcome.dummy_count
+                == full_point.outcome.protocol_result.dummy_count
+            )
+
+    def test_unknown_results_shape_rejected(self):
+        with pytest.raises(ValidationError, match="results"):
+            sweep(_base(), axis={"rounds": [1]}, results="sparse")
 
     def test_bound_mode_skips_simulation(self):
         result = sweep(_base(), axis={"rounds": [1, 3]}, mode="bound")
@@ -81,10 +100,22 @@ class TestExecution:
 
     def test_process_pool_matches_sequential(self):
         axis = {"rounds": [2, 4]}
-        sequential = sweep(_base(), axis=axis, mode="run")
-        pooled = sweep(_base(), axis=axis, mode="run", workers=2)
+        sequential = sweep(_base(), axis=axis, mode="run", results="full")
+        pooled = sweep(
+            _base(), axis=axis, mode="run", workers=2, results="full"
+        )
         assert pooled.epsilons() == sequential.epsilons()
         for a, b in zip(pooled, sequential):
             assert a.outcome.protocol_result.payloads() == (
                 b.outcome.protocol_result.payloads()
             )
+
+    def test_pooled_digests_match_sequential(self):
+        axis = {"rounds": [2, 4]}
+        sequential = sweep(_base(), axis=axis, mode="run")
+        pooled = sweep(_base(), axis=axis, mode="run", workers=2)
+        for a, b in zip(pooled, sequential):
+            # elapsed_seconds is wall-clock; everything else must agree.
+            a_summary = dict(a.outcome.summary(), elapsed_seconds=None)
+            b_summary = dict(b.outcome.summary(), elapsed_seconds=None)
+            assert a_summary == b_summary

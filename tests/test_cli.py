@@ -265,3 +265,35 @@ class TestJsonAndAuditCommands:
         assert "eps_hat" in output
         assert "threshold" in output
         assert "200" in output
+
+
+class TestExperimentsCommand:
+    def test_single_artifact_prints_to_stdout(self, capsys):
+        main(["experiments", "figure7", "--fast"])
+        output = capsys.readouterr().out
+        assert "figure7" in output
+        assert "A_single wins" in output
+
+    def test_out_dir_writes_files_and_manifest(self, tmp_path, capsys):
+        main(["experiments", "figure8", "--fast", "--out", str(tmp_path)])
+        assert (tmp_path / "figure8.txt").exists()
+        assert (tmp_path / "manifest.json").exists()
+        assert "manifest" in capsys.readouterr().out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit, match="unknown artifact"):
+            main(["experiments", "figure99"])
+
+    def test_usage_error_without_artifact(self):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["experiments"])
+
+    def test_fast_and_full_mutually_exclusive(self):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["experiments", "figure8", "--fast", "--full"])
+
+    def test_runall_rejects_fast_plus_full(self, tmp_path):
+        from repro.experiments.runall import main as runall_main
+
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            runall_main([str(tmp_path), "--fast", "--full"])
