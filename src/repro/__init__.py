@@ -44,6 +44,10 @@ Package map (see DESIGN.md for the full inventory):
 ``repro.estimation``      private mean / frequency estimation
 ``repro.experiments``     one module per paper table & figure
 ``repro.scenario``        declarative Scenario API: run / sweep / bound
+``repro.api``             the documented stable facade for programmatic
+                          callers (operations, payloads, error taxonomy)
+``repro.serve``           asyncio HTTP serving tier
+                          (``python -m repro serve``)
 ========================  ==============================================
 """
 
@@ -63,7 +67,7 @@ from repro.scenario import (
     sweep,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AuditResult",

@@ -33,6 +33,16 @@ Commands
     ``--mode bound|stationary_bound`` prices without simulating;
     ``--mode audit`` measures the empirical epsilon per point;
     ``--workers N`` fans out to a process pool.
+``serve [--host HOST] [--port PORT] [--workers N] [--spill-dir DIR]``
+    Boot the HTTP serving tier (:mod:`repro.serve`): synchronous
+    closed-form ``POST /bound`` / ``POST /stationary_bound`` queries
+    against the process-wide graph cache, enqueue-able ``POST /run`` /
+    ``POST /audit`` jobs with ``GET /jobs/<id>`` polling, and
+    ``GET /healthz`` / ``GET /stats`` introspection.
+
+All surfaces share one error taxonomy (:mod:`repro.exceptions`): the
+message a failed command prints here is byte-identical to the
+``message`` member the serving tier returns for the same fault.
 """
 
 from __future__ import annotations
@@ -40,7 +50,7 @@ from __future__ import annotations
 import sys
 
 import repro
-from repro.exceptions import ReproError
+from repro.exceptions import ReproError, error_payload
 
 _ARTIFACTS = (
     "table1", "table3", "table4",
@@ -110,9 +120,7 @@ def _plan(arguments: list[str]) -> None:
 
 
 def _load_scenario(source: str) -> "repro.Scenario":
-    import json
-
-    from repro import Scenario
+    from repro.api import parse_scenario
 
     try:
         if source == "-":
@@ -123,11 +131,13 @@ def _load_scenario(source: str) -> "repro.Scenario":
     except OSError as error:
         raise SystemExit(f"cannot read scenario {source!r}: {error}") from None
     try:
-        return Scenario.from_json(text)
-    except json.JSONDecodeError as error:
-        raise SystemExit(f"scenario {source!r} is not valid JSON: {error}") from None
+        return parse_scenario(text)
     except ReproError as error:
-        raise SystemExit(f"scenario {source!r} is invalid: {error}") from None
+        # Same ingestion path (and therefore same message) as an HTTP
+        # body rejected by the serving tier.
+        raise SystemExit(
+            f"scenario {source!r}: {error_payload(error)['message']}"
+        ) from None
 
 
 def _print_digest(digest: dict, as_json: bool) -> None:
@@ -148,7 +158,13 @@ def _run(arguments: list[str]) -> None:
         raise SystemExit("usage: python -m repro run <scenario.json|-> [--json]")
     from repro.scenario import run
 
-    _print_digest(run(_load_scenario(arguments[0])).summary(), as_json)
+    try:
+        result = run(_load_scenario(arguments[0]))
+    except ReproError as error:
+        raise SystemExit(
+            f"run failed: {error_payload(error)['message']}"
+        ) from None
+    _print_digest(result.summary(), as_json)
 
 
 def _audit(arguments: list[str]) -> None:
@@ -172,7 +188,9 @@ def _audit(arguments: list[str]) -> None:
     try:
         result = audit(_load_scenario(arguments[0]), trials=trials)
     except ReproError as error:
-        raise SystemExit(f"audit failed: {error}") from None
+        raise SystemExit(
+            f"audit failed: {error_payload(error)['message']}"
+        ) from None
     _print_digest(result.summary(), as_json)
 
 
@@ -240,7 +258,9 @@ def _sweep(arguments: list[str]) -> None:
     try:
         result = sweep(_load_scenario(source), axis=axis, mode=mode, workers=workers)
     except ReproError as error:
-        raise SystemExit(f"sweep failed: {error}") from None
+        raise SystemExit(
+            f"sweep failed: {error_payload(error)['message']}"
+        ) from None
     names = list(result.axis)
     audited = mode == "audit"
     simulated = mode == "run"
@@ -296,10 +316,14 @@ def main(argv: list[str] | None = None) -> None:
         _audit(rest)
     elif command == "sweep":
         _sweep(rest)
+    elif command == "serve":
+        from repro.serve import main as serve_main
+
+        serve_main(rest)
     else:
         known = ", ".join(
             ("info", *_ARTIFACTS, "experiments", "runall", "plan", "run",
-             "audit", "sweep")
+             "audit", "sweep", "serve")
         )
         raise SystemExit(f"unknown command {command!r}; known: {known}")
 

@@ -16,21 +16,27 @@ correctness evidence a reproduction can offer.
 """
 
 from repro.auditing.auditor import (
+    KERNEL_MAX_NODES,
     AuditResult,
     audit_local_randomizer,
     audit_network_shuffle,
     epsilon_lower_bound,
     report_sum_statistic,
+    resolve_method,
+    should_memoize,
     topk_evidence_statistic,
     weighted_evidence_statistic,
 )
 
 __all__ = [
     "AuditResult",
+    "KERNEL_MAX_NODES",
     "audit_local_randomizer",
     "audit_network_shuffle",
     "epsilon_lower_bound",
     "report_sum_statistic",
+    "resolve_method",
+    "should_memoize",
     "topk_evidence_statistic",
     "weighted_evidence_statistic",
 ]

@@ -71,7 +71,7 @@ from typing import Any, Callable, Dict, Optional, Union
 import numpy as np
 
 from repro.core.config import DEFAULT_CONFIG
-from repro.exceptions import ValidationError
+from repro.exceptions import ScheduleRefusedError, ValidationError
 from repro.graphs.dynamic import (
     DynamicGraphSchedule,
     position_distribution_on_schedule,
@@ -687,20 +687,33 @@ _AUDIT_METHODS = ("auto", "kernel", "tiled", "loop")
 
 #: Largest graph whose dense ``t``-step kernel the auto method will
 #: hold in memory (n^2 float64 = 32 MiB at the cap).
-_KERNEL_MAX_NODES = 2048
+KERNEL_MAX_NODES = 2048
 #: Rounds below which walks are too unmixed for rejection sampling to
 #: pay off; the auto method step-simulates instead (cheap at small t).
 _KERNEL_MIN_ROUNDS = 8
 
 
-def _resolve_method(method: str, graph: GraphLike, rounds: int) -> str:
+def resolve_method(method: str, graph: GraphLike, rounds: int) -> str:
+    """The Monte Carlo engine ``audit_network_shuffle`` will actually run.
+
+    Resolves ``"auto"`` against the graph and round count — ``"kernel"``
+    for mixed walks on graphs small enough to hold the dense ``M^t``
+    (:data:`KERNEL_MAX_NODES`), ``"tiled"`` otherwise; a dynamic
+    schedule always step-simulates (``"tiled"``).  Explicit methods pass
+    through unchanged, except ``"kernel"`` on a schedule, which is
+    refused: a time-varying topology has no single ``t``-step kernel.
+
+    This is the public planning hook: callers that want to pre-build or
+    memoize kernel samplers (the scenario layer, the serving tier) ask
+    here instead of duplicating the heuristic.
+    """
     if method not in _AUDIT_METHODS:
         raise ValidationError(
             f"method must be one of {_AUDIT_METHODS}, got {method!r}"
         )
     if isinstance(graph, DynamicGraphSchedule):
         if method == "kernel":
-            raise ValidationError(
+            raise ScheduleRefusedError(
                 "method='kernel' precomputes one dense t-step kernel "
                 "M^t; a dynamic schedule has no single kernel — use "
                 "method='tiled' (or 'auto'), which walks the schedule "
@@ -709,9 +722,48 @@ def _resolve_method(method: str, graph: GraphLike, rounds: int) -> str:
         return "tiled" if method == "auto" else method
     if method != "auto":
         return method
-    if graph.num_nodes <= _KERNEL_MAX_NODES and rounds >= _KERNEL_MIN_ROUNDS:
+    if graph.num_nodes <= KERNEL_MAX_NODES and rounds >= _KERNEL_MIN_ROUNDS:
         return "kernel"
     return "tiled"
+
+
+def should_memoize(graph: GraphLike) -> bool:
+    """Whether a kernel sampler for ``graph`` is worth caching.
+
+    True exactly when the auto heuristic would consider the kernel
+    engine at all: a static graph within :data:`KERNEL_MAX_NODES`.
+    Past the cap a sampler's dense stage tables run to hundreds of
+    megabytes, so an explicitly requested kernel audit on a larger
+    graph should build call-scoped (freed on return) instead of
+    pinning them in a process-wide cache; a dynamic schedule has no
+    kernel to memoize.
+    """
+    if isinstance(graph, DynamicGraphSchedule):
+        return False
+    return graph.num_nodes <= KERNEL_MAX_NODES
+
+
+#: Deprecated private spellings -> public replacements (kept one
+#: release so external reach-ins fail soft, with a pointer).
+_DEPRECATED_NAMES = {
+    "_resolve_method": "resolve_method",
+    "_KERNEL_MAX_NODES": "KERNEL_MAX_NODES",
+}
+
+
+def __getattr__(name: str):
+    public = _DEPRECATED_NAMES.get(name)
+    if public is not None:
+        import warnings
+
+        warnings.warn(
+            f"repro.auditing.auditor.{name} is deprecated; use the "
+            f"public {public} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return globals()[public]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def audit_network_shuffle(
@@ -763,7 +815,7 @@ def audit_network_shuffle(
         raise ValidationError(
             f"victim {victim} out of range for {graph.num_nodes} users"
         )
-    resolved = _resolve_method(method, graph, rounds)
+    resolved = resolve_method(method, graph, rounds)
     generator = ensure_rng(rng)
     rng_d, rng_d_prime = spawn_rngs(generator, 2)
     randomizer = BinaryRandomizedResponse(epsilon0)

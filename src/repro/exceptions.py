@@ -2,9 +2,17 @@
 
 All library errors derive from :class:`ReproError` so that callers can
 catch a single base class.  Subclasses are grouped by subsystem.
+
+The taxonomy is also the error contract of the public surfaces: every
+exception type maps to one HTTP status (:func:`http_status_for`) and one
+wire payload (:func:`error_payload`), and both the CLI and the serving
+tier render that same payload — the error text a curl caller sees is
+the error text the CLI prints.
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict
 
 
 class ReproError(Exception):
@@ -13,6 +21,34 @@ class ReproError(Exception):
 
 class ValidationError(ReproError, ValueError):
     """An argument failed validation (wrong range, shape, or type)."""
+
+
+class InvalidScenarioError(ValidationError):
+    """A scenario payload could not be parsed or validated.
+
+    Raised for malformed scenario JSON/dicts arriving through any
+    surface (CLI file, HTTP body, library call) — the "your request is
+    wrong" half of the taxonomy, mapped to HTTP 400.
+    """
+
+
+class ScheduleRefusedError(ValidationError):
+    """A well-formed request asked for analysis that is unsound (or
+    unsupported) on a dynamic graph schedule.
+
+    Time-varying topologies have no stationary distribution, no mixing
+    time, and no single ``M^t`` kernel; the operations that assume one
+    refuse loudly instead of reporting a wrong epsilon.  The request
+    itself parses fine — it is the combination the library rejects —
+    so the serving tier maps this to HTTP 422, not 400.
+    """
+
+
+class JobNotFoundError(ReproError):
+    """A job id does not name a known (or still retained) job.
+
+    Raised by the serving tier's job store; mapped to HTTP 404.
+    """
 
 
 class GraphError(ReproError):
@@ -65,3 +101,40 @@ class CryptoError(ReproError):
 
 class SimulationError(ReproError):
     """The network simulator reached an inconsistent state."""
+
+
+# ----------------------------------------------------------------------
+# Exception -> HTTP mapping (shared by the CLI and the serving tier)
+# ----------------------------------------------------------------------
+#: Ordered (exception type, HTTP status) pairs; the first isinstance
+#: match wins, so subclasses must precede their bases.
+HTTP_STATUS_MAP = (
+    (JobNotFoundError, 404),
+    (ScheduleRefusedError, 422),
+    (InvalidScenarioError, 400),
+    (ValidationError, 400),
+    (BudgetExceededError, 409),
+    (ReproError, 500),
+)
+
+
+def http_status_for(error: BaseException) -> int:
+    """The HTTP status code an error maps to (500 for unknown types)."""
+    for exception_type, status in HTTP_STATUS_MAP:
+        if isinstance(error, exception_type):
+            return status
+    return 500
+
+
+def error_payload(error: BaseException) -> Dict[str, Any]:
+    """The canonical wire/console rendering of an error.
+
+    Both the CLI and the HTTP service emit exactly this payload (the
+    CLI prints ``message``, the service returns the JSON), so the error
+    text is identical across surfaces by construction.
+    """
+    return {
+        "error": type(error).__name__,
+        "status": http_status_for(error),
+        "message": str(error),
+    }

@@ -59,6 +59,7 @@ from repro.scenario.runner import (
     graph_summary,
     run,
     seed_streams,
+    spill_graph,
     stationary_bound,
 )
 from repro.scenario.spec import (
@@ -123,6 +124,7 @@ __all__ = [
     "graph_summary",
     "run",
     "seed_streams",
+    "spill_graph",
     "stationary_bound",
     "sweep",
     "sweep_scenarios",

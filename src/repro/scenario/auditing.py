@@ -21,10 +21,10 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.auditing.auditor import (
-    _KERNEL_MAX_NODES,
     AuditResult,
-    _resolve_method,
     audit_network_shuffle,
+    resolve_method,
+    should_memoize,
 )
 from repro.exceptions import ValidationError
 from repro.ldp.randomized_response import BinaryRandomizedResponse
@@ -128,15 +128,16 @@ def audit(
     # sampler: repeated audits (eps0/trials axes) reuse it outright and
     # a rounds axis extends the cached matrix power chain — both
     # bit-identical to a cold build (the sampler build is
-    # deterministic; only sampling consumes randomness).  Memoization
-    # is gated to the auto heuristic's node cap: past it the dense
-    # stage tables are hundreds of MB, so an explicitly requested
-    # kernel audit on a larger graph builds call-scoped (freed on
-    # return) instead of pinning them in the process-wide cache.
+    # deterministic; only sampling consumes randomness).
+    # ``should_memoize`` gates this to the auto heuristic's node cap:
+    # past it the dense stage tables are hundreds of MB, so an
+    # explicitly requested kernel audit on a larger graph builds
+    # call-scoped (freed on return) instead of pinning them in the
+    # process-wide cache.
     sampler = None
     if (
-        _resolve_method(method, bundle.graph, steps) == "kernel"
-        and bundle.graph.num_nodes <= _KERNEL_MAX_NODES
+        resolve_method(method, bundle.graph, steps) == "kernel"
+        and should_memoize(bundle.graph)
     ):
         sampler = bundle.kernel_sampler(steps, laziness)
     return audit_network_shuffle(

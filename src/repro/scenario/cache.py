@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -38,7 +39,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.exceptions import ValidationError
+from repro.exceptions import ScheduleRefusedError, ValidationError
 from repro.graphs.dynamic import (
     DynamicGraphSchedule,
     evolve_profile_on_schedule,
@@ -129,6 +130,10 @@ class GraphBundle:
         #: Whether the build provably ignored the seed-derived graph
         #: stream (set by the cache; drives spec-keyed sharing/spill).
         self.seed_independent = False
+        # Derivative memos are filled lazily; the serving tier shares
+        # one bundle between the event loop (sync bound queries) and
+        # job-pool threads (run/audit), so fills must be serialized.
+        self._derive_lock = threading.RLock()
 
     @property
     def is_schedule(self) -> bool:
@@ -137,15 +142,16 @@ class GraphBundle:
     @property
     def summary(self) -> SpectralSummary:
         if self.is_schedule:
-            raise ValidationError(
+            raise ScheduleRefusedError(
                 "a dynamic graph schedule has no spectral summary (no "
                 "single mixing time / stationary distribution); set "
                 "`rounds` explicitly and use analysis='stationary' — "
                 "schedule accounting tracks the exact collision mass"
             )
-        if self._summary is None:
-            self._summary = spectral_summary(self.graph)
-        return self._summary
+        with self._derive_lock:
+            if self._summary is None:
+                self._summary = spectral_summary(self.graph)
+            return self._summary
 
     def schedule_collision(self, steps: int, laziness: float) -> float:
         """Worst-user exact collision mass after ``steps`` scheduled rounds.
@@ -161,28 +167,29 @@ class GraphBundle:
         schedule = self.graph
         n = schedule.num_nodes
         if n > _SCHEDULE_PROFILE_MAX_NODES:
-            raise ValidationError(
+            raise ScheduleRefusedError(
                 f"exact schedule accounting tracks an (n, n) profile; "
                 f"n={n} exceeds the {_SCHEDULE_PROFILE_MAX_NODES}-node "
                 "cap. Run the scenario simulation-only (no mechanism / "
                 "epsilon0) and account offline."
             )
-        key = float(laziness)
-        cached = self._profiles.get(key)
-        if cached is not None and cached[0] <= steps:
-            done, profile = cached
-        else:
-            # A descending-rounds request recomputes from scratch
-            # without downgrading the cache for later, longer requests.
-            done, profile = 0, np.eye(n)
-        profile = evolve_profile_on_schedule(
-            schedule, profile, steps - done,
-            laziness=laziness, start_round=done,
-        )
-        if cached is None or steps >= cached[0]:
-            self._profiles.clear()
-            self._profiles[key] = (steps, profile)
-        return float(np.einsum("ij,ij->j", profile, profile).max())
+        with self._derive_lock:
+            key = float(laziness)
+            cached = self._profiles.get(key)
+            if cached is not None and cached[0] <= steps:
+                done, profile = cached
+            else:
+                # A descending-rounds request recomputes from scratch
+                # without downgrading the cache for later, longer requests.
+                done, profile = 0, np.eye(n)
+            profile = evolve_profile_on_schedule(
+                schedule, profile, steps - done,
+                laziness=laziness, start_round=done,
+            )
+            if cached is None or steps >= cached[0]:
+                self._profiles.clear()
+                self._profiles[key] = (steps, profile)
+            return float(np.einsum("ij,ij->j", profile, profile).max())
 
     def walk_distribution(self, steps: int, laziness: float) -> np.ndarray:
         """Exact ``P(t)`` from node 0, memoized per laziness.
@@ -191,20 +198,21 @@ class GraphBundle:
         descending-rounds request recomputes from scratch without
         downgrading the cache for later, longer requests.
         """
-        key = float(laziness)
-        cached = self._walks.get(key)
-        if cached is not None and cached[0] <= steps:
-            done, distribution = cached
-            distribution = evolve_distribution(
-                self.graph, distribution, steps - done, laziness=laziness
-            )
-        else:
-            distribution = position_distribution(
-                self.graph, 0, steps, laziness=laziness
-            )
-        if cached is None or steps >= cached[0]:
-            self._walks[key] = (steps, distribution)
-        return distribution
+        with self._derive_lock:
+            key = float(laziness)
+            cached = self._walks.get(key)
+            if cached is not None and cached[0] <= steps:
+                done, distribution = cached
+                distribution = evolve_distribution(
+                    self.graph, distribution, steps - done, laziness=laziness
+                )
+            else:
+                distribution = position_distribution(
+                    self.graph, 0, steps, laziness=laziness
+                )
+            if cached is None or steps >= cached[0]:
+                self._walks[key] = (steps, distribution)
+            return distribution
 
     def kernel_sampler(self, rounds: int, laziness: float):
         """The auditor's dense ``M^t`` endpoint sampler, memoized.
@@ -223,31 +231,32 @@ class GraphBundle:
         from repro.auditing.auditor import _KernelSampler
 
         if self.is_schedule:
-            raise ValidationError(
+            raise ScheduleRefusedError(
                 "the kernel sampler precomputes one dense t-step kernel; "
                 "a dynamic schedule has no single kernel"
             )
-        key = (int(rounds), float(laziness))
-        sampler = self._kernel_samplers.get(key)
-        if sampler is not None:
-            self._kernel_samplers.move_to_end(key)
-            self.kernel_hits += 1
+        with self._derive_lock:
+            key = (int(rounds), float(laziness))
+            sampler = self._kernel_samplers.get(key)
+            if sampler is not None:
+                self._kernel_samplers.move_to_end(key)
+                self.kernel_hits += 1
+                return sampler
+            powers = self._kernel_powers.setdefault(key[1], {})
+            sampler = _KernelSampler(
+                self.graph, key[0], key[1], power_cache=powers
+            )
+            self.kernel_builds += 1
+            self._kernel_samplers[key] = sampler
+            while len(self._kernel_samplers) > self._KERNEL_SAMPLER_CAP:
+                self._kernel_samplers.popitem(last=False)
+            # Drop power chains for laziness values no retained sampler
+            # uses: each chain pins a dense (n, n) matrix, and a
+            # laziness-axis sweep would otherwise accumulate one per value.
+            live = {retained for _, retained in self._kernel_samplers}
+            for stale in [lz for lz in self._kernel_powers if lz not in live]:
+                del self._kernel_powers[stale]
             return sampler
-        powers = self._kernel_powers.setdefault(key[1], {})
-        sampler = _KernelSampler(
-            self.graph, key[0], key[1], power_cache=powers
-        )
-        self.kernel_builds += 1
-        self._kernel_samplers[key] = sampler
-        while len(self._kernel_samplers) > self._KERNEL_SAMPLER_CAP:
-            self._kernel_samplers.popitem(last=False)
-        # Drop power chains for laziness values no retained sampler
-        # uses: each chain pins a dense (n, n) matrix, and a
-        # laziness-axis sweep would otherwise accumulate one per value.
-        live = {retained for _, retained in self._kernel_samplers}
-        for stale in [lz for lz in self._kernel_powers if lz not in live]:
-            del self._kernel_powers[stale]
-        return sampler
 
 
 @dataclass
@@ -293,6 +302,17 @@ def spec_cache_key(graph_payload: Mapping[str, Any]) -> str:
     return json.dumps(graph_payload, sort_keys=True)
 
 
+class _PendingBuild:
+    """Single-flight slot for one in-progress bundle build."""
+
+    __slots__ = ("event", "bundle", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.bundle: Optional[GraphBundle] = None
+        self.error: Optional[BaseException] = None
+
+
 class GraphCache:
     """Bounded LRU of :class:`GraphBundle` with an optional disk tier.
 
@@ -300,6 +320,13 @@ class GraphCache:
     other than the graph share one bundle); ``spill_dir`` — when set —
     is consulted on a memory miss before the generator runs, and is how
     spawn-started sweep workers inherit the parent's materializations.
+
+    The cache is thread-safe with *single-flight* builds: concurrent
+    requests for the same key (the serving tier's simultaneous bound
+    queries, job-pool threads) run the generator exactly once — one
+    caller builds, the rest wait on the pending slot and count as
+    memory hits, so ``cache_stats`` keeps meaning "one build per host"
+    under concurrency too.
     """
 
     def __init__(self, maxsize: int = 8):
@@ -312,6 +339,8 @@ class GraphCache:
         self._spec_bundles: OrderedDict[str, GraphBundle] = OrderedDict()
         self.counters = CacheCounters()
         self.spill_dir: Optional[Path] = None
+        self._lock = threading.RLock()
+        self._pending: Dict[str, _PendingBuild] = {}
 
     # -- keying --------------------------------------------------------
     @staticmethod
@@ -339,46 +368,80 @@ class GraphCache:
         published under it, so other seeds resolve to the same bundle
         (one build, shared spectral/kernel derivatives) instead of
         rebuilding a bit-identical graph per seed.
+
+        Concurrent callers with the same ``key`` coalesce: the first
+        one in runs the disk probe / builder outside the lock, everyone
+        else waits on its pending slot and records a memory hit.
         """
-        cached = self._bundles.get(key)
-        if cached is not None:
-            self._bundles.move_to_end(key)
-            self.counters.memory_hits += 1
-            return cached
-        if spec_key is not None:
-            shared = self._spec_bundles.get(spec_key)
-            if shared is not None:
-                self._spec_bundles.move_to_end(spec_key)
+        with self._lock:
+            cached = self._bundles.get(key)
+            if cached is not None:
+                self._bundles.move_to_end(key)
                 self.counters.memory_hits += 1
-                return shared
-        graph = None
-        seed_independent = False
-        if self.spill_dir is not None:
-            path = self.spill_path(key)
-            if path.exists():
-                graph = load_graph_npz(path)
+                return cached
+            if spec_key is not None:
+                shared = self._spec_bundles.get(spec_key)
+                if shared is not None:
+                    self._spec_bundles.move_to_end(spec_key)
+                    self.counters.memory_hits += 1
+                    return shared
+            pending = self._pending.get(key)
+            if pending is None:
+                pending = self._pending[key] = _PendingBuild()
+                owner = True
+            else:
+                owner = False
+            spill_dir = self.spill_dir
+        if not owner:
+            pending.event.wait()
+            if pending.error is not None:
+                raise pending.error
+            with self._lock:
+                self.counters.memory_hits += 1
+            return pending.bundle
+        try:
+            graph = None
+            seed_independent = False
+            from_disk = False
+            if spill_dir is not None:
+                path = self.spill_path(key, spill_dir)
+                if path.exists():
+                    graph = load_graph_npz(path)
+                    from_disk = True
+                elif spec_key is not None:
+                    # Spec-keyed files exist only for graphs a previous
+                    # build proved seed-independent, so a hit here is
+                    # safe to share across seeds.
+                    spec_path = self.spill_path(spec_key, spill_dir)
+                    if spec_path.exists():
+                        graph = load_graph_npz(spec_path)
+                        seed_independent = True
+                        from_disk = True
+            if graph is None:
+                graph, seed_independent = builder()
+            bundle = GraphBundle(graph)
+            bundle.seed_independent = bool(seed_independent)
+        except BaseException as error:
+            with self._lock:
+                self._pending.pop(key, None)
+            pending.error = error
+            pending.event.set()
+            raise
+        with self._lock:
+            if from_disk:
                 self.counters.disk_hits += 1
-            elif spec_key is not None:
-                # Spec-keyed files exist only for graphs a previous
-                # build proved seed-independent, so a hit here is safe
-                # to share across seeds.
-                spec_path = self.spill_path(spec_key)
-                if spec_path.exists():
-                    graph = load_graph_npz(spec_path)
-                    seed_independent = True
-                    self.counters.disk_hits += 1
-        if graph is None:
-            graph, seed_independent = builder()
-            self.counters.builds += 1
-        bundle = GraphBundle(graph)
-        bundle.seed_independent = bool(seed_independent)
-        self._bundles[key] = bundle
-        while len(self._bundles) > self.maxsize:
-            self._bundles.popitem(last=False)
-        if seed_independent and spec_key is not None:
-            self._spec_bundles[spec_key] = bundle
-            while len(self._spec_bundles) > self.maxsize:
-                self._spec_bundles.popitem(last=False)
+            else:
+                self.counters.builds += 1
+            self._bundles[key] = bundle
+            while len(self._bundles) > self.maxsize:
+                self._bundles.popitem(last=False)
+            if seed_independent and spec_key is not None:
+                self._spec_bundles[spec_key] = bundle
+                while len(self._spec_bundles) > self.maxsize:
+                    self._spec_bundles.popitem(last=False)
+            self._pending.pop(key, None)
+        pending.bundle = bundle
+        pending.event.set()
         return bundle
 
     def spill(self, key: str, bundle: GraphBundle, directory: Path,
@@ -403,7 +466,27 @@ class GraphCache:
 
     def stats(self) -> CacheCounters:
         """A snapshot of the counters."""
-        return self.counters.snapshot()
+        with self._lock:
+            return self.counters.snapshot()
+
+    def kernel_stats(self) -> Dict[str, int]:
+        """Kernel-sampler memo telemetry summed over resident bundles.
+
+        ``builds`` counts dense ``M^t`` sampler constructions, ``hits``
+        the times a memoized sampler was handed back — the serving
+        tier's ``/stats`` reports this so audit-heavy traffic can see
+        its sampler reuse.  Counts live on the bundles, so evicting a
+        bundle retires its history with it.
+        """
+        with self._lock:
+            bundles = list(self._bundles.values()) + list(
+                self._spec_bundles.values()
+            )
+        builds = hits = 0
+        for bundle in {id(b): b for b in bundles}.values():
+            builds += bundle.kernel_builds
+            hits += bundle.kernel_hits
+        return {"builds": builds, "hits": hits}
 
     def clear(self, *, detach_spill: bool = True) -> None:
         """Drop memoized bundles (tests, or after changing builders).
@@ -417,13 +500,15 @@ class GraphCache:
         someone else attached.  Counters are left alone: a clear
         changes residency, not history.
         """
-        self._bundles.clear()
-        self._spec_bundles.clear()
-        if detach_spill:
-            self.spill_dir = None
+        with self._lock:
+            self._bundles.clear()
+            self._spec_bundles.clear()
+            if detach_spill:
+                self.spill_dir = None
 
     def __len__(self) -> int:
-        return len(self._bundles)
+        with self._lock:
+            return len(self._bundles)
 
 
 #: The process-wide cache every runner/sweep call shares.

@@ -32,7 +32,7 @@ from repro.amplification.network_shuffle import (
     epsilon_single_stationary,
     epsilon_single_symmetric,
 )
-from repro.exceptions import ValidationError
+from repro.exceptions import ScheduleRefusedError, ValidationError
 from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
 from repro.graphs.spectral import SpectralSummary
@@ -58,6 +58,7 @@ from repro.scenario.cache import (
     spec_cache_key,
 )
 from repro.scenario.spec import Scenario
+from repro.scenario.summary import run_summary_payload
 
 __all__ = [
     "RunResult",
@@ -72,6 +73,7 @@ __all__ = [
     "graph_summary",
     "run",
     "seed_streams",
+    "spill_graph",
     "stationary_bound",
 ]
 
@@ -131,6 +133,29 @@ def clear_graph_cache(*, detach_spill: bool = True) -> None:
     on-disk spill tier (see :meth:`GraphCache.clear`).
     """
     GRAPH_CACHE.clear(detach_spill=detach_spill)
+
+
+def spill_graph(scenario: Scenario):
+    """Persist the scenario's materialized graph to the standing disk tier.
+
+    The sweep engine's spill machinery, exposed for long-running
+    processes (the serving tier): when the process-wide cache has a
+    ``spill_dir`` attached, the scenario's graph is written as an
+    ``.npz`` CSR (once — existing files are kept) so a restarted
+    process loads it instead of re-running the generator.  Returns the
+    written path, or ``None`` when no tier is attached or the graph is
+    a dynamic schedule (no single CSR).
+    """
+    directory = GRAPH_CACHE.spill_dir
+    if directory is None:
+        return None
+    payload = scenario.graph.to_dict()
+    return GRAPH_CACHE.spill(
+        graph_cache_key(payload, scenario.seed),
+        _bundle_for(scenario),
+        directory,
+        spec_key=spec_cache_key(payload),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -230,7 +255,7 @@ def _require_regular(graph: Union[Graph, DynamicGraphSchedule]) -> None:
     distribution is a relabeling of node 0's.  On an irregular graph the
     node-0 bound would not hold for all users, so refuse."""
     if isinstance(graph, DynamicGraphSchedule):
-        raise ValidationError(
+        raise ScheduleRefusedError(
             "analysis='symmetric' (Theorems 5.4/5.6) assumes one vertex-"
             "transitive topology; a dynamic schedule is not jointly "
             "transitive — use analysis='stationary', which tracks every "
@@ -255,7 +280,7 @@ def _resolve_rounds(
     steps = override if override is not None else scenario.rounds
     if steps is None:
         if bundle.is_schedule:
-            raise ValidationError(
+            raise ScheduleRefusedError(
                 "a schedule scenario has no default round count (no "
                 "mixing time on a time-varying topology); set "
                 "scenario.rounds explicitly"
@@ -347,7 +372,7 @@ def stationary_bound(
     # stationary distribution, so the at-stationarity price is unchanged.
     _accounting_laziness(scenario)
     if scenario.graph.kind == "schedule":
-        raise ValidationError(
+        raise ScheduleRefusedError(
             "stationary_bound prices the walk *at stationarity*; a "
             "dynamic schedule has no stationary distribution — use "
             "bound(scenario) for exact schedule accounting"
@@ -455,29 +480,28 @@ class RunResult:
         return self.protocol_result.payloads(include_dummies)
 
     def summary(self) -> Dict[str, Any]:
-        """JSON-able digest for reporting/CLI output."""
+        """JSON-able digest (one code path with ``RunDigest.summary``)."""
         result = self.protocol_result
-        digest: Dict[str, Any] = {
-            "protocol": result.protocol,
-            "engine": self.scenario.engine,
-            "num_users": result.num_users,
-            "rounds": self.rounds,
-            "dummy_count": result.dummy_count,
-            "elapsed_seconds": round(self.elapsed_seconds, 6),
-        }
-        if self.bound is not None:
-            digest.update(
-                central_epsilon=self.bound.epsilon,
-                central_delta=self.bound.delta,
-                theorem=self.bound.theorem,
-                epsilon0=self.bound.epsilon0,
-            )
-        if self.empirical_epsilon is not None:
-            digest["empirical_epsilon"] = self.empirical_epsilon
-        if result.meters is not None:
-            digest["total_messages_sent"] = int(result.meters.total_messages_sent())
-            digest["max_peak_items"] = int(result.meters.max_peak_items())
-        return digest
+        meters = result.meters
+        return run_summary_payload(
+            protocol=result.protocol,
+            engine=self.scenario.engine,
+            num_users=result.num_users,
+            rounds=self.rounds,
+            dummy_count=result.dummy_count,
+            elapsed_seconds=self.elapsed_seconds,
+            central_epsilon=None if self.bound is None else self.bound.epsilon,
+            central_delta=None if self.bound is None else self.bound.delta,
+            theorem=None if self.bound is None else self.bound.theorem,
+            epsilon0=None if self.bound is None else self.bound.epsilon0,
+            empirical_epsilon=self.empirical_epsilon,
+            total_messages_sent=(
+                None if meters is None else int(meters.total_messages_sent())
+            ),
+            max_peak_items=(
+                None if meters is None else int(meters.max_peak_items())
+            ),
+        )
 
 
 def run(scenario: Scenario) -> RunResult:

@@ -65,6 +65,7 @@ from repro.scenario.runner import (
     stationary_bound,
 )
 from repro.scenario.spec import Scenario
+from repro.scenario.summary import run_summary_payload
 
 #: Execution modes: simulate + account, account on the materialized
 #: graph, closed-form accounting at stationarity (no graph), or the
@@ -103,28 +104,22 @@ class RunDigest:
     max_peak_items: Optional[int] = None
 
     def summary(self) -> Dict[str, Any]:
-        """JSON-able digest (same shape as ``RunResult.summary()``)."""
-        payload: Dict[str, Any] = {
-            "protocol": self.protocol,
-            "engine": self.engine,
-            "num_users": self.num_users,
-            "rounds": self.rounds,
-            "dummy_count": self.dummy_count,
-            "elapsed_seconds": self.elapsed_seconds,
-        }
-        if self.central_epsilon is not None:
-            payload.update(
-                central_epsilon=self.central_epsilon,
-                central_delta=self.central_delta,
-                theorem=self.theorem,
-                epsilon0=self.epsilon0,
-            )
-        if self.empirical_epsilon is not None:
-            payload["empirical_epsilon"] = self.empirical_epsilon
-        if self.total_messages_sent is not None:
-            payload["total_messages_sent"] = self.total_messages_sent
-            payload["max_peak_items"] = self.max_peak_items
-        return payload
+        """JSON-able digest (one code path with ``RunResult.summary``)."""
+        return run_summary_payload(
+            protocol=self.protocol,
+            engine=self.engine,
+            num_users=self.num_users,
+            rounds=self.rounds,
+            dummy_count=self.dummy_count,
+            elapsed_seconds=self.elapsed_seconds,
+            central_epsilon=self.central_epsilon,
+            central_delta=self.central_delta,
+            theorem=self.theorem,
+            epsilon0=self.epsilon0,
+            empirical_epsilon=self.empirical_epsilon,
+            total_messages_sent=self.total_messages_sent,
+            max_peak_items=self.max_peak_items,
+        )
 
 
 def digest_run(result: RunResult) -> RunDigest:

@@ -1,0 +1,622 @@
+"""``python -m repro serve`` — the accountant as a long-running service.
+
+An asyncio HTTP/1.1 service (stdlib only) on top of the public
+:mod:`repro.api` facade.  Closed-form accounting queries answer
+*synchronously* on the event loop — the GRAPH_STATS paths run in
+microseconds, and materializing paths hit the process-wide hot
+:class:`~repro.scenario.cache.GraphCache` shared across every request —
+while simulation and audit jobs execute on a bounded thread pool with
+``GET /jobs/<id>`` polling.
+
+Endpoints (JSON in, JSON out):
+
+``GET /healthz``
+    Liveness: version + uptime.
+``GET /stats``
+    Cache-tier telemetry: graph-cache counters (builds vs hits),
+    kernel-sampler memo counters, per-route request latencies, and job
+    counts.
+``POST /bound``
+    Body ``{"scenario": {...}, "rounds": 8?}`` — the Theorem 5.3-5.6
+    guarantee of the scenario, synchronously.
+``POST /stationary_bound``
+    Body ``{"scenario": {...}, "materialize": false?}`` — the
+    closed-form at-stationarity guarantee (no graph build for
+    GRAPH_STATS kinds), synchronously.
+``POST /run`` / ``POST /audit``
+    Body ``{"scenario": {...}}`` (audit also accepts ``trials``,
+    ``rounds``, ``method``) — enqueue a job; returns ``202`` with a
+    job id immediately.
+``GET /jobs/<id>``
+    Job status; ``result`` appears when done, ``error`` (the canonical
+    :func:`repro.exceptions.error_payload`) when failed.
+
+Errors map through the typed taxonomy in :mod:`repro.exceptions` —
+invalid scenarios are 400s, schedule refusals 422s, unknown jobs 404s —
+and carry exactly the message the CLI would print.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import signal
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import api
+from repro.exceptions import (
+    InvalidScenarioError,
+    JobNotFoundError,
+    ReproError,
+    error_payload,
+)
+
+__all__ = ["ReproService", "ServerHandle", "main", "serve"]
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+#: Largest accepted request body; scenarios are small JSON documents,
+#: so anything bigger is a client error, not a workload.
+_MAX_BODY_BYTES = 4_000_000
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP framing (not JSON-level errors)."""
+
+
+@dataclass
+class _RouteMetrics:
+    """Latency/count telemetry for one route."""
+
+    count: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def observe(self, elapsed: float, status: int) -> None:
+        self.count += 1
+        if status >= 400:
+            self.errors += 1
+        self.total_seconds += elapsed
+        if elapsed > self.max_seconds:
+            self.max_seconds = elapsed
+
+    def payload(self) -> Dict[str, Any]:
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "mean_ms": round(mean * 1e3, 3),
+            "max_ms": round(self.max_seconds * 1e3, 3),
+        }
+
+
+@dataclass
+class _Job:
+    """One enqueued run/audit execution."""
+
+    id: str
+    kind: str
+    scenario: Any
+    options: Dict[str, Any] = field(default_factory=dict)
+    status: str = "queued"
+    submitted: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[Dict[str, Any]] = None
+
+    def payload(self) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "status": self.status,
+        }
+        if self.started is not None and self.finished is not None:
+            body["elapsed_seconds"] = round(self.finished - self.started, 6)
+        if self.result is not None:
+            body["result"] = self.result
+        if self.error is not None:
+            body["error"] = self.error
+        return body
+
+
+class ReproService:
+    """Request dispatch, the job store, and the bounded worker pool.
+
+    One instance per process: every request shares the process-wide
+    graph cache and memoized kernel samplers through :mod:`repro.api`,
+    which is what turns the PR 5 caches into a cache *tier* — repeated
+    bound queries for the same graph spec cost a cache hit plus theorem
+    arithmetic.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        spill_dir: Optional[str] = None,
+        retain_jobs: int = 1024,
+    ):
+        self.started = time.time()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, int(workers)), thread_name_prefix="repro-job"
+        )
+        self._jobs: "OrderedDict[str, _Job]" = OrderedDict()
+        self._jobs_lock = threading.Lock()
+        self._job_ids = itertools.count(1)
+        self._retain_jobs = int(retain_jobs)
+        self._metrics: Dict[str, _RouteMetrics] = {}
+        self._spill_attached = spill_dir is not None
+        if spill_dir is not None:
+            api.attach_spill(spill_dir)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self, host: str, port: int) -> asyncio.AbstractServer:
+        """Bind and start serving; returns the asyncio server."""
+        self._server = await asyncio.start_server(self._handle, host, port)
+        return self._server
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    def close(self) -> None:
+        """Stop accepting jobs and release the worker pool."""
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- HTTP plumbing -------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, target, headers, body = request
+                keep_alive = (
+                    headers.get("connection", "keep-alive").lower() != "close"
+                )
+                started = time.perf_counter()
+                route, status, payload = self._dispatch(method, target, body)
+                self._metrics.setdefault(route, _RouteMetrics()).observe(
+                    time.perf_counter() - started, status
+                )
+                self._write_response(writer, status, payload, keep_alive)
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except _BadRequest as error:
+            try:
+                self._write_response(
+                    writer,
+                    400,
+                    {"error": "BadRequest", "status": 400, "message": str(error)},
+                    keep_alive=False,
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+            TimeoutError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError, asyncio.CancelledError):
+                # CancelledError lands here when the loop shuts down
+                # mid-close; the connection is gone either way.
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _BadRequest(f"malformed request line: {line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: Dict[str, str] = {}
+        while True:
+            header = await reader.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, separator, value = header.decode("latin-1").partition(":")
+            if not separator:
+                raise _BadRequest(f"malformed header line: {header!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise _BadRequest("content-length is not an integer") from None
+        if length < 0 or length > _MAX_BODY_BYTES:
+            raise _BadRequest(
+                f"content-length {length} outside [0, {_MAX_BODY_BYTES}]"
+            )
+        body = await reader.readexactly(length) if length else b""
+        return method, target, headers, body
+
+    @staticmethod
+    def _write_response(
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Any,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        header = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(header.encode("latin-1") + body)
+
+    # -- dispatch ------------------------------------------------------
+    def _dispatch(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[str, int, Any]:
+        """Route one request; returns (route label, status, payload)."""
+        path = target.split("?", 1)[0]
+        if path.startswith("/jobs/"):
+            route = "GET /jobs/<id>"
+        else:
+            route = f"{method} {path}"
+        try:
+            if path == "/healthz" and method == "GET":
+                return route, 200, self._healthz()
+            if path == "/stats" and method == "GET":
+                return route, 200, self._stats()
+            if path == "/bound" and method == "POST":
+                return route, 200, self._bound(self._json_body(body))
+            if path == "/stationary_bound" and method == "POST":
+                return route, 200, self._stationary_bound(self._json_body(body))
+            if path == "/run" and method == "POST":
+                return route, 202, self._enqueue("run", self._json_body(body))
+            if path == "/audit" and method == "POST":
+                return route, 202, self._enqueue("audit", self._json_body(body))
+            if path.startswith("/jobs/") and method == "GET":
+                return route, 200, self._job_status(path[len("/jobs/"):])
+            if path in (
+                "/healthz", "/stats", "/bound", "/stationary_bound",
+                "/run", "/audit",
+            ) or path.startswith("/jobs/"):
+                return route, 405, {
+                    "error": "MethodNotAllowed",
+                    "status": 405,
+                    "message": f"{method} not allowed on {path}",
+                }
+            return route, 404, {
+                "error": "NotFound",
+                "status": 404,
+                "message": f"no route {path!r}",
+            }
+        except ReproError as error:
+            payload = error_payload(error)
+            return route, payload["status"], payload
+        except Exception as error:  # noqa: BLE001 — last-resort 500
+            payload = error_payload(error)
+            payload["status"] = 500
+            return route, 500, payload
+
+    # -- request bodies ------------------------------------------------
+    @staticmethod
+    def _json_body(body: bytes) -> Mapping[str, Any]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise InvalidScenarioError(
+                f"request body is not valid JSON: {error}"
+            ) from None
+        if not isinstance(payload, Mapping):
+            raise InvalidScenarioError(
+                "request body must be a JSON object with a 'scenario' member"
+            )
+        return payload
+
+    @staticmethod
+    def _scenario_of(body: Mapping[str, Any]):
+        if "scenario" not in body:
+            raise InvalidScenarioError(
+                "request body must be a JSON object with a 'scenario' member"
+            )
+        return api.parse_scenario(body["scenario"])
+
+    @staticmethod
+    def _int_option(body: Mapping[str, Any], name: str) -> Optional[int]:
+        value = body.get(name)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise InvalidScenarioError(
+                f"{name!r} must be an integer, got {value!r}"
+            )
+        return int(value)
+
+    # -- synchronous accounting ----------------------------------------
+    def _bound(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        scenario = self._scenario_of(body)
+        rounds = self._int_option(body, "rounds")
+        return api.bound_payload(api.bound(scenario, rounds=rounds))
+
+    def _stationary_bound(self, body: Mapping[str, Any]) -> Dict[str, Any]:
+        scenario = self._scenario_of(body)
+        materialize = bool(body.get("materialize", False))
+        return api.bound_payload(
+            api.stationary_bound(scenario, materialize=materialize)
+        )
+
+    # -- jobs ----------------------------------------------------------
+    def _enqueue(self, kind: str, body: Mapping[str, Any]) -> Dict[str, Any]:
+        scenario = self._scenario_of(body)
+        options: Dict[str, Any] = {}
+        if kind == "audit":
+            for name in ("trials", "rounds"):
+                value = self._int_option(body, name)
+                if value is not None:
+                    options[name] = value
+            method = body.get("method")
+            if method is not None:
+                options["method"] = str(method)
+        job = _Job(
+            id=f"job-{next(self._job_ids)}",
+            kind=kind,
+            scenario=scenario,
+            options=options,
+        )
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+            self._evict_finished_locked()
+        asyncio.get_running_loop().run_in_executor(
+            self._executor, self._run_job, job
+        )
+        return job.payload()
+
+    def _evict_finished_locked(self) -> None:
+        """Drop the oldest finished jobs past the retention cap."""
+        excess = len(self._jobs) - self._retain_jobs
+        if excess <= 0:
+            return
+        for job_id in [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.status in ("done", "error")
+        ][:excess]:
+            del self._jobs[job_id]
+
+    def _run_job(self, job: _Job) -> None:
+        """Worker-thread body: execute and record one job."""
+        job.started = time.time()
+        job.status = "running"
+        try:
+            if job.kind == "run":
+                result = api.run(job.scenario)
+                job.result = api.run_payload(api.digest_run(result))
+            else:
+                result = api.audit(job.scenario, **job.options)
+                job.result = api.audit_payload(result)
+            if self._spill_attached:
+                # Persist the materialization so a restarted service
+                # warms from disk instead of re-running the generator.
+                api.spill_graph(job.scenario)
+            job.status = "done"
+        except Exception as error:  # noqa: BLE001 — recorded, not raised
+            job.error = error_payload(error)
+            job.status = "error"
+        finally:
+            job.finished = time.time()
+
+    def _job_status(self, job_id: str) -> Dict[str, Any]:
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no job {job_id!r} (expired or never existed)")
+        return job.payload()
+
+    # -- introspection -------------------------------------------------
+    def _healthz(self) -> Dict[str, Any]:
+        import repro
+
+        return {
+            "status": "ok",
+            "version": repro.__version__,
+            "uptime_seconds": round(time.time() - self.started, 3),
+        }
+
+    def _stats(self) -> Dict[str, Any]:
+        with self._jobs_lock:
+            jobs = list(self._jobs.values())
+        by_status: Dict[str, int] = {}
+        for job in jobs:
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "graph_cache": api.cache_stats(),
+            "kernel_sampler": api.sampler_stats(),
+            "jobs": {"retained": len(jobs), **by_status},
+            "requests": {
+                route: metrics.payload()
+                for route, metrics in sorted(self._metrics.items())
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+# Entrypoints
+# ----------------------------------------------------------------------
+async def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8777,
+    workers: int = 2,
+    spill_dir: Optional[str] = None,
+    echo=print,
+) -> None:
+    """Run the service until SIGINT/SIGTERM (the CLI entry point)."""
+    service = ReproService(workers=workers, spill_dir=spill_dir)
+    server = await service.start(host, port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or unsupported platform
+    echo(
+        f"repro serve: http://{host}:{service.port} "
+        f"({workers} job workers"
+        + (f", spill tier {spill_dir}" if spill_dir else "")
+        + ") — GET /healthz /stats, POST /bound /stationary_bound /run /audit",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.close()
+        echo("repro serve: stopped", flush=True)
+
+
+class ServerHandle:
+    """The service on a daemon thread — tests, examples, and benches.
+
+    ``with ServerHandle.start(port=0) as handle:`` boots a fully real
+    server on an ephemeral port, exposes ``handle.base_url``, and shuts
+    it down cleanly on exit.
+    """
+
+    def __init__(self) -> None:
+        self.host: str = ""
+        self.port: int = 0
+        self.service: Optional[ReproService] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._error: Optional[BaseException] = None
+
+    @classmethod
+    def start(
+        cls, host: str = "127.0.0.1", port: int = 0, **service_kwargs
+    ) -> "ServerHandle":
+        handle = cls()
+        handle._thread = threading.Thread(
+            target=handle._thread_main,
+            args=(host, port, service_kwargs),
+            name="repro-serve",
+            daemon=True,
+        )
+        handle._thread.start()
+        if not handle._ready.wait(timeout=30):
+            raise RuntimeError("server did not come up within 30s")
+        if handle._error is not None:
+            raise RuntimeError("server failed to start") from handle._error
+        return handle
+
+    def _thread_main(self, host: str, port: int, service_kwargs) -> None:
+        try:
+            asyncio.run(self._main(host, port, service_kwargs))
+        except BaseException as error:  # noqa: BLE001 — surfaced via start()
+            self._error = error
+            self._ready.set()
+
+    async def _main(self, host: str, port: int, service_kwargs) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self.service = ReproService(**service_kwargs)
+        server = await self.service.start(host, port)
+        self.host = host
+        self.port = self.service.port
+        self._ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            self.service.close()
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def main(arguments: list) -> None:
+    """``python -m repro serve [--host H] [--port P] [--workers N]
+    [--spill-dir DIR]``."""
+    usage = (
+        "usage: python -m repro serve [--host HOST] [--port PORT] "
+        "[--workers N] [--spill-dir DIR]"
+    )
+    host, port, workers, spill_dir = "127.0.0.1", 8777, 2, None
+    index = 0
+    while index < len(arguments):
+        flag = arguments[index]
+        index += 1
+        if flag in ("-h", "--help"):
+            raise SystemExit(usage)
+        if index >= len(arguments):
+            raise SystemExit(usage)
+        value = arguments[index]
+        index += 1
+        try:
+            if flag == "--host":
+                host = value
+            elif flag == "--port":
+                port = int(value)
+            elif flag == "--workers":
+                workers = int(value)
+            elif flag == "--spill-dir":
+                spill_dir = value
+            else:
+                raise SystemExit(usage)
+        except ValueError:
+            raise SystemExit(usage) from None
+    try:
+        asyncio.run(
+            serve(host=host, port=port, workers=workers, spill_dir=spill_dir)
+        )
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,180 @@
+"""The documented public facade: ``repro.api``.
+
+The facade is the stable surface programmatic callers (and the serving
+tier) import from; these tests pin its exports, the one shared
+scenario-ingestion path, the payload renderers, and the exception ->
+HTTP contract.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.exceptions import (
+    BudgetExceededError,
+    InvalidScenarioError,
+    JobNotFoundError,
+    ReproError,
+    ScheduleRefusedError,
+    ValidationError,
+    error_payload,
+    http_status_for,
+)
+
+SCENARIO_DICT = {
+    "graph": {"kind": "k_regular", "params": {"degree": 4, "num_nodes": 64}},
+    "mechanism": {"kind": "rr", "params": {"epsilon": 1.0}},
+    "rounds": 4,
+    "seed": 3,
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    api.clear_graph_cache()
+    yield
+    api.clear_graph_cache()
+
+
+class TestSurface:
+    def test_every_advertised_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_operations_are_the_scenario_entry_points(self):
+        from repro import scenario
+
+        assert api.run is scenario.run
+        assert api.bound is scenario.bound
+        assert api.stationary_bound is scenario.stationary_bound
+        assert api.audit is scenario.audit
+        assert api.sweep is scenario.sweep
+
+    def test_auditor_planning_is_public(self):
+        from repro import auditing
+
+        assert api.resolve_method is auditing.resolve_method
+        assert api.should_memoize is auditing.should_memoize
+
+
+class TestParseScenario:
+    def test_scenario_passthrough(self):
+        scenario = api.parse_scenario(SCENARIO_DICT)
+        assert api.parse_scenario(scenario) is scenario
+
+    def test_mapping_and_json_agree(self):
+        from_dict = api.parse_scenario(SCENARIO_DICT)
+        from_json = api.parse_scenario(from_dict.to_json())
+        assert from_json == from_dict
+
+    def test_bad_json_is_invalid_scenario(self):
+        with pytest.raises(InvalidScenarioError, match="not valid JSON"):
+            api.parse_scenario("{nope")
+
+    def test_bad_keys_are_invalid_scenario(self):
+        with pytest.raises(InvalidScenarioError, match="invalid scenario"):
+            api.parse_scenario({"graf": {"kind": "k_regular"}})
+
+    def test_wrong_type_is_invalid_scenario(self):
+        with pytest.raises(InvalidScenarioError, match="got list"):
+            api.parse_scenario([SCENARIO_DICT])
+
+
+class TestPayloads:
+    def test_bound_payload_fields(self):
+        payload = api.bound_payload(api.bound(api.parse_scenario(SCENARIO_DICT)))
+        assert set(payload) == {
+            "epsilon", "delta", "theorem", "epsilon0", "sum_squared", "n",
+            "amplification_ratio", "amplified",
+        }
+        assert payload["n"] == 64
+        assert payload["epsilon0"] == 1.0
+
+    def test_run_payload_is_the_summary(self):
+        result = api.run(api.parse_scenario(SCENARIO_DICT))
+        assert api.run_payload(result) == result.summary()
+        digest = api.digest_run(result)
+        assert api.run_payload(digest) == digest.summary()
+
+    def test_audit_payload_is_the_summary(self):
+        result = api.audit(api.parse_scenario(SCENARIO_DICT), trials=200)
+        payload = api.audit_payload(result)
+        assert payload == result.summary()
+        assert "epsilon_lower_bound" in payload
+
+
+class TestHttpContract:
+    @pytest.mark.parametrize(
+        "error, status",
+        [
+            (JobNotFoundError("gone"), 404),
+            (ScheduleRefusedError("no stationary distribution"), 422),
+            (InvalidScenarioError("bad body"), 400),
+            (ValidationError("bad arg"), 400),
+            (BudgetExceededError("spent"), 409),
+            (ReproError("boom"), 500),
+            (RuntimeError("not ours"), 500),
+        ],
+    )
+    def test_status_mapping(self, error, status):
+        assert http_status_for(error) == status
+
+    def test_error_payload_shape(self):
+        payload = error_payload(ScheduleRefusedError("no mixing time"))
+        assert payload == {
+            "error": "ScheduleRefusedError",
+            "status": 422,
+            "message": "no mixing time",
+        }
+
+    def test_subclasses_win_over_bases(self):
+        # InvalidScenarioError and ScheduleRefusedError both derive from
+        # ValidationError; the map must answer for the subclass first.
+        assert http_status_for(ScheduleRefusedError("x")) != http_status_for(
+            ValidationError("x")
+        )
+
+
+class TestCacheTelemetry:
+    def test_cache_stats_counts_builds_and_hits(self):
+        # Counters are monotone (a clear changes residency, not
+        # history), so assert on deltas.
+        before = api.cache_stats()
+        scenario = api.parse_scenario(SCENARIO_DICT)
+        api.bound(scenario)
+        api.bound(scenario)
+        stats = api.cache_stats()
+        assert stats["builds"] == before["builds"] + 1
+        assert stats["memory_hits"] >= before["memory_hits"] + 1
+        assert stats["resident"] == 1
+        assert stats["requests"] == (
+            stats["builds"] + stats["memory_hits"] + stats["disk_hits"]
+        )
+
+    def test_sampler_stats_counts_kernel_memoization(self):
+        # Sampler counts live on the bundles, so the autouse clear
+        # zeroes them; two audits of one scenario share one sampler.
+        scenario = api.parse_scenario(SCENARIO_DICT | {"rounds": 8})
+        api.audit(scenario, trials=100)
+        api.audit(scenario, trials=100)
+        stats = api.sampler_stats()
+        assert stats["builds"] == 1
+        assert stats["hits"] >= 1
+
+    def test_attach_spill_and_spill_graph(self, tmp_path):
+        from repro.scenario import GRAPH_CACHE
+
+        directory = api.attach_spill(tmp_path / "tier")
+        try:
+            assert directory.is_dir()
+            scenario = api.parse_scenario(SCENARIO_DICT)
+            api.bound(scenario)
+            path = api.spill_graph(scenario)
+            assert path is not None and path.exists()
+            assert path.suffix == ".npz"
+        finally:
+            GRAPH_CACHE.spill_dir = None
+
+    def test_spill_graph_without_tier_is_a_noop(self):
+        assert api.spill_graph(api.parse_scenario(SCENARIO_DICT)) is None

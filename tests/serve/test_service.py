@@ -1,0 +1,300 @@
+"""The HTTP serving tier: ``python -m repro serve``.
+
+Boots a real server (ephemeral port, background thread) per test class
+and exercises every endpoint with stdlib ``http.client`` — the same
+wire path a curl caller takes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+import pytest
+
+from repro.scenario import clear_graph_cache
+from repro.serve import ReproService, ServerHandle
+
+SCENARIO = {
+    "graph": {"kind": "k_regular", "params": {"degree": 4, "num_nodes": 128}},
+    "mechanism": {"kind": "rr", "params": {"epsilon": 1.0}},
+    "rounds": 4,
+    "seed": 5,
+}
+
+SCHEDULE_SCENARIO = {
+    "graph": {
+        "kind": "schedule",
+        "params": {
+            "graphs": [
+                {"kind": "cycle", "params": {"num_nodes": 24}},
+                {"kind": "k_regular", "params": {"degree": 4, "num_nodes": 24}},
+            ],
+        },
+    },
+    "mechanism": {"kind": "rr", "params": {"epsilon": 1.0}},
+    "seed": 5,
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    clear_graph_cache()
+    with ServerHandle.start() as handle:
+        yield handle
+    clear_graph_cache()
+
+
+@pytest.fixture
+def client(server):
+    connection = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    yield connection
+    connection.close()
+
+
+def request(client, method, path, body=None):
+    payload = None if body is None else json.dumps(body)
+    client.request(method, path, body=payload,
+                   headers={"Content-Type": "application/json"})
+    response = client.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def wait_for_job(client, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, payload = request(client, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if payload["status"] in ("done", "error"):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish within {timeout}s")
+
+
+class TestIntrospection:
+    def test_healthz(self, client):
+        import repro
+
+        status, payload = request(client, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["version"] == repro.__version__
+        assert payload["uptime_seconds"] >= 0
+
+    def test_stats_shape(self, client):
+        status, payload = request(client, "GET", "/stats")
+        assert status == 200
+        assert set(payload) == {
+            "uptime_seconds", "graph_cache", "kernel_sampler", "jobs",
+            "requests",
+        }
+        assert set(payload["graph_cache"]) == {
+            "builds", "memory_hits", "disk_hits", "requests", "resident",
+        }
+        assert set(payload["kernel_sampler"]) == {"builds", "hits"}
+
+    def test_stats_records_route_latencies(self, client):
+        request(client, "GET", "/healthz")
+        _, payload = request(client, "GET", "/stats")
+        metrics = payload["requests"]["GET /healthz"]
+        assert metrics["count"] >= 1
+        assert metrics["mean_ms"] >= 0
+        assert metrics["max_ms"] >= metrics["mean_ms"] or metrics["count"] == 1
+
+
+class TestSynchronousBounds:
+    def test_bound(self, client):
+        status, payload = request(client, "POST", "/bound",
+                                  {"scenario": SCENARIO})
+        assert status == 200
+        assert payload["n"] == 128
+        assert payload["epsilon0"] == 1.0
+        assert payload["epsilon"] > 0
+        assert "theorem" in payload
+
+    def test_bound_with_rounds_override(self, client):
+        _, at_4 = request(client, "POST", "/bound",
+                          {"scenario": SCENARIO, "rounds": 4})
+        _, at_64 = request(client, "POST", "/bound",
+                           {"scenario": SCENARIO, "rounds": 64})
+        assert at_64["epsilon"] <= at_4["epsilon"]
+
+    def test_stationary_bound(self, client):
+        status, payload = request(client, "POST", "/stationary_bound",
+                                  {"scenario": SCENARIO})
+        assert status == 200
+        # Regular graph: stationary collision mass is exactly 1/n.
+        assert payload["sum_squared"] == pytest.approx(1 / 128)
+
+    def test_repeat_bounds_hit_the_cache(self, client):
+        _, before = request(client, "GET", "/stats")
+        for _ in range(5):
+            status, _ = request(client, "POST", "/bound",
+                                {"scenario": SCENARIO})
+            assert status == 200
+        _, after = request(client, "GET", "/stats")
+        grew = after["graph_cache"]["memory_hits"] - \
+            before["graph_cache"]["memory_hits"]
+        built = after["graph_cache"]["builds"] - \
+            before["graph_cache"]["builds"]
+        assert grew >= 4
+        assert built <= 1
+
+
+class TestJobs:
+    def test_run_job_round_trip(self, client):
+        status, job = request(client, "POST", "/run", {"scenario": SCENARIO})
+        assert status == 202
+        assert job["id"].startswith("job-")
+        assert job["status"] in ("queued", "running", "done")
+        finished = wait_for_job(client, job["id"])
+        assert finished["status"] == "done"
+        result = finished["result"]
+        assert result["num_users"] == 128
+        assert result["rounds"] == 4
+        assert "central_epsilon" in result
+
+    def test_audit_job_round_trip(self, client):
+        status, job = request(client, "POST", "/audit",
+                              {"scenario": SCENARIO, "trials": 200})
+        assert status == 202
+        finished = wait_for_job(client, job["id"])
+        assert finished["status"] == "done"
+        result = finished["result"]
+        assert result["trials"] == 200
+        assert "epsilon_lower_bound" in result
+
+    def test_job_result_matches_library_summary(self, client):
+        # The job result IS the canonical summary payload — same keys as
+        # calling the library directly.
+        from repro import api
+
+        status, job = request(client, "POST", "/run", {"scenario": SCENARIO})
+        assert status == 202
+        finished = wait_for_job(client, job["id"])
+        local = api.run_payload(
+            api.digest_run(api.run(api.parse_scenario(SCENARIO)))
+        )
+        assert list(finished["result"]) == list(local)
+
+    def test_failing_job_records_error_payload(self, client):
+        # Auditing a Laplace scenario is refused (not pure-DP); the job
+        # finishes with the canonical error payload, not a traceback.
+        scenario = dict(SCENARIO, mechanism={
+            "kind": "laplace", "params": {"epsilon": 1.0}})
+        status, job = request(client, "POST", "/audit",
+                              {"scenario": scenario})
+        assert status == 202
+        finished = wait_for_job(client, job["id"])
+        assert finished["status"] == "error"
+        assert set(finished["error"]) == {"error", "status", "message"}
+
+    def test_unknown_job_is_404(self, client):
+        status, payload = request(client, "GET", "/jobs/job-99999")
+        assert status == 404
+        assert payload["error"] == "JobNotFoundError"
+
+
+class TestErrorTaxonomy:
+    def test_invalid_scenario_is_400(self, client):
+        status, payload = request(client, "POST", "/bound",
+                                  {"scenario": {"graf": 1}})
+        assert status == 400
+        assert payload["error"] == "InvalidScenarioError"
+        assert "invalid scenario" in payload["message"]
+
+    def test_missing_scenario_member_is_400(self, client):
+        status, payload = request(client, "POST", "/bound", {"rounds": 4})
+        assert status == 400
+        assert "scenario" in payload["message"]
+
+    def test_malformed_json_body_is_400(self, client):
+        client.request("POST", "/bound", body="{nope",
+                       headers={"Content-Type": "application/json"})
+        response = client.getresponse()
+        payload = json.loads(response.read())
+        assert response.status == 400
+        assert "not valid JSON" in payload["message"]
+
+    def test_schedule_refusal_is_422(self, client):
+        # stationary_bound on a time-varying topology: well-formed
+        # request, unsound analysis.
+        status, payload = request(client, "POST", "/stationary_bound",
+                                  {"scenario": SCHEDULE_SCENARIO})
+        assert status == 422
+        assert payload["error"] == "ScheduleRefusedError"
+
+    def test_error_text_matches_the_cli(self, client, tmp_path, capsys):
+        # One taxonomy, two surfaces: the HTTP message is the text the
+        # CLI prints for the same fault.
+        from repro.__main__ import main
+
+        _, payload = request(client, "POST", "/bound",
+                             {"scenario": {"graf": 1}})
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"graf": 1}))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", str(path)])
+        assert payload["message"] in str(excinfo.value)
+
+    def test_unknown_route_is_404(self, client):
+        status, payload = request(client, "GET", "/nope")
+        assert status == 404
+
+    def test_wrong_method_is_405(self, client):
+        status, payload = request(client, "GET", "/bound")
+        assert status == 405
+        status, _ = request(client, "POST", "/healthz", {})
+        assert status == 405
+
+    def test_non_integer_rounds_is_400(self, client):
+        status, payload = request(
+            client, "POST", "/bound",
+            {"scenario": SCENARIO, "rounds": "eight"})
+        assert status == 400
+        assert "rounds" in payload["message"]
+
+
+class TestKeepAlive:
+    def test_one_connection_serves_many_requests(self, server):
+        connection = http.client.HTTPConnection(
+            server.host, server.port, timeout=30)
+        try:
+            for _ in range(10):
+                status, _ = request(connection, "GET", "/healthz")
+                assert status == 200
+        finally:
+            connection.close()
+
+
+class TestServiceInternals:
+    def test_job_retention_evicts_oldest_finished(self):
+        # Direct exercise of the eviction rule: 4 finished jobs,
+        # cap 2 -> the two oldest go; queued/running jobs are immune.
+        from repro.serve import _Job
+
+        service = ReproService(workers=1, retain_jobs=2)
+        try:
+            for index in range(4):
+                service._jobs[f"job-{index}"] = _Job(
+                    id=f"job-{index}", kind="run", scenario=None,
+                    status="done")
+            service._jobs["job-4"] = _Job(
+                id="job-4", kind="run", scenario=None, status="running")
+            with service._jobs_lock:
+                service._evict_finished_locked()
+            # excess = 5 - 2 = 3; the three oldest *finished* jobs go.
+            assert list(service._jobs) == ["job-3", "job-4"]
+        finally:
+            service.close()
+
+    def test_cli_serve_usage(self):
+        from repro.serve import main
+
+        with pytest.raises(SystemExit, match="usage"):
+            main(["--port"])
+        with pytest.raises(SystemExit, match="usage"):
+            main(["--port", "eight"])
+        with pytest.raises(SystemExit, match="usage"):
+            main(["--frobnicate", "1"])
