@@ -1,13 +1,22 @@
 #!/usr/bin/env python
-"""Warn-only benchmark regression check.
+"""Warn-only benchmark regression check against the campaign store.
 
-Compares a fresh pytest-benchmark JSON export against the committed
-baseline and prints a table of mean-time ratios.  Exits 0 always —
-timing on shared CI runners is too noisy to gate a merge — but flags
-any benchmark slower than the threshold so a human can look.
+Compares a fresh pytest-benchmark JSON export against a baseline and
+prints a table of mean-time ratios.  Exits 0 always — timing on shared
+CI runners is too noisy to gate a merge — but flags any benchmark
+slower than the threshold so a human can look.
+
+The baseline comes from the results store's benchmark trajectory
+(``--store DB``, latest recorded mean per benchmark) when one is given
+and has samples; otherwise it falls back to a baseline JSON file (the
+retired hand-refreshed ``benchmarks/baseline.json`` format).  With
+``--record``, the current means are appended to the store afterwards,
+so CI maintains the trajectory instead of a human refreshing a JSON
+file.
 
 Usage:
     python scripts/check_bench_regression.py CURRENT.json [BASELINE.json]
+        [--store DB] [--record]
 """
 
 from __future__ import annotations
@@ -30,23 +39,56 @@ def load_means(path: Path) -> dict[str, float]:
     }
 
 
+def _open_store(path: Path):
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.store import ResultsStore
+
+    return ResultsStore(path)
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) < 2:
+    arguments = list(argv[1:])
+    record = "--record" in arguments
+    arguments = [token for token in arguments if token != "--record"]
+    store_path: Path | None = None
+    if "--store" in arguments:
+        index = arguments.index("--store")
+        if index + 1 >= len(arguments):
+            print(__doc__)
+            return 0
+        store_path = Path(arguments[index + 1])
+        del arguments[index:index + 2]
+    if not arguments:
         print(__doc__)
         return 0
-    current_path = Path(argv[1])
-    baseline_path = Path(argv[2]) if len(argv) > 2 else DEFAULT_BASELINE
+    current_path = Path(arguments[0])
+    baseline_path = Path(arguments[1]) if len(arguments) > 1 else DEFAULT_BASELINE
     if not current_path.exists():
         print(f"[bench-check] no current results at {current_path}; skipping")
         return 0
-    if not baseline_path.exists():
-        print(f"[bench-check] no baseline at {baseline_path}; skipping")
-        return 0
 
     current = load_means(current_path)
-    baseline = load_means(baseline_path)
+
+    store = None
+    baseline: dict[str, float] = {}
+    baseline_label = str(baseline_path)
+    if store_path is not None:
+        store = _open_store(store_path)
+        baseline = store.bench_baseline()
+        if baseline:
+            baseline_label = f"store {store_path}"
+    if not baseline:
+        if baseline_path.exists():
+            baseline = load_means(baseline_path)
+        elif store is None or not record:
+            print(f"[bench-check] no baseline at {baseline_path}; skipping")
+            return 0
+
     flagged = []
-    print(f"[bench-check] {len(current)} current vs {len(baseline)} baseline benchmarks")
+    print(
+        f"[bench-check] {len(current)} current vs {len(baseline)} baseline "
+        f"benchmarks ({baseline_label})"
+    )
     print(f"{'benchmark':<45} {'baseline':>10} {'current':>10} {'ratio':>7}")
     for name, mean in sorted(current.items()):
         base = baseline.get(name)
@@ -63,6 +105,12 @@ def main(argv: list[str]) -> int:
             flagged.append((name, ratio))
     for name in sorted(set(baseline) - set(current)):
         print(f"{name:<45} {'(missing from current run)':>10}")
+
+    if store is not None and record:
+        written = store.record_bench_samples(current, source="ci")
+        print(f"[bench-check] recorded {written} sample(s) into {store_path}")
+    if store is not None:
+        store.close()
 
     if flagged:
         print(

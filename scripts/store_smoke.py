@@ -1,0 +1,90 @@
+"""CI smoke test for the campaign store's incremental-re-run contract.
+
+Runs the same small sweep twice through ``python -m repro sweep --store``
+against a temporary store, asserts the second pass computed 0 points
+(everything reused), checks ``results diff`` of the two campaigns is
+empty, and answers a cross-campaign aggregate through ``results query``
+as a real subprocess.  Exits non-zero on any failure.
+
+Usage: python scripts/store_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+SCENARIO = {
+    "graph": {"kind": "k_regular", "params": {"degree": 4, "num_nodes": 128}},
+    "mechanism": {"kind": "rr", "params": {"epsilon": 1.0}},
+    "rounds": 4,
+    "seed": 0,
+}
+
+SWEEP_ARGS = [
+    "--axis", "rounds=2,4,8",
+    "--axis", "mechanism.epsilon=0.5,1.0",
+    "--mode", "bound",
+]
+
+
+def run_cli(*arguments: str) -> str:
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != 0:
+        raise SystemExit(
+            f"command {' '.join(arguments)} exited {result.returncode}:\n"
+            f"{result.stdout}\n{result.stderr}"
+        )
+    return result.stdout
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-store-smoke-") as tmp:
+        directory = Path(tmp)
+        scenario_path = directory / "scenario.json"
+        scenario_path.write_text(json.dumps(SCENARIO))
+        store = str(directory / "results.sqlite")
+
+        first = run_cli(
+            "sweep", str(scenario_path), *SWEEP_ARGS,
+            "--store", store, "--campaign", "pass-one",
+        )
+        print(first)
+        assert "6 computed, 0 reused" in first, first
+
+        second = run_cli(
+            "sweep", str(scenario_path), *SWEEP_ARGS,
+            "--store", store, "--campaign", "pass-two",
+        )
+        print(second)
+        assert "0 computed, 6 reused" in second, second
+
+        diff = run_cli(
+            "results", "diff", "pass-one", "pass-two", "--store", store
+        )
+        print(diff)
+        assert "no differences" in diff, diff
+
+        query = run_cli(
+            "results", "query", "--store", store,
+            "--x", "rounds", "--y", "epsilon",
+            "--group-by", "mechanism.epsilon", "--json",
+        )
+        rows = json.loads(query)
+        # 2 mechanism epsilons x 3 rounds values, one point per cell.
+        assert len(rows) == 6, rows
+        assert all(row["points"] == 1 for row in rows), rows
+        assert all(row["mean"] > 0 for row in rows), rows
+        print(f"query: {len(rows)} aggregate cells, all positive epsilon")
+
+    print("store smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

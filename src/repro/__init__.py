@@ -48,6 +48,8 @@ Package map (see DESIGN.md for the full inventory):
                           callers (operations, payloads, error taxonomy)
 ``repro.serve``           asyncio HTTP serving tier
                           (``python -m repro serve``)
+``repro.store``           persistent SQLite campaign store
+                          (``python -m repro results``)
 ========================  ==============================================
 """
 
@@ -67,7 +69,7 @@ from repro.scenario import (
     sweep,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AuditResult",

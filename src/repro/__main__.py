@@ -32,13 +32,24 @@ Commands
     Expand a parameter grid over the base scenario and print the curve.
     ``--mode bound|stationary_bound`` prices without simulating;
     ``--mode audit`` measures the empirical epsilon per point;
-    ``--workers N`` fans out to a process pool.
-``serve [--host HOST] [--port PORT] [--workers N] [--spill-dir DIR]``
+    ``--workers N`` fans out to a process pool; ``--store DB``
+    records every point in the campaign store and re-runs only what is
+    missing (``--campaign NAME`` labels the run).
+``results <query|diff|gc|campaigns> --store DB ...``
+    Query the campaign store: ``query`` aggregates a metric over any
+    recorded axis straight from SQL (``--x``/``--y``/``--group-by``/
+    ``--mode``/``--campaign``), ``diff`` compares two campaigns'
+    observed points for regressions, ``gc`` reclaims rows stranded by
+    old code versions, ``campaigns`` lists recorded campaigns.
+``serve [--host HOST] [--port PORT] [--workers N] [--spill-dir DIR]
+[--store DB] [--max-queue N]``
     Boot the HTTP serving tier (:mod:`repro.serve`): synchronous
     closed-form ``POST /bound`` / ``POST /stationary_bound`` queries
     against the process-wide graph cache, enqueue-able ``POST /run`` /
     ``POST /audit`` jobs with ``GET /jobs/<id>`` polling, and
-    ``GET /healthz`` / ``GET /stats`` introspection.
+    ``GET /healthz`` / ``GET /stats`` introspection.  ``--store``
+    persists job outcomes across restarts and serves ``GET /results``;
+    ``--max-queue`` turns on 429 back-pressure.
 
 All surfaces share one error taxonomy (:mod:`repro.exceptions`): the
 message a failed command prints here is byte-identical to the
@@ -73,7 +84,7 @@ def _artifact(name: str) -> None:
 def _experiments(arguments: list[str]) -> None:
     usage = (
         "usage: python -m repro experiments <artifact|all> "
-        "[--fast | --full] [--out DIR]"
+        "[--fast | --full] [--out DIR] [--store DB]"
     )
     from repro.experiments import campaigns
 
@@ -85,6 +96,13 @@ def _experiments(arguments: list[str]) -> None:
             raise SystemExit(usage)
         out = arguments[index + 1]
         del arguments[index:index + 2]
+    store: str | None = None
+    if "--store" in arguments:
+        index = arguments.index("--store")
+        if index + 1 >= len(arguments):
+            raise SystemExit(usage)
+        store = arguments[index + 1]
+        del arguments[index:index + 2]
     if len(arguments) != 1:
         raise SystemExit(usage)
     name = arguments[0]
@@ -93,10 +111,12 @@ def _experiments(arguments: list[str]) -> None:
         known = ", ".join(["all", *campaigns.artifact_names()])
         raise SystemExit(f"unknown artifact {name!r}; known: {known}")
     manifest = campaigns.run_campaign(
-        names, preset=preset, output_dir=out, echo=print
+        names, preset=preset, output_dir=out, echo=print, store=store
     )
     if out is not None:
         print(f"manifest: {manifest['manifest_path']}")
+    if store is not None:
+        print(f"recorded campaign {manifest['campaign_id']} in {store}")
 
 
 def _plan(arguments: list[str]) -> None:
@@ -217,12 +237,15 @@ def _sweep(arguments: list[str]) -> None:
     usage = (
         "usage: python -m repro sweep <scenario.json|-> "
         "--axis path=v1,v2,... [--axis ...] "
-        "[--mode run|bound|stationary_bound|audit] [--workers N]"
+        "[--mode run|bound|stationary_bound|audit] [--workers N] "
+        "[--store DB] [--campaign NAME]"
     )
     source: str | None = None
     axis: dict[str, list] = {}
     mode = "run"
     workers = 0
+    store: str | None = None
+    campaign: str | None = None
     index = 0
     while index < len(arguments):
         token = arguments[index]
@@ -247,6 +270,16 @@ def _sweep(arguments: list[str]) -> None:
                 workers = int(arguments[index])
             except ValueError:
                 raise SystemExit(usage) from None
+        elif token == "--store":
+            index += 1
+            if index >= len(arguments):
+                raise SystemExit(usage)
+            store = arguments[index]
+        elif token == "--campaign":
+            index += 1
+            if index >= len(arguments):
+                raise SystemExit(usage)
+            campaign = arguments[index]
         elif source is None:
             source = token
         else:
@@ -256,11 +289,23 @@ def _sweep(arguments: list[str]) -> None:
         raise SystemExit(usage)
 
     try:
-        result = sweep(_load_scenario(source), axis=axis, mode=mode, workers=workers)
+        result = sweep(
+            _load_scenario(source),
+            axis=axis,
+            mode=mode,
+            workers=workers,
+            store=store,
+            campaign=campaign,
+        )
     except ReproError as error:
         raise SystemExit(
             f"sweep failed: {error_payload(error)['message']}"
         ) from None
+    if store is not None:
+        print(
+            f"store {store}: campaign {result.campaign_id} — "
+            f"{result.computed} computed, {result.reused} reused"
+        )
     names = list(result.axis)
     audited = mode == "audit"
     simulated = mode == "run"
@@ -293,6 +338,144 @@ def _sweep(arguments: list[str]) -> None:
     print(format_table(headers, rows))
 
 
+def _results(arguments: list[str]) -> None:
+    usage = (
+        "usage: python -m repro results <query|diff|gc|campaigns> "
+        "--store DB ...\n"
+        "  query     [--x AXIS] [--y METRIC] [--group-by AXIS] "
+        "[--mode M] [--campaign C] [--json]\n"
+        "  diff      <campaign_a> <campaign_b> [--json]\n"
+        "  gc        [--dry-run]\n"
+        "  campaigns"
+    )
+    if not arguments:
+        raise SystemExit(usage)
+    action, rest = arguments[0], arguments[1:]
+    if action not in ("query", "diff", "gc", "campaigns"):
+        raise SystemExit(usage)
+
+    as_json = "--json" in rest
+    rest = [token for token in rest if token != "--json"]
+    dry_run = "--dry-run" in rest
+    rest = [token for token in rest if token != "--dry-run"]
+    options: dict[str, str] = {}
+    positional: list[str] = []
+    index = 0
+    while index < len(rest):
+        token = rest[index]
+        if token.startswith("--"):
+            index += 1
+            if index >= len(rest):
+                raise SystemExit(usage)
+            options[token[2:].replace("-", "_")] = rest[index]
+        else:
+            positional.append(token)
+        index += 1
+    store_path = options.pop("store", None)
+    if store_path is None:
+        raise SystemExit(usage)
+
+    import json
+
+    from repro.store import ResultsStore, aggregate, diff, diff_is_empty
+
+    try:
+        with ResultsStore(store_path) as store:
+            if action == "query":
+                known = {"x", "y", "group_by", "mode", "campaign"}
+                unknown = set(options) - known
+                if unknown or positional:
+                    raise SystemExit(usage)
+                rows = aggregate(
+                    store,
+                    x=options.get("x", "rounds"),
+                    y=options.get("y", "epsilon"),
+                    group_by=options.get("group_by", "graph_kind"),
+                    mode=options.get("mode"),
+                    campaign=options.get("campaign"),
+                )
+                if as_json:
+                    print(json.dumps(rows, indent=2))
+                    return
+                from repro.experiments.reporting import format_table
+
+                group = options.get("group_by", "graph_kind")
+                x = options.get("x", "rounds")
+                y = options.get("y", "epsilon")
+                headers = [group, x, f"mean {y}", "min", "max", "points"]
+                print(format_table(headers, [
+                    (
+                        row["group"], row["x"], round(row["mean"], 6),
+                        round(row["min"], 6), round(row["max"], 6),
+                        row["points"],
+                    )
+                    for row in rows
+                ]))
+            elif action == "diff":
+                if len(positional) != 2 or options:
+                    raise SystemExit(usage)
+                report = diff(store, positional[0], positional[1])
+                if as_json:
+                    print(json.dumps(report, indent=2))
+                elif diff_is_empty(report):
+                    print(
+                        f"campaigns {report['campaign_a']} and "
+                        f"{report['campaign_b']}: no differences "
+                        f"({report['matched']} matched points)"
+                    )
+                else:
+                    print(
+                        f"campaigns {report['campaign_a']} vs "
+                        f"{report['campaign_b']}: "
+                        f"{len(report['only_a'])} only in a, "
+                        f"{len(report['only_b'])} only in b, "
+                        f"{len(report['changed'])} changed"
+                    )
+                    for entry in report["changed"]:
+                        print(
+                            f"  {entry['scenario_hash'][:12]} "
+                            f"[{entry['mode']}]: "
+                            + ", ".join(
+                                f"{name} {change['a']} -> {change['b']}"
+                                for name, change in entry["changes"].items()
+                            )
+                        )
+                if not diff_is_empty(report):
+                    raise SystemExit(1)
+            elif action == "gc":
+                if positional or options:
+                    raise SystemExit(usage)
+                counts = store.gc(dry_run=dry_run)
+                verb = "would delete" if dry_run else "deleted"
+                for table, count in counts.items():
+                    print(f"  {verb} {count} {table}")
+            else:  # campaigns
+                if positional or options:
+                    raise SystemExit(usage)
+                if as_json:
+                    print(json.dumps(store.campaigns(), indent=2))
+                    return
+                from repro.experiments.reporting import format_table
+
+                print(format_table(
+                    ["id", "name", "preset", "code version", "created",
+                     "points", "artifacts"],
+                    [
+                        (
+                            entry["id"], entry["name"],
+                            entry["preset"] or "-", entry["code_version"],
+                            entry["created_at"], entry["points"],
+                            entry["artifacts"],
+                        )
+                        for entry in store.campaigns()
+                    ],
+                ))
+    except ReproError as error:
+        raise SystemExit(
+            f"results {action} failed: {error_payload(error)['message']}"
+        ) from None
+
+
 def main(argv: list[str] | None = None) -> None:
     """Dispatch the CLI."""
     arguments = list(sys.argv[1:] if argv is None else argv)
@@ -316,6 +499,8 @@ def main(argv: list[str] | None = None) -> None:
         _audit(rest)
     elif command == "sweep":
         _sweep(rest)
+    elif command == "results":
+        _results(rest)
     elif command == "serve":
         from repro.serve import main as serve_main
 
@@ -323,7 +508,7 @@ def main(argv: list[str] | None = None) -> None:
     else:
         known = ", ".join(
             ("info", *_ARTIFACTS, "experiments", "runall", "plan", "run",
-             "audit", "sweep", "serve")
+             "audit", "sweep", "results", "serve")
         )
         raise SystemExit(f"unknown command {command!r}; known: {known}")
 

@@ -29,6 +29,11 @@ Cache telemetry
 Auditor planning
     :func:`resolve_method` / :func:`should_memoize` — the public
     replacements for the auditor's former private heuristics.
+Campaign store
+    :class:`ResultsStore` / :func:`open_store` — the persistent results
+    database behind ``sweep(store=...)`` incremental re-runs;
+    :func:`store_aggregate` / :func:`store_diff` for cross-campaign
+    queries; :func:`code_version`, the fingerprint results are keyed by.
 
 The scenario registries remain extensible through
 :mod:`repro.scenario.builders`; this module is the *stable* surface, so
@@ -74,6 +79,9 @@ from repro.scenario.sweep import (
     digest_run,
     sweep,
 )
+from repro.store import ResultsStore, code_version, open_store
+from repro.store import aggregate as store_aggregate
+from repro.store import diff as store_diff
 
 __all__ = [
     "AuditResult",
@@ -81,6 +89,7 @@ __all__ = [
     "JobNotFoundError",
     "NetworkShuffleBound",
     "ReproError",
+    "ResultsStore",
     "RunDigest",
     "RunResult",
     "Scenario",
@@ -94,9 +103,11 @@ __all__ = [
     "bound_payload",
     "cache_stats",
     "clear_graph_cache",
+    "code_version",
     "digest_run",
     "error_payload",
     "http_status_for",
+    "open_store",
     "parse_scenario",
     "resolve_method",
     "run",
@@ -107,6 +118,8 @@ __all__ = [
     "should_memoize",
     "spill_graph",
     "stationary_bound",
+    "store_aggregate",
+    "store_diff",
     "sweep",
 ]
 

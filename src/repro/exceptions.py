@@ -51,6 +51,33 @@ class JobNotFoundError(ReproError):
     """
 
 
+class ServiceBusyError(ReproError):
+    """The serving tier's job queue is full; retry later.
+
+    Raised by the serving tier when an enqueue would exceed the
+    configured queue-depth cap; mapped to HTTP 429 with a
+    ``Retry-After`` header (the ``retry_after`` attribute, seconds).
+    """
+
+    def __init__(self, message: str, *, retry_after: int = 1):
+        super().__init__(message)
+        self.retry_after = int(retry_after)
+
+
+class StoreError(ReproError):
+    """Base class for campaign-store (results database) errors."""
+
+
+class StoreVersionError(StoreError):
+    """A results store's on-disk schema version cannot be used.
+
+    Raised when a store file was written by a newer schema (refuse —
+    downgrading silently would corrupt it) or by an older schema with
+    no registered migration path.  Migratable versions are upgraded in
+    place instead of raising.
+    """
+
+
 class GraphError(ReproError):
     """Base class for graph-substrate errors."""
 
@@ -110,6 +137,7 @@ class SimulationError(ReproError):
 #: match wins, so subclasses must precede their bases.
 HTTP_STATUS_MAP = (
     (JobNotFoundError, 404),
+    (ServiceBusyError, 429),
     (ScheduleRefusedError, 422),
     (InvalidScenarioError, 400),
     (ValidationError, 400),

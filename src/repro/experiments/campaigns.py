@@ -233,12 +233,17 @@ def run_campaign(
     preset: str = "default",
     output_dir: Optional[Union[str, Path]] = None,
     echo: Optional[Callable[[str], None]] = None,
+    store: Optional[object] = None,
+    campaign: Optional[str] = None,
 ) -> Dict[str, object]:
     """Regenerate ``names`` (default: all artifacts) under ``preset``.
 
     When ``output_dir`` is given, writes ``<name>.txt`` per artifact
     plus ``manifest.json``; filenames never depend on the preset — the
-    manifest records it.  Returns the manifest:
+    manifest records it.  When ``store`` is given (a results-store path
+    or an open :class:`~repro.store.ResultsStore`), the run is recorded
+    as a campaign with one artifact row per regenerated artifact, and
+    the manifest gains ``campaign_id``/``store``.  Returns the manifest:
 
     ``{"preset", "output_dir", "artifacts": [{"name", "title", "path",
     "elapsed_seconds", "bytes"}, ...]}``
@@ -251,34 +256,65 @@ def run_campaign(
         directory = Path(output_dir)
         directory.mkdir(parents=True, exist_ok=True)
 
+    store_obj = None
+    owns_store = False
+    campaign_id: Optional[int] = None
+    if store is not None:
+        from repro.store import open_store
+
+        store_obj = open_store(store)
+        owns_store = store_obj is not store
+        campaign_id = store_obj.begin_campaign(
+            campaign or "experiments",
+            preset=preset,
+            meta={"artifacts": [artifact.name for artifact in selected]},
+        )
+
     entries: List[Dict[str, object]] = []
-    for artifact in selected:
-        started = time.perf_counter()
-        text = artifact.generate(preset)
-        elapsed = time.perf_counter() - started
-        entry: Dict[str, object] = {
-            "name": artifact.name,
-            "title": artifact.title,
-            "elapsed_seconds": round(elapsed, 3),
-            "bytes": len(text.encode("utf-8")),
-            "path": None,
-        }
-        if directory is not None:
-            path = directory / f"{artifact.name}.txt"
-            path.write_text(text + "\n")
-            entry["path"] = str(path)
-        if echo is not None:
-            where = entry["path"] or "stdout"
-            echo(f"{artifact.name:>8}: {where} ({elapsed:.1f}s)")
-            if directory is None:
-                echo(text)
-        entries.append(entry)
+    try:
+        for artifact in selected:
+            started = time.perf_counter()
+            text = artifact.generate(preset)
+            elapsed = time.perf_counter() - started
+            entry: Dict[str, object] = {
+                "name": artifact.name,
+                "title": artifact.title,
+                "elapsed_seconds": round(elapsed, 3),
+                "bytes": len(text.encode("utf-8")),
+                "path": None,
+            }
+            if directory is not None:
+                path = directory / f"{artifact.name}.txt"
+                path.write_text(text + "\n")
+                entry["path"] = str(path)
+            if store_obj is not None:
+                store_obj.record_artifact(
+                    campaign_id,
+                    name=artifact.name,
+                    title=artifact.title,
+                    preset=preset,
+                    path=entry["path"],
+                    size_bytes=entry["bytes"],
+                    elapsed_seconds=entry["elapsed_seconds"],
+                )
+            if echo is not None:
+                where = entry["path"] or "stdout"
+                echo(f"{artifact.name:>8}: {where} ({elapsed:.1f}s)")
+                if directory is None:
+                    echo(text)
+            entries.append(entry)
+    finally:
+        if owns_store and store_obj is not None:
+            store_obj.close()
 
     manifest: Dict[str, object] = {
         "preset": preset,
         "output_dir": None if directory is None else str(directory),
         "artifacts": entries,
     }
+    if campaign_id is not None:
+        manifest["campaign_id"] = campaign_id
+        manifest["store"] = str(getattr(store_obj, "path", store))
     if directory is not None:
         import json
 

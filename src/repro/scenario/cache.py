@@ -302,6 +302,31 @@ def spec_cache_key(graph_payload: Mapping[str, Any]) -> str:
     return json.dumps(graph_payload, sort_keys=True)
 
 
+def scenario_cache_key(scenario: Any) -> str:
+    """Canonical JSON identity of a *full* scenario.
+
+    The whole-scenario analogue of :func:`graph_cache_key`: the same
+    sorted-keys canonical JSON the graph cache uses, over every field a
+    :class:`~repro.scenario.spec.Scenario` serializes (graph, mechanism,
+    protocol, rounds, seed, accounting knobs, ...).  Two scenarios with
+    equal dicts produce byte-identical keys regardless of field order
+    or how their params were first written.
+    """
+    return json.dumps(scenario.to_dict(), sort_keys=True)
+
+
+def scenario_hash(scenario: Any) -> str:
+    """SHA-256 hex digest of :func:`scenario_cache_key`.
+
+    This is the identity the campaign store keys results by (together
+    with a code-version fingerprint): stable across processes, hosts,
+    and sessions for any scenario with the same canonical JSON.
+    """
+    return hashlib.sha256(
+        scenario_cache_key(scenario).encode("utf-8")
+    ).hexdigest()
+
+
 class _PendingBuild:
     """Single-flight slot for one in-progress bundle build."""
 

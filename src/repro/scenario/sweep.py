@@ -185,6 +185,14 @@ class SweepResult:
     #: every worker: ``builds`` counts generator runs, so a pooled sweep
     #: over G distinct graphs should report ``builds == G`` per host.
     cache_stats: CacheCounters = field(default_factory=CacheCounters)
+    #: How the campaign store served the sweep: ``computed`` points were
+    #: executed this call, ``reused`` were answered from the store's
+    #: (scenario-hash, mode, code-version) key.  Without a store every
+    #: point is computed.
+    computed: int = 0
+    reused: int = 0
+    #: The campaign row recorded for this sweep (store-backed only).
+    campaign_id: Optional[int] = None
 
     def epsilons(self) -> List[Optional[float]]:
         """Central epsilon per point, in grid order."""
@@ -410,6 +418,8 @@ def sweep(
     results: str = "digest",
     mp_context: Optional[str] = None,
     spill_dir: Optional[str] = None,
+    store: Optional[Any] = None,
+    campaign: Optional[str] = None,
 ) -> SweepResult:
     """Execute the grid ``base x axis``.
 
@@ -458,6 +468,22 @@ def sweep(
         whatever is already spilled there (instead of re-running
         generators) and spills what is not, so materializations are
         reused across sweeps *and across processes*.
+    store:
+        A :class:`~repro.store.ResultsStore` (or a path to one) the
+        sweep consults before executing: a grid point whose
+        ``(scenario hash, mode, code-version fingerprint)`` key is
+        already stored is *reused* — its outcome is rebuilt from the
+        stored payload and the point never executes — and every
+        computed point is recorded back, so re-running an unchanged
+        sweep against a warm store computes nothing.  The sweep is
+        recorded as a campaign (see ``campaign``), including which
+        points it reused, so two runs can be diffed
+        (:func:`repro.store.diff`).  Requires ``results="digest"`` —
+        full ``RunResult`` objects do not round-trip through the store.
+    campaign:
+        Campaign name recorded in the store (default ``"sweep"``);
+        purely a label — pass distinct names to make ``results diff``
+        targets addressable.
     """
     if mode not in _MODES:
         raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -466,80 +492,169 @@ def sweep(
             f"results must be one of {_RESULTS}, got {results!r}"
         )
     grid = sweep_scenarios(base, axis)
-    parent_before = GRAPH_CACHE.stats()
-    persistent_spill: Optional[Path] = None
-    if spill_dir is not None:
-        # A persistent spill directory is a cache tier for THIS process
-        # too: point the parent cache at it before any materialization,
-        # so a fresh process re-running the sweep loads yesterday's
-        # .npz instead of re-running the generator.
-        persistent_spill = Path(spill_dir)
-        persistent_spill.mkdir(parents=True, exist_ok=True)
-        GRAPH_CACHE.spill_dir = persistent_spill
-    if workers and workers > 1:
-        context = multiprocessing.get_context(mp_context)
-        # Fork workers inherit the live registries (and any closure
-        # builders) outright — recording/pickling registrations is both
-        # unnecessary and stricter than pre-engine behavior there.
-        # Spawn/forkserver workers import fresh registries, so the
-        # grid's runtime registrations must travel by pickle.
-        if context.get_start_method() == "fork":
-            registrations: List[_RecordedRegistration] = []
-        else:
-            registrations = _runtime_registrations(_used_kinds(grid, mode))
-        worker_stats = CacheCounters()
-        temp: Optional[tempfile.TemporaryDirectory] = None
-        spill_path: Optional[Path] = None
-        # Warm exactly what this mode will materialize: closed-form
-        # stationary points need no graph (and stats-only kinds have
-        # none to build); fallback kinds get the one-build-per-host
-        # treatment as usual.
-        warm_grid = _materializing_grid(grid, mode)
-        if warm_grid:
-            if persistent_spill is None:
-                temp = tempfile.TemporaryDirectory(prefix="repro-graphs-")
-                spill_path = Path(temp.name)
-            else:
-                spill_path = persistent_spill
-            _prepare_pool_graphs(warm_grid, spill_path)
-        payloads = [
-            (scenario.to_json(), mode, results) for _, scenario in grid
+
+    store_obj = None
+    owns_store = False
+    campaign_id: Optional[int] = None
+    fingerprint: Optional[str] = None
+    reused_outcomes: Dict[int, Any] = {}
+    if store is not None:
+        if results != "digest":
+            raise ValidationError(
+                'store-backed sweeps require results="digest" — full '
+                "RunResult objects do not round-trip through the store"
+            )
+        # Imported lazily: repro.store's outcome codec imports RunDigest
+        # from this module.
+        from repro.store import (
+            code_version,
+            open_store,
+            outcome_from_payload,
+            outcome_payload,
+        )
+
+        store_obj = open_store(store)
+        owns_store = store_obj is not store
+        fingerprint = code_version()
+    try:
+        if store_obj is not None:
+            campaign_id = store_obj.begin_campaign(
+                campaign or "sweep",
+                meta={
+                    "mode": mode,
+                    "axis": {
+                        name: list(values) for name, values in axis.items()
+                    },
+                    "points": len(grid),
+                },
+                fingerprint=fingerprint,
+            )
+            # Probe before executing: a point already stored under this
+            # (scenario hash, mode, code version) never runs again.
+            for index, (_, scenario) in enumerate(grid):
+                payload = store_obj.point_payload(
+                    scenario, mode, fingerprint=fingerprint
+                )
+                if payload is not None:
+                    reused_outcomes[index] = outcome_from_payload(
+                        mode, payload
+                    )
+        pending = [
+            index for index in range(len(grid))
+            if index not in reused_outcomes
         ]
-        try:
-            with ProcessPoolExecutor(
-                max_workers=workers,
-                mp_context=context,
-                initializer=_initialize_worker,
-                initargs=(
-                    registrations,
-                    None if spill_path is None else str(spill_path),
-                ),
-            ) as pool:
-                returned = list(pool.map(_execute_serialized, payloads))
-        finally:
-            if temp is not None:
-                temp.cleanup()
-        outcomes = [outcome for outcome, _ in returned]
-        for _, delta in returned:
-            worker_stats.merge(delta)
-        cache_stats = GRAPH_CACHE.stats().delta(parent_before)
-        cache_stats.merge(worker_stats)
-    else:
-        if persistent_spill is not None:
-            warm_grid = _materializing_grid(grid, mode)
+        pending_grid = [grid[index] for index in pending]
+
+        parent_before = GRAPH_CACHE.stats()
+        persistent_spill: Optional[Path] = None
+        if spill_dir is not None:
+            # A persistent spill directory is a cache tier for THIS
+            # process too: point the parent cache at it before any
+            # materialization, so a fresh process re-running the sweep
+            # loads yesterday's .npz instead of re-running the generator.
+            persistent_spill = Path(spill_dir)
+            persistent_spill.mkdir(parents=True, exist_ok=True)
+            GRAPH_CACHE.spill_dir = persistent_spill
+        if pending_grid and workers and workers > 1:
+            context = multiprocessing.get_context(mp_context)
+            # Fork workers inherit the live registries (and any closure
+            # builders) outright — recording/pickling registrations is
+            # both unnecessary and stricter than pre-engine behavior
+            # there.  Spawn/forkserver workers import fresh registries,
+            # so the grid's runtime registrations must travel by pickle.
+            if context.get_start_method() == "fork":
+                registrations: List[_RecordedRegistration] = []
+            else:
+                registrations = _runtime_registrations(
+                    _used_kinds(pending_grid, mode)
+                )
+            worker_stats = CacheCounters()
+            temp: Optional[tempfile.TemporaryDirectory] = None
+            spill_path: Optional[Path] = None
+            # Warm exactly what this mode will materialize: closed-form
+            # stationary points need no graph (and stats-only kinds have
+            # none to build); fallback kinds get the one-build-per-host
+            # treatment as usual.
+            warm_grid = _materializing_grid(pending_grid, mode)
             if warm_grid:
-                # Sequential sweeps honor the persistent tier too: load
-                # what exists, spill what doesn't, so the next process
-                # reuses it.
-                _prepare_pool_graphs(warm_grid, persistent_spill)
-        outcomes = [_execute(scenario, mode, results) for _, scenario in grid]
-        cache_stats = GRAPH_CACHE.stats().delta(parent_before)
+                if persistent_spill is None:
+                    temp = tempfile.TemporaryDirectory(
+                        prefix="repro-graphs-"
+                    )
+                    spill_path = Path(temp.name)
+                else:
+                    spill_path = persistent_spill
+                _prepare_pool_graphs(warm_grid, spill_path)
+            payloads = [
+                (scenario.to_json(), mode, results)
+                for _, scenario in pending_grid
+            ]
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_initialize_worker,
+                    initargs=(
+                        registrations,
+                        None if spill_path is None else str(spill_path),
+                    ),
+                ) as pool:
+                    returned = list(pool.map(_execute_serialized, payloads))
+            finally:
+                if temp is not None:
+                    temp.cleanup()
+            pending_outcomes = [outcome for outcome, _ in returned]
+            for _, delta in returned:
+                worker_stats.merge(delta)
+            cache_stats = GRAPH_CACHE.stats().delta(parent_before)
+            cache_stats.merge(worker_stats)
+        else:
+            if persistent_spill is not None:
+                warm_grid = _materializing_grid(pending_grid, mode)
+                if warm_grid:
+                    # Sequential sweeps honor the persistent tier too:
+                    # load what exists, spill what doesn't, so the next
+                    # process reuses it.
+                    _prepare_pool_graphs(warm_grid, persistent_spill)
+            pending_outcomes = [
+                _execute(scenario, mode, results)
+                for _, scenario in pending_grid
+            ]
+            cache_stats = GRAPH_CACHE.stats().delta(parent_before)
+
+        merged: List[Any] = [None] * len(grid)
+        for index, outcome in zip(pending, pending_outcomes):
+            merged[index] = outcome
+        for index, outcome in reused_outcomes.items():
+            merged[index] = outcome
+
+        if store_obj is not None:
+            for index, (coordinates, scenario) in enumerate(grid):
+                store_obj.record_point(
+                    scenario,
+                    mode,
+                    outcome_payload(merged[index]),
+                    coordinates=coordinates,
+                    campaign_id=campaign_id,
+                    elapsed_seconds=getattr(
+                        merged[index], "elapsed_seconds", None
+                    ),
+                    fingerprint=fingerprint,
+                    reused=index in reused_outcomes,
+                )
+    finally:
+        if owns_store and store_obj is not None:
+            store_obj.close()
+
     points = [
         SweepPoint(coordinates=coordinates, scenario=scenario, outcome=outcome)
-        for (coordinates, scenario), outcome in zip(grid, outcomes)
+        for (coordinates, scenario), outcome in zip(grid, merged)
     ]
     return SweepResult(
         axis={name: list(values) for name, values in axis.items()},
         points=points,
         cache_stats=cache_stats,
+        computed=len(pending),
+        reused=len(reused_outcomes),
+        campaign_id=campaign_id,
     )

@@ -30,10 +30,24 @@ Endpoints (JSON in, JSON out):
 ``GET /jobs/<id>``
     Job status; ``result`` appears when done, ``error`` (the canonical
     :func:`repro.exceptions.error_payload`) when failed.
+``GET /results``
+    Cross-campaign aggregates straight from the attached results store
+    (``--store``): ``?x=rounds&y=epsilon&group_by=graph_kind`` plus
+    optional ``mode``/``campaign`` filters.
+
+Operational behaviors:
+
+* **Back-pressure** — ``--max-queue N`` caps queued (not yet running)
+  jobs; past the cap, ``POST /run``/``POST /audit`` answer ``429`` with
+  a ``Retry-After`` header instead of accepting unbounded work.  The
+  live queue depth is in ``GET /stats``.
+* **Job persistence** — with ``--store``, finished job outcomes are
+  written to the results store and replayed on restart, so
+  ``GET /jobs/<id>`` keeps answering for jobs an earlier process ran.
 
 Errors map through the typed taxonomy in :mod:`repro.exceptions` —
-invalid scenarios are 400s, schedule refusals 422s, unknown jobs 404s —
-and carry exactly the message the CLI would print.
+invalid scenarios are 400s, schedule refusals 422s, unknown jobs 404s,
+a full queue 429 — and carry exactly the message the CLI would print.
 """
 
 from __future__ import annotations
@@ -54,6 +68,8 @@ from repro.exceptions import (
     InvalidScenarioError,
     JobNotFoundError,
     ReproError,
+    ServiceBusyError,
+    ValidationError,
     error_payload,
 )
 
@@ -68,6 +84,7 @@ _REASONS = {
     409: "Conflict",
     413: "Payload Too Large",
     422: "Unprocessable Entity",
+    429: "Too Many Requests",
     500: "Internal Server Error",
 }
 
@@ -153,6 +170,8 @@ class ReproService:
         workers: int = 2,
         spill_dir: Optional[str] = None,
         retain_jobs: int = 1024,
+        max_queue: Optional[int] = None,
+        store: Optional[str] = None,
     ):
         self.started = time.time()
         self._executor = ThreadPoolExecutor(
@@ -160,13 +179,47 @@ class ReproService:
         )
         self._jobs: "OrderedDict[str, _Job]" = OrderedDict()
         self._jobs_lock = threading.Lock()
-        self._job_ids = itertools.count(1)
         self._retain_jobs = int(retain_jobs)
+        self._max_queue = None if max_queue is None else max(0, int(max_queue))
         self._metrics: Dict[str, _RouteMetrics] = {}
         self._spill_attached = spill_dir is not None
         if spill_dir is not None:
             api.attach_spill(spill_dir)
+        self._store = None
+        next_job_number = 1
+        if store is not None:
+            # Imported lazily: the store is optional serving equipment.
+            from repro.store import open_store
+
+            self._store = open_store(store)
+            next_job_number = 1 + self._restore_jobs()
+        self._job_ids = itertools.count(next_job_number)
         self._server: Optional[asyncio.AbstractServer] = None
+
+    def _restore_jobs(self) -> int:
+        """Replay persisted job outcomes; returns the highest job number.
+
+        Only *finished* jobs are persisted (see :meth:`_run_job`), so a
+        restart replays completed history — it never resurrects work
+        that was still queued when the previous process died.
+        """
+        highest = 0
+        for row in self._store.load_jobs():
+            job = _Job(
+                id=row["id"],
+                kind=row["kind"],
+                scenario=row["scenario"],
+                status=row["status"],
+                submitted=row["submitted"] or time.time(),
+                finished=row["finished"],
+                result=row["result"],
+                error=row["error"],
+            )
+            self._jobs[job.id] = job
+            prefix, _, number = job.id.partition("-")
+            if prefix == "job" and number.isdigit():
+                highest = max(highest, int(number))
+        return highest
 
     # -- lifecycle -----------------------------------------------------
     async def start(self, host: str, port: int) -> asyncio.AbstractServer:
@@ -184,6 +237,8 @@ class ReproService:
     def close(self) -> None:
         """Stop accepting jobs and release the worker pool."""
         self._executor.shutdown(wait=True, cancel_futures=True)
+        if self._store is not None:
+            self._store.close()
 
     # -- HTTP plumbing -------------------------------------------------
     async def _handle(
@@ -199,11 +254,15 @@ class ReproService:
                     headers.get("connection", "keep-alive").lower() != "close"
                 )
                 started = time.perf_counter()
-                route, status, payload = self._dispatch(method, target, body)
+                route, status, payload, extra_headers = self._dispatch(
+                    method, target, body
+                )
                 self._metrics.setdefault(route, _RouteMetrics()).observe(
                     time.perf_counter() - started, status
                 )
-                self._write_response(writer, status, payload, keep_alive)
+                self._write_response(
+                    writer, status, payload, keep_alive, extra_headers
+                )
                 await writer.drain()
                 if not keep_alive:
                     break
@@ -271,13 +330,19 @@ class ReproService:
         status: int,
         payload: Any,
         keep_alive: bool,
+        extra_headers: Optional[Mapping[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        extras = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         header = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{extras}"
             "\r\n"
         )
         writer.write(header.encode("latin-1") + body)
@@ -285,49 +350,69 @@ class ReproService:
     # -- dispatch ------------------------------------------------------
     def _dispatch(
         self, method: str, target: str, body: bytes
-    ) -> Tuple[str, int, Any]:
-        """Route one request; returns (route label, status, payload)."""
-        path = target.split("?", 1)[0]
+    ) -> Tuple[str, int, Any, Dict[str, str]]:
+        """Route one request.
+
+        Returns ``(route label, status, payload, extra headers)`` — the
+        headers carry response metadata that is not body content, like
+        ``Retry-After`` on a 429.
+        """
+        path, _, query = target.partition("?")
         if path.startswith("/jobs/"):
             route = "GET /jobs/<id>"
         else:
             route = f"{method} {path}"
         try:
             if path == "/healthz" and method == "GET":
-                return route, 200, self._healthz()
+                return route, 200, self._healthz(), {}
             if path == "/stats" and method == "GET":
-                return route, 200, self._stats()
+                return route, 200, self._stats(), {}
+            if path == "/results" and method == "GET":
+                return route, 200, self._results(query), {}
             if path == "/bound" and method == "POST":
-                return route, 200, self._bound(self._json_body(body))
+                return route, 200, self._bound(self._json_body(body)), {}
             if path == "/stationary_bound" and method == "POST":
-                return route, 200, self._stationary_bound(self._json_body(body))
+                return (
+                    route, 200,
+                    self._stationary_bound(self._json_body(body)), {},
+                )
             if path == "/run" and method == "POST":
-                return route, 202, self._enqueue("run", self._json_body(body))
+                return (
+                    route, 202, self._enqueue("run", self._json_body(body)), {}
+                )
             if path == "/audit" and method == "POST":
-                return route, 202, self._enqueue("audit", self._json_body(body))
+                return (
+                    route, 202,
+                    self._enqueue("audit", self._json_body(body)), {},
+                )
             if path.startswith("/jobs/") and method == "GET":
-                return route, 200, self._job_status(path[len("/jobs/"):])
+                return route, 200, self._job_status(path[len("/jobs/"):]), {}
             if path in (
-                "/healthz", "/stats", "/bound", "/stationary_bound",
-                "/run", "/audit",
+                "/healthz", "/stats", "/results", "/bound",
+                "/stationary_bound", "/run", "/audit",
             ) or path.startswith("/jobs/"):
                 return route, 405, {
                     "error": "MethodNotAllowed",
                     "status": 405,
                     "message": f"{method} not allowed on {path}",
-                }
+                }, {}
             return route, 404, {
                 "error": "NotFound",
                 "status": 404,
                 "message": f"no route {path!r}",
+            }, {}
+        except ServiceBusyError as error:
+            payload = error_payload(error)
+            return route, payload["status"], payload, {
+                "Retry-After": str(error.retry_after)
             }
         except ReproError as error:
             payload = error_payload(error)
-            return route, payload["status"], payload
+            return route, payload["status"], payload, {}
         except Exception as error:  # noqa: BLE001 — last-resort 500
             payload = error_payload(error)
             payload["status"] = 500
-            return route, 500, payload
+            return route, 500, payload, {}
 
     # -- request bodies ------------------------------------------------
     @staticmethod
@@ -377,6 +462,11 @@ class ReproService:
         )
 
     # -- jobs ----------------------------------------------------------
+    def _queue_depth_locked(self) -> int:
+        return sum(
+            1 for job in self._jobs.values() if job.status == "queued"
+        )
+
     def _enqueue(self, kind: str, body: Mapping[str, Any]) -> Dict[str, Any]:
         scenario = self._scenario_of(body)
         options: Dict[str, Any] = {}
@@ -395,6 +485,15 @@ class ReproService:
             options=options,
         )
         with self._jobs_lock:
+            # Back-pressure: admission control happens under the same
+            # lock that records the job, so the cap cannot be raced past.
+            depth = self._queue_depth_locked()
+            if self._max_queue is not None and depth >= self._max_queue:
+                raise ServiceBusyError(
+                    f"job queue is full ({depth} queued, cap "
+                    f"{self._max_queue}); retry shortly",
+                    retry_after=1,
+                )
             self._jobs[job.id] = job
             self._evict_finished_locked()
         asyncio.get_running_loop().run_in_executor(
@@ -435,6 +534,32 @@ class ReproService:
             job.status = "error"
         finally:
             job.finished = time.time()
+            self._persist_job(job)
+
+    def _persist_job(self, job: _Job) -> None:
+        """Write a finished job's outcome to the store (if attached)."""
+        if self._store is None:
+            return
+        try:
+            scenario_json = (
+                job.scenario.to_json()
+                if hasattr(job.scenario, "to_json")
+                else None
+            )
+            self._store.save_job(
+                job_id=job.id,
+                kind=job.kind,
+                status=job.status,
+                scenario_json=scenario_json,
+                result=job.result,
+                error=job.error,
+                submitted=job.submitted,
+                finished=job.finished,
+            )
+        except Exception:  # noqa: BLE001 — persistence is best-effort
+            # A store hiccup must not turn a finished job into an error:
+            # the in-memory record stays authoritative for this process.
+            pass
 
     def _job_status(self, job_id: str) -> Dict[str, Any]:
         with self._jobs_lock:
@@ -456,6 +581,7 @@ class ReproService:
     def _stats(self) -> Dict[str, Any]:
         with self._jobs_lock:
             jobs = list(self._jobs.values())
+            depth = self._queue_depth_locked()
         by_status: Dict[str, int] = {}
         for job in jobs:
             by_status[job.status] = by_status.get(job.status, 0) + 1
@@ -464,10 +590,44 @@ class ReproService:
             "graph_cache": api.cache_stats(),
             "kernel_sampler": api.sampler_stats(),
             "jobs": {"retained": len(jobs), **by_status},
+            "queue": {"depth": depth, "max": self._max_queue},
             "requests": {
                 route: metrics.payload()
                 for route, metrics in sorted(self._metrics.items())
             },
+        }
+
+    def _results(self, query: str) -> Dict[str, Any]:
+        """``GET /results`` — aggregates from the attached store."""
+        if self._store is None:
+            raise ValidationError(
+                "no results store attached; start the service with "
+                "--store PATH to enable GET /results"
+            )
+        from urllib.parse import parse_qsl
+
+        from repro.store import aggregate
+
+        parameters = dict(parse_qsl(query))
+        known = {"x", "y", "group_by", "mode", "campaign"}
+        unknown = set(parameters) - known
+        if unknown:
+            raise ValidationError(
+                f"unknown /results parameters {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        rows = aggregate(
+            self._store,
+            x=parameters.get("x", "rounds"),
+            y=parameters.get("y", "epsilon"),
+            group_by=parameters.get("group_by", "graph_kind"),
+            mode=parameters.get("mode"),
+            campaign=parameters.get("campaign"),
+        )
+        return {
+            "store": str(self._store.path),
+            "points": self._store.point_count(),
+            "rows": rows,
         }
 
 
@@ -480,10 +640,17 @@ async def serve(
     port: int = 8777,
     workers: int = 2,
     spill_dir: Optional[str] = None,
+    max_queue: Optional[int] = None,
+    store: Optional[str] = None,
     echo=print,
 ) -> None:
     """Run the service until SIGINT/SIGTERM (the CLI entry point)."""
-    service = ReproService(workers=workers, spill_dir=spill_dir)
+    service = ReproService(
+        workers=workers,
+        spill_dir=spill_dir,
+        max_queue=max_queue,
+        store=store,
+    )
     server = await service.start(host, port)
     stop = asyncio.Event()
     loop = asyncio.get_running_loop()
@@ -496,7 +663,10 @@ async def serve(
         f"repro serve: http://{host}:{service.port} "
         f"({workers} job workers"
         + (f", spill tier {spill_dir}" if spill_dir else "")
-        + ") — GET /healthz /stats, POST /bound /stationary_bound /run /audit",
+        + (f", results store {store}" if store else "")
+        + (f", queue cap {max_queue}" if max_queue is not None else "")
+        + ") — GET /healthz /stats /results,"
+        " POST /bound /stationary_bound /run /audit",
         flush=True,
     )
     try:
@@ -585,12 +755,14 @@ class ServerHandle:
 
 def main(arguments: list) -> None:
     """``python -m repro serve [--host H] [--port P] [--workers N]
-    [--spill-dir DIR]``."""
+    [--spill-dir DIR] [--store DB] [--max-queue N]``."""
     usage = (
         "usage: python -m repro serve [--host HOST] [--port PORT] "
-        "[--workers N] [--spill-dir DIR]"
+        "[--workers N] [--spill-dir DIR] [--store DB] [--max-queue N]"
     )
     host, port, workers, spill_dir = "127.0.0.1", 8777, 2, None
+    store: Optional[str] = None
+    max_queue: Optional[int] = None
     index = 0
     while index < len(arguments):
         flag = arguments[index]
@@ -610,13 +782,24 @@ def main(arguments: list) -> None:
                 workers = int(value)
             elif flag == "--spill-dir":
                 spill_dir = value
+            elif flag == "--store":
+                store = value
+            elif flag == "--max-queue":
+                max_queue = int(value)
             else:
                 raise SystemExit(usage)
         except ValueError:
             raise SystemExit(usage) from None
     try:
         asyncio.run(
-            serve(host=host, port=port, workers=workers, spill_dir=spill_dir)
+            serve(
+                host=host,
+                port=port,
+                workers=workers,
+                spill_dir=spill_dir,
+                max_queue=max_queue,
+                store=store,
+            )
         )
     except KeyboardInterrupt:
         pass

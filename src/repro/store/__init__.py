@@ -1,0 +1,45 @@
+"""``repro.store`` — the queryable campaign store.
+
+A SQLite-backed (stdlib ``sqlite3``, WAL mode, zero new dependencies)
+results database keyed by the canonical scenario hash
+(:func:`repro.scenario.cache.scenario_hash`) plus a code-version
+fingerprint (:func:`code_version`).  Built from four modules:
+
+:mod:`~repro.store.schema`
+    Tables, indices, schema version, migrations.
+:mod:`~repro.store.fingerprint`
+    The code-version fingerprint stored results are keyed by.
+:mod:`~repro.store.writer`
+    :class:`ResultsStore` — open/record/probe/gc, plus the outcome
+    codec that round-trips sweep outcomes through JSON.
+:mod:`~repro.store.query`
+    Cross-campaign aggregates (``json_extract`` + ``GROUP BY``) and
+    campaign regression diffs.
+
+Entry points: ``repro.sweep(store=...)`` for incremental sweeps,
+``python -m repro results query|diff|gc`` on the CLI, and
+``GET /results`` on the serving tier.
+"""
+
+from repro.store.fingerprint import code_version, source_tree_hash
+from repro.store.query import aggregate, diff, diff_is_empty
+from repro.store.schema import SCHEMA_VERSION
+from repro.store.writer import (
+    ResultsStore,
+    open_store,
+    outcome_from_payload,
+    outcome_payload,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultsStore",
+    "aggregate",
+    "code_version",
+    "diff",
+    "diff_is_empty",
+    "open_store",
+    "outcome_from_payload",
+    "outcome_payload",
+    "source_tree_hash",
+]

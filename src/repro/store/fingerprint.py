@@ -1,0 +1,60 @@
+"""The code-version fingerprint results are keyed by.
+
+A stored result is only reusable while the code that produced it is
+still the code that would produce it — a bound computed before a
+theorem fix must not satisfy a lookup after it.  The fingerprint is the
+package version plus a SHA-256 over every ``.py`` source file in the
+installed :mod:`repro` package (paths and bytes, sorted), so *any*
+source edit rotates the key and previously stored points simply stop
+matching: incremental re-runs recompute exactly what a code change
+could have invalidated, and ``results gc`` reclaims the rest.
+
+Caveats (documented in the README): the fingerprint covers the repro
+source tree only.  It does not see dependency versions (NumPy/SciPy
+upgrades that change floating-point results keep the old key) or
+anything outside the package — when that matters, pass an explicit
+``code_version=`` override or ``gc`` the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["code_version", "source_tree_hash"]
+
+_CACHED: Optional[str] = None
+
+
+def source_tree_hash(root: Path) -> str:
+    """SHA-256 over every ``.py`` file under ``root`` (name + bytes).
+
+    Files are visited in sorted relative-path order so the digest is
+    deterministic across filesystems; compiled artifacts
+    (``__pycache__``) never participate because only ``*.py`` matches.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def code_version(*, refresh: bool = False) -> str:
+    """The fingerprint of the running repro code, cached per process.
+
+    Format: ``"<version>+<16 hex chars>"`` — human-skimmable (the
+    package version leads) and collision-resistant enough for a results
+    key (the hex is a truncated SHA-256 of the whole source tree).
+    ``refresh=True`` recomputes (tests that edit sources on disk).
+    """
+    global _CACHED
+    if _CACHED is None or refresh:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        _CACHED = f"{repro.__version__}+{source_tree_hash(root)[:16]}"
+    return _CACHED

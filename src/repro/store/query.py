@@ -1,0 +1,240 @@
+"""Cross-campaign queries over the results store — aggregates as SQL.
+
+The store keeps each point's grid coordinates (``axes``), full scenario
+JSON, and outcome payload as JSON1 columns; this module maps friendly
+axis/metric names onto ``json_extract`` expressions so questions like
+"eps vs rounds for every graph kind we've ever run" compile to one
+``GROUP BY`` instead of a nested-dict crawl:
+
+* an **axis** (``x`` or ``group_by``) resolves through the axis map:
+  real columns first (``graph_kind``, ``mode``, ``code_version``,
+  ``scenario_hash``), then the recorded sweep coordinate
+  (``json_extract(axes, '$."graph.degree"')``), then the scenario JSON
+  itself (dotted names traverse ``graph.params.<tail>`` exactly the way
+  ``Scenario.updated`` writes them) — so points recorded by different
+  campaigns with different sweep axes still line up;
+* a **metric** (``y``) extracts from the payload; ``epsilon`` (alias
+  ``central_epsilon``) coalesces across the three outcome shapes
+  (run digests, closed-form bounds, audit lower bounds), which is what
+  makes one query span modes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Union
+
+from repro.exceptions import ValidationError
+from repro.store.writer import ResultsStore
+
+__all__ = [
+    "aggregate",
+    "axis_expression",
+    "diff",
+    "diff_is_empty",
+    "metric_expression",
+]
+
+#: Axis names that are real columns on ``points``.
+_COLUMN_AXES = {"graph_kind", "mode", "code_version", "scenario_hash"}
+
+#: Legal axis/metric names (guards the interpolated SQL expressions).
+_NAME_PATTERN = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]*$")
+
+
+def _checked(name: str, what: str) -> str:
+    if not _NAME_PATTERN.match(name):
+        raise ValidationError(
+            f"{what} {name!r} must match {_NAME_PATTERN.pattern}"
+        )
+    return name
+
+
+def axis_expression(name: str) -> str:
+    """The SQL expression an axis name resolves to (the axis map)."""
+    _checked(name, "axis")
+    if name in _COLUMN_AXES:
+        return f"points.{name}"
+    axes_path = f'$."{name}"'
+    if "." in name:
+        head, _, tail = name.partition(".")
+        scenario_path = f"$.{head}.params.{tail}"
+    else:
+        scenario_path = f"$.{name}"
+    return (
+        f"COALESCE(json_extract(points.axes, '{axes_path}'), "
+        f"json_extract(points.scenario, '{scenario_path}'))"
+    )
+
+
+def metric_expression(name: str) -> str:
+    """The SQL expression a payload metric resolves to."""
+    _checked(name, "metric")
+    if name in ("epsilon", "central_epsilon"):
+        return (
+            "COALESCE(json_extract(points.payload, '$.central_epsilon'), "
+            "json_extract(points.payload, '$.epsilon'), "
+            "json_extract(points.payload, '$.epsilon_lower_bound'))"
+        )
+    return f"json_extract(points.payload, '$.{name}')"
+
+
+def aggregate(
+    store: ResultsStore,
+    *,
+    x: str = "rounds",
+    y: str = "epsilon",
+    group_by: str = "graph_kind",
+    mode: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+    campaign: Optional[Union[int, str]] = None,
+) -> List[Dict[str, Any]]:
+    """``y`` vs ``x`` grouped by ``group_by``, straight from SQL.
+
+    One row per (group, x) cell with the mean/min/max of ``y`` and the
+    number of contributing points, ordered by group then x.  Filters:
+    ``mode`` restricts to one execution mode, ``fingerprint`` to one
+    code version, ``campaign`` (id or name) to points one campaign
+    observed.  Cells where ``y`` is absent are dropped.
+    """
+    x_expr = axis_expression(x)
+    y_expr = metric_expression(y)
+    group_expr = axis_expression(group_by)
+    where = [f"{y_expr} IS NOT NULL", f"{x_expr} IS NOT NULL"]
+    parameters: List[Any] = []
+    joins = ""
+    if mode is not None:
+        where.append("points.mode = ?")
+        parameters.append(str(mode))
+    if fingerprint is not None:
+        where.append("points.code_version = ?")
+        parameters.append(str(fingerprint))
+    if campaign is not None:
+        joins = (
+            " JOIN campaign_points cp ON cp.point_id = points.id"
+        )
+        where.append("cp.campaign_id = ?")
+        parameters.append(store.campaign_id(campaign))
+    sql = (
+        f"SELECT {group_expr} AS grp, {x_expr} AS x,"
+        f" AVG({y_expr}) AS mean, MIN({y_expr}) AS low,"
+        f" MAX({y_expr}) AS high, COUNT(*) AS points"
+        f" FROM points{joins} WHERE {' AND '.join(where)}"
+        f" GROUP BY grp, x ORDER BY grp, x"
+    )
+    return [
+        {
+            "group": row["grp"],
+            "x": row["x"],
+            "mean": row["mean"],
+            "min": row["low"],
+            "max": row["high"],
+            "points": int(row["points"]),
+        }
+        for row in store._read(sql, tuple(parameters))
+    ]
+
+
+def _campaign_points(
+    store: ResultsStore, campaign_id: int
+) -> Dict[tuple, Dict[str, Any]]:
+    """(scenario_hash, mode) -> point row for one campaign's observations."""
+    rows = store._read(
+        """
+        SELECT p.id, p.scenario_hash, p.mode, p.code_version, p.payload,
+               cp.reused
+        FROM campaign_points cp JOIN points p ON p.id = cp.point_id
+        WHERE cp.campaign_id = ?
+        """,
+        (campaign_id,),
+    )
+    return {
+        (row["scenario_hash"], row["mode"]): {
+            "point_id": int(row["id"]),
+            "code_version": row["code_version"],
+            "payload": json.loads(row["payload"]),
+            "reused": bool(row["reused"]),
+        }
+        for row in rows
+    }
+
+
+def _payload_changes(
+    before: Dict[str, Any], after: Dict[str, Any], tolerance: float
+) -> Dict[str, Any]:
+    """Field-level differences between two stored payloads.
+
+    Numeric fields compare within ``tolerance``; ``elapsed_seconds`` is
+    wall-clock noise, never a regression, and is ignored.
+    """
+    changes: Dict[str, Any] = {}
+    for key in sorted(set(before) | set(after)):
+        if key == "elapsed_seconds":
+            continue
+        a, b = before.get(key), after.get(key)
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                and not isinstance(a, bool) and not isinstance(b, bool):
+            if abs(float(a) - float(b)) <= tolerance:
+                continue
+        elif a == b:
+            continue
+        changes[key] = {"a": a, "b": b}
+    return changes
+
+
+def diff(
+    store: ResultsStore,
+    campaign_a: Union[int, str],
+    campaign_b: Union[int, str],
+    *,
+    tolerance: float = 1e-9,
+) -> Dict[str, Any]:
+    """Compare two campaigns' observed points for regressions.
+
+    Points pair up by ``(scenario_hash, mode)`` — the code-version part
+    of the key is exactly what a regression diff must *not* match on.
+    Returns ``only_a``/``only_b`` (scenarios one campaign observed and
+    the other did not) and ``changed`` (paired points whose payloads
+    differ beyond ``tolerance``, with the per-field values).  Two runs
+    of an unchanged sweep under unchanged code share the same point
+    rows, so their diff is empty by construction.
+    """
+    id_a = store.campaign_id(campaign_a)
+    id_b = store.campaign_id(campaign_b)
+    points_a = _campaign_points(store, id_a)
+    points_b = _campaign_points(store, id_b)
+    changed = []
+    for key in sorted(set(points_a) & set(points_b)):
+        a, b = points_a[key], points_b[key]
+        if a["point_id"] == b["point_id"]:
+            continue  # literally the same stored row
+        changes = _payload_changes(a["payload"], b["payload"], tolerance)
+        if changes:
+            changed.append(
+                {
+                    "scenario_hash": key[0],
+                    "mode": key[1],
+                    "code_version_a": a["code_version"],
+                    "code_version_b": b["code_version"],
+                    "changes": changes,
+                }
+            )
+    def _only(ours, theirs):
+        return [
+            {"scenario_hash": key[0], "mode": key[1]}
+            for key in sorted(set(ours) - set(theirs))
+        ]
+    return {
+        "campaign_a": id_a,
+        "campaign_b": id_b,
+        "matched": len(set(points_a) & set(points_b)),
+        "only_a": _only(points_a, points_b),
+        "only_b": _only(points_b, points_a),
+        "changed": changed,
+    }
+
+
+def diff_is_empty(report: Dict[str, Any]) -> bool:
+    """Whether a :func:`diff` report shows no differences at all."""
+    return not (report["only_a"] or report["only_b"] or report["changed"])

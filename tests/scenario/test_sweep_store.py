@@ -1,0 +1,123 @@
+"""``sweep(store=...)``: incremental re-runs against the campaign store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenario import GraphSpec, MechanismSpec, Scenario, sweep
+from repro.store import ResultsStore, diff, diff_is_empty
+
+AXIS = {"rounds": [1, 2], "graph.degree": [4, 8]}
+
+
+def _base(**overrides) -> Scenario:
+    kwargs = dict(
+        graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+        mechanism=MechanismSpec.of("rr", epsilon=1.0),
+        rounds=2,
+        seed=1,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+class TestIncrementalReruns:
+    def test_second_pass_computes_nothing(self, tmp_path):
+        store = str(tmp_path / "results.sqlite")
+        first = sweep(
+            _base(), axis=AXIS, mode="stationary_bound",
+            store=store, campaign="one",
+        )
+        assert first.computed == 4 and first.reused == 0
+        assert first.campaign_id is not None
+
+        second = sweep(
+            _base(), axis=AXIS, mode="stationary_bound",
+            store=store, campaign="two",
+        )
+        assert second.computed == 0 and second.reused == 4
+        assert second.campaign_id != first.campaign_id
+        for before, after in zip(first.points, second.points):
+            assert before.coordinates == after.coordinates
+            assert before.outcome == after.outcome
+
+    def test_partial_overlap_computes_only_missing_points(self, tmp_path):
+        store = str(tmp_path / "results.sqlite")
+        sweep(
+            _base(), axis={"rounds": [1, 2]}, mode="stationary_bound",
+            store=store,
+        )
+        grown = sweep(
+            _base(), axis={"rounds": [1, 2, 3]}, mode="stationary_bound",
+            store=store,
+        )
+        assert grown.computed == 1 and grown.reused == 2
+        assert len(grown.points) == 3
+
+    def test_run_mode_digests_round_trip(self, tmp_path):
+        store = str(tmp_path / "results.sqlite")
+        first = sweep(_base(), axis={"rounds": [1, 2]}, store=store)
+        second = sweep(_base(), axis={"rounds": [1, 2]}, store=store)
+        assert first.computed == 2 and second.reused == 2
+        for before, after in zip(first.points, second.points):
+            assert before.outcome == after.outcome
+            assert after.outcome.summary()  # still a live RunDigest
+
+    def test_audit_mode_round_trips(self, tmp_path):
+        store = str(tmp_path / "results.sqlite")
+        audit_axis = {"rounds": [2]}
+        base = _base(audit={"kind": "report_sum", "params": {"trials": 50}})
+        first = sweep(base, axis=audit_axis, mode="audit", store=store)
+        second = sweep(base, axis=audit_axis, mode="audit", store=store)
+        assert second.computed == 0
+        assert first.points[0].outcome == second.points[0].outcome
+
+    def test_identical_campaigns_diff_empty(self, tmp_path):
+        store_path = tmp_path / "results.sqlite"
+        sweep(
+            _base(), axis=AXIS, mode="stationary_bound",
+            store=str(store_path), campaign="one",
+        )
+        sweep(
+            _base(), axis=AXIS, mode="stationary_bound",
+            store=str(store_path), campaign="two",
+        )
+        with ResultsStore(store_path) as store:
+            assert diff_is_empty(diff(store, "one", "two"))
+
+    def test_sweep_without_store_is_unchanged(self):
+        result = sweep(_base(), axis={"rounds": [1]}, mode="stationary_bound")
+        assert result.computed == 1 and result.reused == 0
+        assert result.campaign_id is None
+
+
+class TestStoreArguments:
+    def test_full_results_refuse_the_store(self, tmp_path):
+        with pytest.raises(ValidationError, match="digest"):
+            sweep(
+                _base(), axis={"rounds": [1]}, results="full",
+                store=str(tmp_path / "results.sqlite"),
+            )
+
+    def test_open_store_instance_is_borrowed_not_closed(self, tmp_path):
+        with ResultsStore(tmp_path / "results.sqlite") as store:
+            sweep(
+                _base(), axis={"rounds": [1]}, mode="stationary_bound",
+                store=store,
+            )
+            # Still usable: sweep() must not close a caller-owned store.
+            assert store.point_count() == 1
+
+    def test_pooled_sweep_records_points(self, tmp_path):
+        store_path = str(tmp_path / "results.sqlite")
+        first = sweep(
+            _base(), axis=AXIS, mode="stationary_bound",
+            store=store_path, workers=2,
+        )
+        assert first.computed == 4
+        second = sweep(
+            _base(), axis=AXIS, mode="stationary_bound",
+            store=store_path, workers=2,
+        )
+        assert second.computed == 0 and second.reused == 4

@@ -87,8 +87,9 @@ class TestIntrospection:
         assert status == 200
         assert set(payload) == {
             "uptime_seconds", "graph_cache", "kernel_sampler", "jobs",
-            "requests",
+            "queue", "requests",
         }
+        assert set(payload["queue"]) == {"depth", "max"}
         assert set(payload["graph_cache"]) == {
             "builds", "memory_hits", "disk_hits", "requests", "resident",
         }
@@ -298,3 +299,124 @@ class TestServiceInternals:
             main(["--port", "eight"])
         with pytest.raises(SystemExit, match="usage"):
             main(["--frobnicate", "1"])
+
+
+def request_with_headers(host, port, method, path, body=None):
+    """One-shot request that also returns the response headers."""
+    connection = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        payload = None if body is None else json.dumps(body)
+        connection.request(method, path, body=payload,
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        return (
+            response.status,
+            json.loads(response.read()),
+            dict(response.getheaders()),
+        )
+    finally:
+        connection.close()
+
+
+class TestBackPressure:
+    def test_full_queue_answers_429_with_retry_after(self, tmp_path):
+        # max_queue=0 rejects every enqueue deterministically — no
+        # timing games with the worker pool needed.
+        with ServerHandle.start(max_queue=0) as handle:
+            status, payload, headers = request_with_headers(
+                handle.host, handle.port, "POST", "/run",
+                {"scenario": SCENARIO},
+            )
+            assert status == 429
+            assert payload["error"] == "ServiceBusyError"
+            assert headers["Retry-After"] == "1"
+            # Synchronous accounting is NOT back-pressured: the queue
+            # cap only guards the job pool.
+            status, payload, _ = request_with_headers(
+                handle.host, handle.port, "POST", "/bound",
+                {"scenario": SCENARIO},
+            )
+            assert status == 200 and payload["epsilon"] > 0
+
+    def test_queue_depth_in_stats(self, tmp_path):
+        with ServerHandle.start(max_queue=3) as handle:
+            _, stats, _ = request_with_headers(
+                handle.host, handle.port, "GET", "/stats"
+            )
+            assert stats["queue"] == {"depth": 0, "max": 3}
+
+    def test_uncapped_by_default(self):
+        service = ReproService(workers=1)
+        try:
+            assert service._max_queue is None
+        finally:
+            service.close()
+
+
+class TestJobPersistence:
+    def test_finished_jobs_survive_restart(self, tmp_path):
+        store = str(tmp_path / "serve.sqlite")
+        with ServerHandle.start(store=store, workers=1) as handle:
+            connection = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30)
+            try:
+                status, job = request(
+                    connection, "POST", "/run", {"scenario": SCENARIO})
+                assert status == 202
+                finished = wait_for_job(connection, job["id"])
+                assert finished["status"] == "done"
+            finally:
+                connection.close()
+        # A new process (fresh service, same store) replays the outcome.
+        with ServerHandle.start(store=store, workers=1) as handle:
+            status, payload, _ = request_with_headers(
+                handle.host, handle.port, "GET", f"/jobs/{job['id']}")
+            assert status == 200
+            assert payload["status"] == "done"
+            assert "central_epsilon" in payload["result"]
+            # New job ids continue past the persisted counter.
+            status, new_job, _ = request_with_headers(
+                handle.host, handle.port, "POST", "/run",
+                {"scenario": SCENARIO},
+            )
+            assert status == 202 and new_job["id"] != job["id"]
+
+    def test_restart_without_store_starts_empty(self, tmp_path):
+        with ServerHandle.start(workers=1) as handle:
+            status, payload, _ = request_with_headers(
+                handle.host, handle.port, "GET", "/jobs/job-1")
+            assert status == 404
+
+
+class TestResultsEndpoint:
+    def test_aggregates_from_attached_store(self, tmp_path):
+        from repro.scenario import GraphSpec, MechanismSpec, Scenario, sweep
+
+        store = str(tmp_path / "serve.sqlite")
+        base = Scenario(
+            graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+            mechanism=MechanismSpec.of("rr", epsilon=1.0),
+            rounds=2,
+            seed=1,
+        )
+        sweep(base, axis={"rounds": [1, 2]}, mode="stationary_bound",
+              store=store)
+        with ServerHandle.start(store=store) as handle:
+            status, payload, _ = request_with_headers(
+                handle.host, handle.port, "GET",
+                "/results?x=rounds&y=epsilon&group_by=graph_kind",
+            )
+            assert status == 200
+            assert payload["points"] == 2
+            assert [row["x"] for row in payload["rows"]] == [1, 2]
+            # Unknown query parameters are a client error.
+            status, payload, _ = request_with_headers(
+                handle.host, handle.port, "GET", "/results?frob=1")
+            assert status == 400
+
+    def test_without_store_is_a_client_error(self):
+        with ServerHandle.start() as handle:
+            status, payload, _ = request_with_headers(
+                handle.host, handle.port, "GET", "/results")
+            assert status == 400
+            assert "--store" in payload["message"]

@@ -1,0 +1,64 @@
+"""Two processes sweeping into one WAL store must not lose points."""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.scenario import GraphSpec, MechanismSpec, Scenario
+from repro.store import ResultsStore
+
+AXIS = {"rounds": [1, 2, 3, 4], "mechanism.epsilon": [0.5, 1.0]}
+
+
+def _base() -> Scenario:
+    return Scenario(
+        graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+        mechanism=MechanismSpec.of("rr", epsilon=1.0),
+        rounds=2,
+        seed=1,
+    )
+
+
+def _sweep_into(arguments):
+    """Module-level worker so spawn-started processes can pickle it."""
+    store_path, campaign = arguments
+    from repro.scenario.sweep import sweep
+
+    result = sweep(
+        _base(),
+        axis=AXIS,
+        mode="stationary_bound",
+        store=store_path,
+        campaign=campaign,
+    )
+    return result.computed, result.reused
+
+
+class TestConcurrentWriters:
+    def test_two_processes_one_store_no_lost_points(self, tmp_path):
+        store_path = str(tmp_path / "shared.sqlite")
+        context = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=2, mp_context=context) as pool:
+            outcomes = list(pool.map(
+                _sweep_into,
+                [(store_path, "left"), (store_path, "right")],
+            ))
+        # Both processes completed the full grid — whoever lost an
+        # insert race adopted the winner's row instead of dropping it.
+        assert all(computed + reused == 8 for computed, reused in outcomes)
+        with ResultsStore(store_path) as store:
+            assert store.point_count() == 8
+            listing = {
+                entry["name"]: entry["points"] for entry in store.campaigns()
+            }
+            assert listing == {"left": 8, "right": 8}
+
+    def test_interleaved_record_point_from_two_connections(self, tmp_path):
+        path = tmp_path / "shared.sqlite"
+        scenario = _base()
+        with ResultsStore(path) as first, ResultsStore(path) as second:
+            id_a = first.record_point(scenario, "bound", {"epsilon": 1.0})
+            id_b = second.record_point(scenario, "bound", {"epsilon": 2.0})
+            assert id_a == id_b
+            assert first.point_payload(scenario, "bound") == {"epsilon": 1.0}

@@ -1,0 +1,39 @@
+"""The code-version fingerprint stored results are keyed by."""
+
+from __future__ import annotations
+
+import repro
+from repro.store.fingerprint import code_version, source_tree_hash
+
+
+class TestFingerprint:
+    def test_shape_is_version_plus_16_hex(self):
+        version = code_version()
+        release, separator, digest = version.partition("+")
+        assert separator == "+"
+        assert release == repro.__version__
+        assert len(digest) == 16
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_cached_across_calls(self):
+        assert code_version() is code_version()
+        assert code_version(refresh=True) == code_version()
+
+    def test_tree_hash_tracks_source_edits(self, tmp_path):
+        (tmp_path / "module.py").write_text("X = 1\n")
+        before = source_tree_hash(tmp_path)
+        assert before == source_tree_hash(tmp_path)
+        (tmp_path / "module.py").write_text("X = 2\n")
+        assert source_tree_hash(tmp_path) != before
+
+    def test_tree_hash_tracks_file_renames(self, tmp_path):
+        (tmp_path / "a.py").write_text("X = 1\n")
+        before = source_tree_hash(tmp_path)
+        (tmp_path / "a.py").rename(tmp_path / "b.py")
+        assert source_tree_hash(tmp_path) != before
+
+    def test_tree_hash_ignores_non_python_files(self, tmp_path):
+        (tmp_path / "a.py").write_text("X = 1\n")
+        before = source_tree_hash(tmp_path)
+        (tmp_path / "notes.txt").write_text("not code")
+        assert source_tree_hash(tmp_path) == before

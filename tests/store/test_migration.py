@@ -1,0 +1,79 @@
+"""Schema versioning: migrate known pasts, refuse unknown futures."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.exceptions import StoreVersionError
+from repro.store import SCHEMA_VERSION, ResultsStore
+from repro.store.schema import _DDL
+
+
+def _make_v1_store(path) -> None:
+    """Write a version-1 store: today's DDL minus the jobs table."""
+    connection = sqlite3.connect(path)
+    statements = [
+        statement
+        for statement in _DDL.split(";")
+        if "jobs" not in statement
+    ]
+    connection.executescript(";".join(statements))
+    connection.execute("PRAGMA user_version = 1")
+    connection.commit()
+    connection.close()
+
+
+class TestMigration:
+    def test_v1_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        _make_v1_store(path)
+        with ResultsStore(path) as store:
+            # The migration added the jobs table and stamped the version.
+            store.save_job(job_id="job-1", kind="run", status="done")
+            assert len(store.load_jobs()) == 1
+        connection = sqlite3.connect(path)
+        assert (
+            connection.execute("PRAGMA user_version").fetchone()[0]
+            == SCHEMA_VERSION
+        )
+        connection.close()
+
+    def test_v1_rows_survive_migration(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        _make_v1_store(path)
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "INSERT INTO points (scenario_hash, mode, code_version,"
+            " graph_kind, scenario, payload, created_at)"
+            " VALUES ('h', 'bound', '1.0.0+x', 'cycle', '{}', '{}', 'now')"
+        )
+        connection.commit()
+        connection.close()
+        with ResultsStore(path) as store:
+            assert store.point_count() == 1
+
+    def test_newer_schema_refuses_loudly(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 97}")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreVersionError, match="newer than this code"):
+            ResultsStore(path)
+
+    def test_foreign_sqlite_file_refuses(self, tmp_path):
+        path = tmp_path / "other-app.sqlite"
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE shopping_list (item TEXT)")
+        connection.commit()
+        connection.close()
+        with pytest.raises(StoreVersionError, match="not a repro results"):
+            ResultsStore(path)
+
+    def test_current_version_reopens_silently(self, tmp_path):
+        path = tmp_path / "current.sqlite"
+        ResultsStore(path).close()
+        with ResultsStore(path) as store:
+            assert store.point_count() == 0

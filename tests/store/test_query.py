@@ -1,0 +1,198 @@
+"""Cross-campaign SQL queries: aggregates, the axis map, and diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.scenario import GraphSpec, MechanismSpec, Scenario
+from repro.store import ResultsStore, aggregate, diff, diff_is_empty
+from repro.store.query import axis_expression, metric_expression
+
+
+def _scenario(**overrides) -> Scenario:
+    kwargs = dict(
+        graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+        mechanism=MechanismSpec.of("rr", epsilon=1.0),
+        rounds=4,
+        seed=1,
+    )
+    kwargs.update(overrides)
+    return Scenario(**kwargs)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultsStore(tmp_path / "results.sqlite") as handle:
+        yield handle
+
+
+def _populate(store) -> int:
+    """Two graph kinds x two rounds of bound points; returns campaign id."""
+    campaign = store.begin_campaign("seed")
+    for rounds in (2, 4):
+        for spec in (
+            GraphSpec.of("k_regular", degree=4, num_nodes=64),
+            GraphSpec.of("cycle", num_nodes=64),
+        ):
+            scenario = _scenario(graph=spec, rounds=rounds)
+            store.record_point(
+                scenario,
+                "bound",
+                {"epsilon": float(rounds), "delta": 1e-6},
+                coordinates={"rounds": rounds},
+                campaign_id=campaign,
+            )
+    return campaign
+
+
+class TestAxisMap:
+    def test_real_columns_resolve_directly(self):
+        assert axis_expression("graph_kind") == "points.graph_kind"
+        assert axis_expression("mode") == "points.mode"
+
+    def test_dotted_names_traverse_component_params(self):
+        expression = axis_expression("graph.degree")
+        assert "$.\"graph.degree\"" in expression
+        assert "$.graph.params.degree" in expression
+
+    def test_plain_names_fall_back_to_scenario_top_level(self):
+        assert "$.rounds" in axis_expression("rounds")
+
+    def test_epsilon_metric_spans_outcome_shapes(self):
+        expression = metric_expression("epsilon")
+        for member in ("central_epsilon", "epsilon", "epsilon_lower_bound"):
+            assert f"$.{member}" in expression
+
+    @pytest.mark.parametrize(
+        "name", ["x; DROP TABLE points", "a'b", "", "rounds--"]
+    )
+    def test_hostile_names_are_rejected(self, name):
+        with pytest.raises(ValidationError):
+            axis_expression(name)
+        with pytest.raises(ValidationError):
+            metric_expression(name)
+
+
+class TestAggregate:
+    def test_groups_and_orders(self, store):
+        _populate(store)
+        rows = aggregate(store, x="rounds", y="epsilon", group_by="graph_kind")
+        assert [(row["group"], row["x"]) for row in rows] == [
+            ("cycle", 2), ("cycle", 4), ("k_regular", 2), ("k_regular", 4),
+        ]
+        assert all(row["mean"] == row["x"] for row in rows)
+        assert all(row["points"] == 1 for row in rows)
+
+    def test_mode_filter_drops_other_modes(self, store):
+        _populate(store)
+        store.record_point(
+            _scenario(rounds=2), "audit", {"epsilon_lower_bound": 0.1}
+        )
+        rows = aggregate(store, x="rounds", y="epsilon", mode="bound")
+        assert all(row["mean"] >= 2 for row in rows)
+
+    def test_campaign_filter_restricts_to_observed_points(self, store):
+        campaign = _populate(store)
+        other = store.begin_campaign("other")
+        store.record_point(
+            _scenario(rounds=32), "bound", {"epsilon": 99.0},
+            campaign_id=other,
+        )
+        rows = aggregate(store, x="rounds", y="epsilon", campaign=campaign)
+        assert all(row["x"] in (2, 4) for row in rows)
+        by_name = aggregate(store, x="rounds", y="epsilon", campaign="other")
+        assert [row["mean"] for row in by_name] == [99.0]
+
+    def test_fingerprint_filter(self, store):
+        _populate(store)
+        store.record_point(
+            _scenario(rounds=2), "bound", {"epsilon": 1234.0},
+            fingerprint="0.0.0+old",
+        )
+        rows = aggregate(
+            store, x="rounds", y="epsilon", fingerprint="0.0.0+old"
+        )
+        assert [row["mean"] for row in rows] == [1234.0]
+
+    def test_sweep_axis_coordinates_line_up_with_scenario_json(self, store):
+        # One point recorded with explicit sweep coordinates, one with
+        # none (e.g. a direct record): the axis map coalesces both.
+        store.record_point(
+            _scenario(rounds=2), "bound", {"epsilon": 1.0},
+            coordinates={"mechanism.epsilon": 1.0},
+        )
+        store.record_point(
+            _scenario(rounds=4, mechanism=MechanismSpec.of("rr", epsilon=2.0)),
+            "bound", {"epsilon": 2.0},
+        )
+        rows = aggregate(
+            store, x="mechanism.epsilon", y="epsilon", group_by="graph_kind"
+        )
+        assert [row["x"] for row in rows] == [1.0, 2.0]
+
+
+class TestDiff:
+    def test_identical_campaigns_share_rows_so_diff_is_empty(self, store):
+        scenario = _scenario()
+        a = store.begin_campaign("a")
+        b = store.begin_campaign("b")
+        store.record_point(
+            scenario, "bound", {"epsilon": 1.0}, campaign_id=a
+        )
+        store.record_point(
+            scenario, "bound", {"epsilon": 1.0}, campaign_id=b, reused=True
+        )
+        report = diff(store, "a", "b")
+        assert diff_is_empty(report)
+        assert report["matched"] == 1
+
+    def test_changed_payload_across_code_versions_is_reported(self, store):
+        scenario = _scenario()
+        a = store.begin_campaign("a", fingerprint="1.0.0+aaaa")
+        b = store.begin_campaign("b", fingerprint="1.0.0+bbbb")
+        store.record_point(
+            scenario, "bound", {"epsilon": 1.0, "delta": 1e-6},
+            campaign_id=a, fingerprint="1.0.0+aaaa",
+        )
+        store.record_point(
+            scenario, "bound", {"epsilon": 2.0, "delta": 1e-6},
+            campaign_id=b, fingerprint="1.0.0+bbbb",
+        )
+        report = diff(store, "a", "b")
+        assert not diff_is_empty(report)
+        assert len(report["changed"]) == 1
+        changes = report["changed"][0]["changes"]
+        assert changes == {"epsilon": {"a": 1.0, "b": 2.0}}
+
+    def test_numeric_tolerance_suppresses_noise(self, store):
+        scenario = _scenario()
+        a = store.begin_campaign("a", fingerprint="1.0.0+aaaa")
+        b = store.begin_campaign("b", fingerprint="1.0.0+bbbb")
+        store.record_point(
+            scenario, "bound", {"epsilon": 1.0},
+            campaign_id=a, fingerprint="1.0.0+aaaa",
+        )
+        store.record_point(
+            scenario, "bound", {"epsilon": 1.0 + 1e-12},
+            campaign_id=b, fingerprint="1.0.0+bbbb",
+        )
+        assert diff_is_empty(diff(store, "a", "b"))
+        assert not diff_is_empty(diff(store, "a", "b", tolerance=0.0))
+
+    def test_coverage_differences_land_in_only_lists(self, store):
+        a = store.begin_campaign("a")
+        b = store.begin_campaign("b")
+        shared = _scenario()
+        store.record_point(
+            shared, "bound", {"epsilon": 1.0}, campaign_id=a
+        )
+        store.record_point(
+            shared, "bound", {"epsilon": 1.0}, campaign_id=b, reused=True
+        )
+        store.record_point(
+            _scenario(rounds=8), "bound", {"epsilon": 2.0}, campaign_id=a
+        )
+        report = diff(store, "a", "b")
+        assert len(report["only_a"]) == 1 and not report["only_b"]
+        assert not diff_is_empty(report)

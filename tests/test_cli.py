@@ -297,3 +297,97 @@ class TestExperimentsCommand:
 
         with pytest.raises(SystemExit, match="mutually exclusive"):
             runall_main([str(tmp_path), "--fast", "--full"])
+
+
+class TestResultsCommand:
+    def test_sweep_store_then_query_diff_gc(self, scenario_file, tmp_path, capsys):
+        store = str(tmp_path / "results.sqlite")
+        main(["sweep", scenario_file, "--axis", "rounds=1,2",
+              "--mode", "stationary_bound",
+              "--store", store, "--campaign", "one"])
+        output = capsys.readouterr().out
+        assert "2 computed, 0 reused" in output
+
+        main(["sweep", scenario_file, "--axis", "rounds=1,2",
+              "--mode", "stationary_bound",
+              "--store", store, "--campaign", "two"])
+        output = capsys.readouterr().out
+        assert "0 computed, 2 reused" in output
+
+        main(["results", "query", "--store", store,
+              "--x", "rounds", "--y", "epsilon"])
+        output = capsys.readouterr().out
+        assert "k_regular" in output and "mean epsilon" in output
+
+        main(["results", "diff", "one", "two", "--store", store])
+        output = capsys.readouterr().out
+        assert "no differences" in output
+
+        main(["results", "campaigns", "--store", store])
+        output = capsys.readouterr().out
+        assert "one" in output and "two" in output
+
+        main(["results", "gc", "--store", store, "--dry-run"])
+        output = capsys.readouterr().out
+        assert "would delete 0 points" in output
+
+    def test_query_json_output(self, scenario_file, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "results.sqlite")
+        main(["sweep", scenario_file, "--axis", "rounds=1,2",
+              "--mode", "stationary_bound", "--store", store])
+        capsys.readouterr()
+        main(["results", "query", "--store", store, "--json"])
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2 and all(row["points"] == 1 for row in rows)
+
+    def test_diff_exits_nonzero_on_changes(self, tmp_path, capsys):
+        from repro.scenario import GraphSpec, MechanismSpec
+        from repro.store import ResultsStore
+
+        store_path = tmp_path / "results.sqlite"
+        scenario = Scenario(
+            graph=GraphSpec.of("k_regular", degree=4, num_nodes=64),
+            mechanism=MechanismSpec.of("rr", epsilon=1.0),
+            rounds=4,
+            seed=0,
+        )
+        with ResultsStore(store_path) as store:
+            a = store.begin_campaign("a", fingerprint="1.0.0+aaaa")
+            b = store.begin_campaign("b", fingerprint="1.0.0+bbbb")
+            store.record_point(scenario, "bound", {"epsilon": 1.0},
+                               campaign_id=a, fingerprint="1.0.0+aaaa")
+            store.record_point(scenario, "bound", {"epsilon": 2.0},
+                               campaign_id=b, fingerprint="1.0.0+bbbb")
+        with pytest.raises(SystemExit):
+            main(["results", "diff", "a", "b", "--store", str(store_path)])
+        assert "1 changed" in capsys.readouterr().out
+
+    def test_usage_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["results"])
+        with pytest.raises(SystemExit, match="usage"):
+            main(["results", "frobnicate", "--store", "x"])
+        with pytest.raises(SystemExit, match="usage"):
+            main(["results", "query"])  # --store is required
+
+    def test_query_unknown_axis_fails_loudly(self, scenario_file, tmp_path):
+        store = str(tmp_path / "results.sqlite")
+        main(["sweep", scenario_file, "--axis", "rounds=1",
+              "--mode", "stationary_bound", "--store", store])
+        with pytest.raises(SystemExit, match="must match"):
+            main(["results", "query", "--store", store,
+                  "--x", "rounds; DROP TABLE points"])
+
+    def test_experiments_records_campaign(self, tmp_path, capsys):
+        store = str(tmp_path / "results.sqlite")
+        main(["experiments", "table3", "--fast", "--store", store])
+        output = capsys.readouterr().out
+        assert "recorded campaign" in output
+        from repro.store import ResultsStore
+
+        with ResultsStore(store) as handle:
+            artifacts = handle.artifacts()
+            assert [entry["name"] for entry in artifacts] == ["table3"]
+            assert artifacts[0]["preset"] == "fast"
