@@ -1,0 +1,136 @@
+"""CI smoke test for the sweep engine's fault tolerance (ISSUE 8).
+
+Drives ``python -m repro sweep`` as a real subprocess through two
+injected disasters and asserts the recovery contracts hold end-to-end:
+
+1. **Killed worker** — a pooled, store-backed sweep whose grid point 1
+   ``os._exit``\\ s its worker process once.  Under ``--on-error collect
+   --retries 2`` the pool is rebuilt, the point retried, and the sweep
+   completes with every point computed and recorded.
+2. **Hard interrupt + resume** — a sequential, store-backed sweep whose
+   grid point 2 ``os._exit``\\ s the whole CLI process mid-campaign (no
+   ``finally`` runs: the closest thing to a power cut).  The store
+   keeps the two checkpointed points and a campaign stuck ``running``;
+   a fault-free re-run computes only the missing tail and finishes
+   ``complete``.
+
+Fault plans travel to the subprocesses via the ``REPRO_FAULTS``
+environment variable (see :mod:`repro.testing.faults`); firing counters
+live in an explicit directory so this parent can verify the faults
+actually fired.  Exits non-zero on any failure.
+
+Usage: python scripts/chaos_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.testing import FaultRule, inject  # noqa: E402
+
+SCENARIO = {
+    "graph": {"kind": "k_regular", "params": {"degree": 4, "num_nodes": 128}},
+    "mechanism": {"kind": "rr", "params": {"epsilon": 1.0}},
+    "rounds": 4,
+    "seed": 0,
+}
+
+
+def run_cli(*arguments: str, expect: int = 0) -> "subprocess.CompletedProcess":
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", *arguments],
+        capture_output=True, text=True, timeout=300,
+    )
+    if result.returncode != expect:
+        raise SystemExit(
+            f"command {' '.join(arguments)} exited {result.returncode} "
+            f"(wanted {expect}):\n{result.stdout}\n{result.stderr}"
+        )
+    return result
+
+
+def point_count(store: str) -> int:
+    connection = sqlite3.connect(store)
+    try:
+        return connection.execute("SELECT COUNT(*) FROM points").fetchone()[0]
+    finally:
+        connection.close()
+
+
+def killed_worker_is_retried(directory: Path) -> None:
+    """Phase 1: a pooled sweep survives a murdered worker process."""
+    scenario_path = directory / "scenario.json"
+    scenario_path.write_text(json.dumps(SCENARIO))
+    store = str(directory / "chaos-pooled.sqlite")
+    with inject(
+        [FaultRule(point=1, action="exit", times=1)],
+        directory=directory / "counters-pooled",
+    ) as plan:
+        output = run_cli(
+            "sweep", str(scenario_path),
+            "--axis", "rounds=2,4", "--axis", "mechanism.epsilon=0.5,1.0",
+            "--mode", "bound", "--workers", "2",
+            "--on-error", "collect", "--retries", "2",
+            "--store", store, "--campaign", "chaos",
+        ).stdout
+        print(output)
+        assert plan.fired(0) == 1, "the worker-kill fault never fired"
+    assert "4 computed, 0 reused" in output, output
+    assert "failed" not in output, output
+    assert point_count(store) == 4, "store is missing recovered points"
+    campaigns = run_cli("results", "campaigns", "--store", store).stdout
+    assert "complete" in campaigns, campaigns
+    print("chaos smoke phase 1 (killed worker retried): OK")
+
+
+def interrupted_sweep_resumes(directory: Path) -> None:
+    """Phase 2: a hard-killed sweep resumes from its checkpoints."""
+    scenario_path = directory / "scenario.json"
+    scenario_path.write_text(json.dumps(SCENARIO))
+    store = str(directory / "chaos-resume.sqlite")
+    sweep_args = (
+        "sweep", str(scenario_path),
+        "--axis", "rounds=2,4,8,16", "--mode", "bound",
+        "--store", store, "--campaign", "doomed",
+    )
+    with inject(
+        [FaultRule(point=2, action="exit", exit_code=17)],
+        directory=directory / "counters-resume",
+    ) as plan:
+        # Sequential sweeps execute points in the CLI process itself,
+        # so the injected os._exit kills the whole run mid-campaign.
+        run_cli(*sweep_args, expect=17)
+        assert plan.fired(0) == 1, "the hard-interrupt fault never fired"
+    assert point_count(store) == 2, "expected exactly the checkpointed head"
+    campaigns = run_cli("results", "campaigns", "--store", store).stdout
+    assert "running" in campaigns, campaigns
+
+    resumed = run_cli(
+        "sweep", str(scenario_path),
+        "--axis", "rounds=2,4,8,16", "--mode", "bound",
+        "--store", store, "--campaign", "second-try",
+    ).stdout
+    print(resumed)
+    assert "2 computed, 2 reused" in resumed, resumed
+    assert point_count(store) == 4, "resume did not fill the missing tail"
+    campaigns = run_cli("results", "campaigns", "--store", store).stdout
+    assert "complete" in campaigns, campaigns
+    print("chaos smoke phase 2 (interrupted sweep resumed): OK")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-smoke-") as tmp:
+        killed_worker_is_retried(Path(tmp))
+        interrupted_sweep_resumes(Path(tmp))
+    print("chaos smoke: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,6 +50,8 @@ Package map (see DESIGN.md for the full inventory):
                           (``python -m repro serve``)
 ``repro.store``           persistent SQLite campaign store
                           (``python -m repro results``)
+``repro.testing``         fault-injection harness for chaos-testing
+                          the sweep engine
 ========================  ==============================================
 """
 
@@ -58,6 +60,7 @@ from repro.core.accounting import PrivacyAccountant
 from repro.core.shuffler import NetworkShuffler
 from repro.exceptions import ReproError
 from repro.scenario import (
+    PointFailure,
     RunDigest,
     RunResult,
     Scenario,
@@ -69,12 +72,13 @@ from repro.scenario import (
     sweep,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AuditResult",
     "NetworkShuffler",
     "PrivacyAccountant",
+    "PointFailure",
     "ReproError",
     "RunDigest",
     "RunResult",

@@ -33,23 +33,30 @@ Commands
     ``--mode bound|stationary_bound`` prices without simulating;
     ``--mode audit`` measures the empirical epsilon per point;
     ``--workers N`` fans out to a process pool; ``--store DB``
-    records every point in the campaign store and re-runs only what is
-    missing (``--campaign NAME`` labels the run).
+    records every point in the campaign store *as it completes* and
+    re-runs only what is missing (``--campaign NAME`` labels the run).
+    Fault tolerance: ``--on-error collect`` turns failing points into
+    reported failures instead of aborting the grid, ``--retries N``
+    retries points whose worker crashed (rebuilding the pool), and
+    ``--point-timeout S`` kills and retries hung points; a sweep with
+    failed points exits nonzero after printing them.
 ``results <query|diff|gc|campaigns> --store DB ...``
     Query the campaign store: ``query`` aggregates a metric over any
     recorded axis straight from SQL (``--x``/``--y``/``--group-by``/
     ``--mode``/``--campaign``), ``diff`` compares two campaigns'
     observed points for regressions, ``gc`` reclaims rows stranded by
-    old code versions, ``campaigns`` lists recorded campaigns.
+    old code versions, ``campaigns`` lists recorded campaigns with
+    their lifecycle status (``running``/``complete``/``interrupted``).
 ``serve [--host HOST] [--port PORT] [--workers N] [--spill-dir DIR]
-[--store DB] [--max-queue N]``
+[--store DB] [--max-queue N] [--job-timeout S]``
     Boot the HTTP serving tier (:mod:`repro.serve`): synchronous
     closed-form ``POST /bound`` / ``POST /stationary_bound`` queries
     against the process-wide graph cache, enqueue-able ``POST /run`` /
     ``POST /audit`` jobs with ``GET /jobs/<id>`` polling, and
     ``GET /healthz`` / ``GET /stats`` introspection.  ``--store``
     persists job outcomes across restarts and serves ``GET /results``;
-    ``--max-queue`` turns on 429 back-pressure.
+    ``--max-queue`` turns on 429 back-pressure; ``--job-timeout``
+    fails jobs that outlive their wall-clock budget with a 504.
 
 All surfaces share one error taxonomy (:mod:`repro.exceptions`): the
 message a failed command prints here is byte-identical to the
@@ -238,7 +245,8 @@ def _sweep(arguments: list[str]) -> None:
         "usage: python -m repro sweep <scenario.json|-> "
         "--axis path=v1,v2,... [--axis ...] "
         "[--mode run|bound|stationary_bound|audit] [--workers N] "
-        "[--store DB] [--campaign NAME]"
+        "[--store DB] [--campaign NAME] "
+        "[--on-error raise|collect] [--retries N] [--point-timeout S]"
     )
     source: str | None = None
     axis: dict[str, list] = {}
@@ -246,6 +254,9 @@ def _sweep(arguments: list[str]) -> None:
     workers = 0
     store: str | None = None
     campaign: str | None = None
+    on_error = "raise"
+    retries = 0
+    point_timeout: float | None = None
     index = 0
     while index < len(arguments):
         token = arguments[index]
@@ -280,6 +291,27 @@ def _sweep(arguments: list[str]) -> None:
             if index >= len(arguments):
                 raise SystemExit(usage)
             campaign = arguments[index]
+        elif token == "--on-error":
+            index += 1
+            if index >= len(arguments):
+                raise SystemExit(usage)
+            on_error = arguments[index]
+        elif token == "--retries":
+            index += 1
+            if index >= len(arguments):
+                raise SystemExit(usage)
+            try:
+                retries = int(arguments[index])
+            except ValueError:
+                raise SystemExit(usage) from None
+        elif token == "--point-timeout":
+            index += 1
+            if index >= len(arguments):
+                raise SystemExit(usage)
+            try:
+                point_timeout = float(arguments[index])
+            except ValueError:
+                raise SystemExit(usage) from None
         elif source is None:
             source = token
         else:
@@ -296,6 +328,9 @@ def _sweep(arguments: list[str]) -> None:
             workers=workers,
             store=store,
             campaign=campaign,
+            on_error=on_error,
+            retries=retries,
+            point_timeout=point_timeout,
         )
     except ReproError as error:
         raise SystemExit(
@@ -305,7 +340,27 @@ def _sweep(arguments: list[str]) -> None:
         print(
             f"store {store}: campaign {result.campaign_id} — "
             f"{result.computed} computed, {result.reused} reused"
+            + (f", {result.failed} failed" if result.failed else "")
         )
+    def _report_failures() -> None:
+        """Failed points (on_error=collect): print why, exit nonzero."""
+        if not result.failed:
+            return
+        print(f"{result.failed} of {len(result)} points failed:")
+        for point in result.failures:
+            failure = point.failure
+            label = ", ".join(
+                f"{name}={value}"
+                for name, value in point.coordinates.items()
+            )
+            suffix = " [quarantined]" if failure.quarantined else ""
+            print(
+                f"  {label}: {failure.error} ({failure.kind}, "
+                f"{failure.attempts} attempt(s)){suffix} — "
+                f"{failure.message}"
+            )
+        raise SystemExit(1)
+
     names = list(result.axis)
     audited = mode == "audit"
     simulated = mode == "run"
@@ -315,6 +370,7 @@ def _sweep(arguments: list[str]) -> None:
         from repro.experiments.reporting import sweep_table
 
         print(sweep_table(result))
+        _report_failures()
         return
     headers = [*names, "eps_hat" if audited else "central eps"]
     if simulated:
@@ -326,7 +382,10 @@ def _sweep(arguments: list[str]) -> None:
         row = [point.coordinates[name] for name in names]
         eps = point.epsilon
         row.append("-" if eps is None else round(eps, 4))
-        if simulated:
+        if point.outcome is None:
+            # A failed point (on_error=collect) has no outcome to read.
+            row.extend(["-", "-"])
+        elif simulated:
             # Run-mode points come back as slim RunDigests.
             empirical = point.outcome.empirical_epsilon
             row.append("-" if empirical is None else round(empirical, 4))
@@ -336,6 +395,7 @@ def _sweep(arguments: list[str]) -> None:
             row.append(point.outcome.trials)
         rows.append(tuple(row))
     print(format_table(headers, rows))
+    _report_failures()
 
 
 def _results(arguments: list[str]) -> None:
@@ -458,11 +518,11 @@ def _results(arguments: list[str]) -> None:
                 from repro.experiments.reporting import format_table
 
                 print(format_table(
-                    ["id", "name", "preset", "code version", "created",
-                     "points", "artifacts"],
+                    ["id", "name", "status", "preset", "code version",
+                     "created", "points", "artifacts"],
                     [
                         (
-                            entry["id"], entry["name"],
+                            entry["id"], entry["name"], entry["status"],
                             entry["preset"] or "-", entry["code_version"],
                             entry["created_at"], entry["points"],
                             entry["artifacts"],

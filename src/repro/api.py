@@ -53,11 +53,13 @@ from repro.auditing.auditor import (
     should_memoize,
 )
 from repro.exceptions import (
+    ExecutionTimeoutError,
     InvalidScenarioError,
     JobNotFoundError,
     ReproError,
     ScheduleRefusedError,
     ValidationError,
+    WorkerCrashError,
     error_payload,
     http_status_for,
 )
@@ -74,6 +76,7 @@ from repro.scenario.runner import (
 from repro.scenario.spec import Scenario
 from repro.scenario.summary import run_summary_payload
 from repro.scenario.sweep import (
+    PointFailure,
     RunDigest,
     SweepResult,
     digest_run,
@@ -85,9 +88,11 @@ from repro.store import diff as store_diff
 
 __all__ = [
     "AuditResult",
+    "ExecutionTimeoutError",
     "InvalidScenarioError",
     "JobNotFoundError",
     "NetworkShuffleBound",
+    "PointFailure",
     "ReproError",
     "ResultsStore",
     "RunDigest",
@@ -96,6 +101,7 @@ __all__ = [
     "ScheduleRefusedError",
     "SweepResult",
     "ValidationError",
+    "WorkerCrashError",
     "attach_spill",
     "audit",
     "audit_payload",

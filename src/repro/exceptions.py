@@ -64,6 +64,28 @@ class ServiceBusyError(ReproError):
         self.retry_after = int(retry_after)
 
 
+class WorkerCrashError(ReproError):
+    """A pool worker process died (OOM kill, segfault, ``os._exit``).
+
+    The sweep engine rebuilds the pool and retries the in-flight points;
+    this error surfaces only when a point keeps killing the pool past
+    its retry budget (a *poison point*, quarantined rather than retried
+    forever) or when the pool dies repeatedly without executing
+    anything.  Mapped to HTTP 500 — the request was fine, the execution
+    substrate was not.
+    """
+
+
+class ExecutionTimeoutError(ReproError):
+    """A unit of work exceeded its configured wall-clock budget.
+
+    Raised for sweep points past ``point_timeout`` (the hung worker is
+    killed and the point retried or quarantined) and for serving-tier
+    jobs past ``--job-timeout`` (the job is marked failed and its
+    eventual result discarded).  Mapped to HTTP 504.
+    """
+
+
 class StoreError(ReproError):
     """Base class for campaign-store (results database) errors."""
 
@@ -142,6 +164,8 @@ HTTP_STATUS_MAP = (
     (InvalidScenarioError, 400),
     (ValidationError, 400),
     (BudgetExceededError, 409),
+    (ExecutionTimeoutError, 504),
+    (WorkerCrashError, 500),
     (ReproError, 500),
 )
 

@@ -74,6 +74,7 @@ from repro.scenario.spec import (
     ValuesSpec,
 )
 from repro.scenario.sweep import (
+    PointFailure,
     RunDigest,
     SweepPoint,
     SweepResult,
@@ -101,6 +102,7 @@ __all__ = [
     "GRAPHS",
     "MechanismSpec",
     "MECHANISMS",
+    "PointFailure",
     "REGISTRIES",
     "Registration",
     "Registry",

@@ -1,4 +1,4 @@
-"""The sweep engine: shared-cache grid execution over scenarios.
+"""The sweep engine: shared-cache, fault-tolerant grid execution.
 
 ``sweep(base, axis={"rounds": [1, 2, 4], "graph.degree": [4, 8]})``
 takes the cartesian product of the axes (dotted paths, see
@@ -22,23 +22,45 @@ What makes it an *engine* rather than a loop:
   recorded and re-registered inside each worker, so spawn-started pools
   see them; unpicklable builders fail loudly at submission instead of
   deep inside the pool.
+* **Failures are per-point, not per-sweep.**  Under
+  ``on_error="collect"`` a failing grid point becomes a
+  :class:`SweepPoint` carrying a :class:`PointFailure` (the canonical
+  error payload of :mod:`repro.exceptions`) instead of aborting the
+  other 999 points.  A crashed worker (``BrokenProcessPool``: OOM
+  kill, segfault, ``os._exit``) rebuilds the pool and retries the
+  in-flight points with exponential backoff up to ``retries`` times —
+  a point that keeps killing the pool is *quarantined* as failed
+  rather than retried forever — and ``point_timeout`` reclaims hung
+  points by killing the worker pool and retrying on a fresh one.
+* **Completed points checkpoint immediately.**  ``sweep(store=...)``
+  records each point as it finishes (not in one batch at the end), so
+  a crash at point 999/1000 persists 998 results and the re-run
+  computes only the missing tail; campaigns carry a lifecycle status
+  (``running``/``complete``/``interrupted``) recording how each sweep
+  ended.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import pickle
+import shutil
 import tempfile
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import (
     Any,
+    Callable,
     Dict,
     List,
     Mapping,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -47,7 +69,12 @@ import itertools
 
 from repro.amplification.network_shuffle import NetworkShuffleBound
 from repro.auditing.auditor import AuditResult
-from repro.exceptions import ValidationError
+from repro.exceptions import (
+    ExecutionTimeoutError,
+    ValidationError,
+    WorkerCrashError,
+    error_payload,
+)
 from repro.scenario.auditing import audit
 from repro.scenario.builders import REPLAYABLE_REGISTRIES
 from repro.scenario.cache import (
@@ -66,6 +93,7 @@ from repro.scenario.runner import (
 )
 from repro.scenario.spec import Scenario
 from repro.scenario.summary import run_summary_payload
+from repro.testing.faults import maybe_fire
 
 #: Execution modes: simulate + account, account on the materialized
 #: graph, closed-form accounting at stationarity (no graph), or the
@@ -75,6 +103,21 @@ _MODES = ("run", "bound", "stationary_bound", "audit")
 #: Return shapes for ``mode="run"`` points: slim digests (default) or
 #: whole ``RunResult``s.
 _RESULTS = ("digest", "full")
+
+#: Per-point failure policies: abort the sweep on the first final
+#: failure, or collect failures as failed points and keep going.
+_ON_ERROR = ("raise", "collect")
+
+#: How often the pooled loop scans in-flight futures for completions
+#: and hung points.
+_POLL_SECONDS = 0.05
+
+#: Ceiling on the exponential crash/timeout backoff sleep.
+_MAX_BACKOFF_SECONDS = 5.0
+
+#: Consecutive pool deaths with no point ever observed starting before
+#: the engine gives up (a broken initializer, not a poison point).
+_MAX_BARREN_REBUILDS = 3
 
 
 @dataclass(frozen=True)
@@ -154,20 +197,79 @@ Outcome = Union[RunResult, RunDigest, NetworkShuffleBound, AuditResult]
 
 
 @dataclass(frozen=True)
+class PointFailure:
+    """Why one grid point ultimately failed — the canonical payload.
+
+    ``error``/``status``/``message`` are exactly the
+    :func:`repro.exceptions.error_payload` rendering of the final
+    exception, so a failed sweep point reports the same text the CLI
+    prints and the serving tier returns for the same fault.  ``kind``
+    classifies the failure mode: ``"exception"`` (the point raised —
+    deterministic, never retried), ``"crash"`` (its worker process
+    died), or ``"timeout"`` (it exceeded ``point_timeout``).
+    ``attempts`` counts executions consumed, and ``quarantined`` marks
+    a point that exhausted its crash/timeout retry budget.
+    """
+
+    error: str
+    status: int
+    message: str
+    kind: str = "exception"
+    attempts: int = 1
+    quarantined: bool = False
+
+    @classmethod
+    def from_error(
+        cls,
+        error: BaseException,
+        *,
+        kind: str = "exception",
+        attempts: int = 1,
+        quarantined: bool = False,
+    ) -> "PointFailure":
+        payload = error_payload(error)
+        return cls(
+            error=payload["error"],
+            status=payload["status"],
+            message=payload["message"],
+            kind=kind,
+            attempts=attempts,
+            quarantined=quarantined,
+        )
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-able rendering (a superset of ``error_payload``)."""
+        return asdict(self)
+
+
+@dataclass(frozen=True)
 class SweepPoint:
-    """One grid point: its coordinates, scenario, and outcome."""
+    """One grid point: its coordinates, scenario, and outcome.
+
+    A point either succeeded (``outcome`` set, ``failure`` None) or —
+    under ``on_error="collect"`` — failed (``outcome`` None,
+    ``failure`` set); sweeps that abort never produce failed points.
+    """
 
     coordinates: Dict[str, Any]
     scenario: Scenario
-    outcome: Outcome
+    outcome: Optional[Outcome]
+    failure: Optional[PointFailure] = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether this point failed (its ``failure`` says why)."""
+        return self.failure is not None
 
     @property
     def epsilon(self) -> Optional[float]:
-        """Central epsilon of this point's outcome.
+        """Central epsilon of this point's outcome (None if failed).
 
         For ``mode="audit"`` points this is the *measured* empirical
         lower bound, the curve an audit sweep is after.
         """
+        if self.outcome is None:
+            return None
         if isinstance(self.outcome, NetworkShuffleBound):
             return self.outcome.epsilon
         if isinstance(self.outcome, AuditResult):
@@ -186,13 +288,23 @@ class SweepResult:
     #: over G distinct graphs should report ``builds == G`` per host.
     cache_stats: CacheCounters = field(default_factory=CacheCounters)
     #: How the campaign store served the sweep: ``computed`` points were
-    #: executed this call, ``reused`` were answered from the store's
-    #: (scenario-hash, mode, code-version) key.  Without a store every
-    #: point is computed.
+    #: executed (successfully) this call, ``reused`` were answered from
+    #: the store's (scenario-hash, mode, code-version) key.  Without a
+    #: store every point is computed.
     computed: int = 0
     reused: int = 0
+    #: Points that ultimately failed under ``on_error="collect"`` —
+    #: their :class:`SweepPoint` entries carry the :class:`PointFailure`
+    #: (and are listed by :attr:`failures`).  Failed points are never
+    #: checkpointed, so a store-backed re-run computes them again.
+    failed: int = 0
     #: The campaign row recorded for this sweep (store-backed only).
     campaign_id: Optional[int] = None
+
+    @property
+    def failures(self) -> List[SweepPoint]:
+        """The failed points, in grid order."""
+        return [point for point in self.points if point.failure is not None]
 
     def epsilons(self) -> List[Optional[float]]:
         """Central epsilon per point, in grid order."""
@@ -346,18 +458,247 @@ def _initialize_worker(
 
 
 def _execute_serialized(
-    payload: Tuple[str, str, str],
+    payload: Tuple[int, str, str, str, Optional[str]],
 ) -> Tuple[Outcome, CacheCounters]:
     """Process-pool entry point (module-level for pickling).
 
     Executes one grid point and returns the outcome together with the
     cache-counter delta this call produced — the parent sums the
-    deltas into ``SweepResult.cache_stats``.
+    deltas into ``SweepResult.cache_stats``.  Before executing, the
+    worker drops a start marker into ``marker_dir``: if the pool dies,
+    the parent reads the markers to attribute the crash to the points
+    that were actually in flight (queued bystanders retry for free).
     """
-    scenario_json, mode, results = payload
+    index, scenario_json, mode, results, marker_dir = payload
+    if marker_dir is not None:
+        try:
+            Path(marker_dir, f"started-{index}").touch()
+        except OSError:
+            pass  # marker loss degrades crash attribution, not results
+    maybe_fire(index)
     before = GRAPH_CACHE.stats()
     outcome = _execute(Scenario.from_json(scenario_json), mode, results)
     return outcome, GRAPH_CACHE.stats().delta(before)
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor, *, kill: bool) -> None:
+    """Shut a pool down; ``kill=True`` terminates the workers.
+
+    Killing is the only way to reclaim a hung point — cancelling a
+    running future is a no-op — and the safe way to dismantle a pool
+    that is already broken.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=not kill, cancel_futures=True)
+    if kill:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
+
+
+def _run_pooled(
+    todo: List[int],
+    scenario_json: Dict[int, str],
+    *,
+    mode: str,
+    results: str,
+    workers: int,
+    context,
+    registrations: List[_RecordedRegistration],
+    spill_path: Optional[str],
+    on_error: str,
+    retries: int,
+    point_timeout: Optional[float],
+    backoff: float,
+    checkpoint: Callable[[int, Outcome], None],
+) -> Tuple[Dict[int, Outcome], Dict[int, PointFailure], CacheCounters]:
+    """Execute grid points on a pool that survives its workers' deaths.
+
+    The loop owns a *generation* of the pool at a time: submit the
+    outstanding points, harvest completions (checkpointing each as it
+    lands), and watch for the two failure modes no future can report
+    politely — a broken pool (worker death) and a hung point.  Either
+    one ends the generation: the pool is rebuilt, the affected points'
+    attempt budgets are charged (crashes are attributed via the start
+    markers, so queued bystanders retry for free), points past
+    ``retries`` are quarantined, and the survivors go around again
+    after an exponential backoff.
+    """
+    outcomes: Dict[int, Outcome] = {}
+    failures: Dict[int, PointFailure] = {}
+    attempts: Dict[int, int] = {index: 0 for index in todo}
+    stats = CacheCounters()
+    rebuilds = 0
+    barren_rebuilds = 0
+
+    def _final(index: int, error: BaseException, kind: str) -> None:
+        """Record (or raise) one point's final failure."""
+        if on_error == "raise":
+            raise error
+        failures[index] = PointFailure.from_error(
+            error,
+            kind=kind,
+            attempts=attempts[index],
+            quarantined=kind in ("crash", "timeout"),
+        )
+
+    while todo:
+        marker_dir = tempfile.mkdtemp(prefix="repro-sweep-markers-")
+        pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_initialize_worker,
+            initargs=(registrations, spill_path),
+        )
+        futures = {
+            pool.submit(
+                _execute_serialized,
+                (index, scenario_json[index], mode, results, marker_dir),
+            ): index
+            for index in todo
+        }
+        todo = []
+        pending: Set[Any] = set(futures)
+        crashed: List[int] = []
+        hung_indices: Set[int] = set()
+        first_running: Dict[Any, float] = {}
+        broke = False
+        try:
+            while pending:
+                done, pending = wait(
+                    pending, timeout=_POLL_SECONDS,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    index = futures[future]
+                    try:
+                        outcome, delta = future.result()
+                    except BrokenProcessPool:
+                        broke = True
+                        crashed.append(index)
+                    except Exception as error:
+                        # The point itself raised: deterministic, so
+                        # retrying would fail identically — final now.
+                        attempts[index] += 1
+                        _final(index, error, "exception")
+                    else:
+                        attempts[index] += 1
+                        outcomes[index] = outcome
+                        stats.merge(delta)
+                        checkpoint(index, outcome)
+                if broke:
+                    break
+                if point_timeout is not None and pending:
+                    now = time.monotonic()
+                    for future in pending:
+                        marker = Path(
+                            marker_dir, f"started-{futures[future]}"
+                        )
+                        if future not in first_running and marker.exists():
+                            first_running[future] = now
+                    hung_indices = {
+                        futures[future]
+                        for future in pending
+                        if future in first_running
+                        and now - first_running[future] > point_timeout
+                    }
+                    if hung_indices:
+                        break
+
+            if broke:
+                # A broken pool fails every in-flight future, but some
+                # pending futures may have *finished* (successfully or
+                # not) just before the break — drain their real state
+                # so a completed point is never charged as a crash.
+                unfinished = list(crashed)
+                for future in pending:
+                    index = futures[future]
+                    try:
+                        outcome, delta = future.result(timeout=5)
+                    except (BrokenProcessPool, _FuturesTimeout):
+                        unfinished.append(index)
+                    except Exception as error:
+                        attempts[index] += 1
+                        _final(index, error, "exception")
+                    else:
+                        attempts[index] += 1
+                        outcomes[index] = outcome
+                        stats.merge(delta)
+                        checkpoint(index, outcome)
+                _shutdown_pool(pool, kill=True)
+                charged = False
+                for index in unfinished:
+                    if Path(marker_dir, f"started-{index}").exists():
+                        # This point was executing when the pool died.
+                        charged = True
+                        attempts[index] += 1
+                        if attempts[index] > retries:
+                            _final(
+                                index,
+                                WorkerCrashError(
+                                    f"grid point {index} killed its worker "
+                                    f"process {attempts[index]} time(s); "
+                                    "quarantined as a poison point "
+                                    f"(retries={retries})"
+                                ),
+                                "crash",
+                            )
+                        else:
+                            todo.append(index)
+                    else:
+                        # Queued bystander: retries for free.
+                        todo.append(index)
+                barren_rebuilds = 0 if (charged or outcomes) else (
+                    barren_rebuilds + 1
+                )
+                if barren_rebuilds >= _MAX_BARREN_REBUILDS:
+                    raise WorkerCrashError(
+                        f"worker pool died {barren_rebuilds} times in a row "
+                        "before any grid point started executing — the pool "
+                        "itself (not a poison point) is broken; check the "
+                        "worker initializer and available memory"
+                    )
+            elif hung_indices:
+                survivors = [
+                    futures[future]
+                    for future in pending
+                    if futures[future] not in hung_indices
+                ]
+                _shutdown_pool(pool, kill=True)
+                for index in sorted(hung_indices):
+                    attempts[index] += 1
+                    if attempts[index] > retries:
+                        _final(
+                            index,
+                            ExecutionTimeoutError(
+                                f"grid point {index} exceeded "
+                                f"point_timeout={point_timeout}s "
+                                f"{attempts[index]} time(s); its worker was "
+                                f"killed (retries={retries})"
+                            ),
+                            "timeout",
+                        )
+                    else:
+                        todo.append(index)
+                todo.extend(survivors)
+                barren_rebuilds = 0
+            else:
+                _shutdown_pool(pool, kill=False)
+        except BaseException:
+            _shutdown_pool(pool, kill=True)
+            raise
+        finally:
+            shutil.rmtree(marker_dir, ignore_errors=True)
+
+        if todo:
+            rebuilds += 1
+            if backoff > 0:
+                time.sleep(
+                    min(backoff * (2 ** (rebuilds - 1)), _MAX_BACKOFF_SECONDS)
+                )
+    return outcomes, failures, stats
 
 
 def _materializing_grid(
@@ -420,6 +761,10 @@ def sweep(
     spill_dir: Optional[str] = None,
     store: Optional[Any] = None,
     campaign: Optional[str] = None,
+    on_error: str = "raise",
+    retries: int = 0,
+    point_timeout: Optional[float] = None,
+    backoff: float = 0.1,
 ) -> SweepResult:
     """Execute the grid ``base x axis``.
 
@@ -474,16 +819,43 @@ def sweep(
         ``(scenario hash, mode, code-version fingerprint)`` key is
         already stored is *reused* — its outcome is rebuilt from the
         stored payload and the point never executes — and every
-        computed point is recorded back, so re-running an unchanged
-        sweep against a warm store computes nothing.  The sweep is
-        recorded as a campaign (see ``campaign``), including which
-        points it reused, so two runs can be diffed
-        (:func:`repro.store.diff`).  Requires ``results="digest"`` —
-        full ``RunResult`` objects do not round-trip through the store.
+        computed point is recorded **as it finishes**, so an
+        interrupted sweep (crash, SIGKILL, power loss) persists every
+        point that completed and the re-run computes only the missing
+        tail.  The sweep is recorded as a campaign with a lifecycle
+        status: ``running`` while executing (and forever, if the
+        process dies hard), ``complete`` on return, ``interrupted``
+        when the sweep aborted with an error.  Failed points are never
+        recorded — a re-run computes them again.  Requires
+        ``results="digest"`` — full ``RunResult`` objects do not
+        round-trip through the store.
     campaign:
         Campaign name recorded in the store (default ``"sweep"``);
         purely a label — pass distinct names to make ``results diff``
         targets addressable.
+    on_error:
+        ``"raise"`` (default) aborts the sweep on the first point whose
+        failure is final; ``"collect"`` turns it into a failed
+        :class:`SweepPoint` carrying a :class:`PointFailure` and keeps
+        executing the rest of the grid
+        (``SweepResult.failed``/``failures`` report them).
+    retries:
+        How many times a point whose *worker* failed — the pool broke
+        (OOM kill, segfault, ``os._exit``) or ``point_timeout``
+        elapsed — is retried on a rebuilt pool before being
+        quarantined.  Deterministic point exceptions are never
+        retried.  Only meaningful with ``workers >= 2`` (sequential
+        sweeps have no worker to lose).
+    point_timeout:
+        Wall-clock seconds a single point may execute before its
+        worker pool is killed and the point treated like a crash
+        (retried up to ``retries``, then quarantined).  ``None``
+        disables the watchdog.  Pooled sweeps only.
+    backoff:
+        Base of the exponential sleep between pool rebuilds
+        (``backoff * 2**k`` seconds after the ``k``-th rebuild, capped
+        at {max_backoff}s).  Lower it in tests; raise it when crashes
+        come from resource exhaustion that needs time to clear.
     """
     if mode not in _MODES:
         raise ValidationError(f"mode must be one of {_MODES}, got {mode!r}")
@@ -491,6 +863,19 @@ def sweep(
         raise ValidationError(
             f"results must be one of {_RESULTS}, got {results!r}"
         )
+    if on_error not in _ON_ERROR:
+        raise ValidationError(
+            f"on_error must be one of {_ON_ERROR}, got {on_error!r}"
+        )
+    retries = int(retries)
+    if retries < 0:
+        raise ValidationError(f"retries must be >= 0, got {retries}")
+    if point_timeout is not None and not point_timeout > 0:
+        raise ValidationError(
+            f"point_timeout must be positive seconds, got {point_timeout!r}"
+        )
+    if backoff < 0:
+        raise ValidationError(f"backoff must be >= 0, got {backoff!r}")
     grid = sweep_scenarios(base, axis)
 
     store_obj = None
@@ -498,6 +883,7 @@ def sweep(
     campaign_id: Optional[int] = None
     fingerprint: Optional[str] = None
     reused_outcomes: Dict[int, Any] = {}
+    outcome_payload = None
     if store is not None:
         if results != "digest":
             raise ValidationError(
@@ -516,6 +902,24 @@ def sweep(
         store_obj = open_store(store)
         owns_store = store_obj is not store
         fingerprint = code_version()
+
+    def _checkpoint(index: int, outcome: Outcome) -> None:
+        """Record one completed point immediately (durable progress)."""
+        if store_obj is None:
+            return
+        coordinates, scenario = grid[index]
+        store_obj.record_point(
+            scenario,
+            mode,
+            outcome_payload(outcome),
+            coordinates=coordinates,
+            campaign_id=campaign_id,
+            elapsed_seconds=getattr(outcome, "elapsed_seconds", None),
+            fingerprint=fingerprint,
+            reused=False,
+        )
+
+    completed = False
     try:
         if store_obj is not None:
             campaign_id = store_obj.begin_campaign(
@@ -530,14 +934,25 @@ def sweep(
                 fingerprint=fingerprint,
             )
             # Probe before executing: a point already stored under this
-            # (scenario hash, mode, code version) never runs again.
-            for index, (_, scenario) in enumerate(grid):
+            # (scenario hash, mode, code version) never runs again.  The
+            # campaign link is recorded right away, so even an
+            # interrupted sweep's campaign shows what it observed.
+            for index, (coordinates, scenario) in enumerate(grid):
                 payload = store_obj.point_payload(
                     scenario, mode, fingerprint=fingerprint
                 )
                 if payload is not None:
                     reused_outcomes[index] = outcome_from_payload(
                         mode, payload
+                    )
+                    store_obj.record_point(
+                        scenario,
+                        mode,
+                        payload,
+                        coordinates=coordinates,
+                        campaign_id=campaign_id,
+                        fingerprint=fingerprint,
+                        reused=True,
                     )
         pending = [
             index for index in range(len(grid))
@@ -555,6 +970,8 @@ def sweep(
             persistent_spill = Path(spill_dir)
             persistent_spill.mkdir(parents=True, exist_ok=True)
             GRAPH_CACHE.spill_dir = persistent_spill
+        failures: Dict[int, PointFailure] = {}
+        pending_outcomes: Dict[int, Outcome] = {}
         if pending_grid and workers and workers > 1:
             context = multiprocessing.get_context(mp_context)
             # Fork workers inherit the live registries (and any closure
@@ -568,7 +985,6 @@ def sweep(
                 registrations = _runtime_registrations(
                     _used_kinds(pending_grid, mode)
                 )
-            worker_stats = CacheCounters()
             temp: Optional[tempfile.TemporaryDirectory] = None
             spill_path: Optional[Path] = None
             # Warm exactly what this mode will materialize: closed-form
@@ -584,28 +1000,32 @@ def sweep(
                     spill_path = Path(temp.name)
                 else:
                     spill_path = persistent_spill
-                _prepare_pool_graphs(warm_grid, spill_path)
-            payloads = [
-                (scenario.to_json(), mode, results)
-                for _, scenario in pending_grid
-            ]
+            scenario_json = {
+                index: grid[index][1].to_json() for index in pending
+            }
             try:
-                with ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=context,
-                    initializer=_initialize_worker,
-                    initargs=(
-                        registrations,
-                        None if spill_path is None else str(spill_path),
+                if warm_grid:
+                    _prepare_pool_graphs(warm_grid, spill_path)
+                pending_outcomes, failures, worker_stats = _run_pooled(
+                    list(pending),
+                    scenario_json,
+                    mode=mode,
+                    results=results,
+                    workers=workers,
+                    context=context,
+                    registrations=registrations,
+                    spill_path=(
+                        None if spill_path is None else str(spill_path)
                     ),
-                ) as pool:
-                    returned = list(pool.map(_execute_serialized, payloads))
+                    on_error=on_error,
+                    retries=retries,
+                    point_timeout=point_timeout,
+                    backoff=backoff,
+                    checkpoint=_checkpoint,
+                )
             finally:
                 if temp is not None:
                     temp.cleanup()
-            pending_outcomes = [outcome for outcome, _ in returned]
-            for _, delta in returned:
-                worker_stats.merge(delta)
             cache_stats = GRAPH_CACHE.stats().delta(parent_before)
             cache_stats.merge(worker_stats)
         else:
@@ -616,45 +1036,64 @@ def sweep(
                     # load what exists, spill what doesn't, so the next
                     # process reuses it.
                     _prepare_pool_graphs(warm_grid, persistent_spill)
-            pending_outcomes = [
-                _execute(scenario, mode, results)
-                for _, scenario in pending_grid
-            ]
+            for index in pending:
+                _, scenario = grid[index]
+                try:
+                    maybe_fire(index)
+                    outcome = _execute(scenario, mode, results)
+                except Exception as error:
+                    if on_error == "raise":
+                        raise
+                    failures[index] = PointFailure.from_error(error)
+                else:
+                    pending_outcomes[index] = outcome
+                    _checkpoint(index, outcome)
             cache_stats = GRAPH_CACHE.stats().delta(parent_before)
 
         merged: List[Any] = [None] * len(grid)
-        for index, outcome in zip(pending, pending_outcomes):
+        for index, outcome in pending_outcomes.items():
             merged[index] = outcome
         for index, outcome in reused_outcomes.items():
             merged[index] = outcome
-
-        if store_obj is not None:
-            for index, (coordinates, scenario) in enumerate(grid):
-                store_obj.record_point(
-                    scenario,
-                    mode,
-                    outcome_payload(merged[index]),
-                    coordinates=coordinates,
-                    campaign_id=campaign_id,
-                    elapsed_seconds=getattr(
-                        merged[index], "elapsed_seconds", None
-                    ),
-                    fingerprint=fingerprint,
-                    reused=index in reused_outcomes,
-                )
+        completed = True
     finally:
+        if store_obj is not None and campaign_id is not None:
+            # ``complete`` means the sweep ran to the end (collected
+            # failures included); anything that aborted it — a raised
+            # point, Ctrl-C, a store error — leaves ``interrupted``.
+            # A hard process death skips this entirely and the campaign
+            # stays ``running``, which is itself informative.
+            try:
+                store_obj.finish_campaign(
+                    campaign_id,
+                    status="complete" if completed else "interrupted",
+                )
+            except Exception:
+                if completed:
+                    raise
+                # Already unwinding with the real error; a finalize
+                # failure must not mask it.
         if owns_store and store_obj is not None:
             store_obj.close()
 
     points = [
-        SweepPoint(coordinates=coordinates, scenario=scenario, outcome=outcome)
-        for (coordinates, scenario), outcome in zip(grid, merged)
+        SweepPoint(
+            coordinates=coordinates,
+            scenario=scenario,
+            outcome=merged[index],
+            failure=failures.get(index),
+        )
+        for index, (coordinates, scenario) in enumerate(grid)
     ]
     return SweepResult(
         axis={name: list(values) for name, values in axis.items()},
         points=points,
         cache_stats=cache_stats,
-        computed=len(pending),
+        computed=len(pending) - len(failures),
         reused=len(reused_outcomes),
+        failed=len(failures),
         campaign_id=campaign_id,
     )
+
+
+sweep.__doc__ = sweep.__doc__.format(max_backoff=_MAX_BACKOFF_SECONDS)

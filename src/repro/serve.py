@@ -44,6 +44,12 @@ Operational behaviors:
 * **Job persistence** — with ``--store``, finished job outcomes are
   written to the results store and replayed on restart, so
   ``GET /jobs/<id>`` keeps answering for jobs an earlier process ran.
+  Persistence is best-effort: a store write failure is logged, counted
+  as ``store_errors`` in ``GET /stats``, and never fails the job.
+* **Job timeouts** — ``--job-timeout S`` arms a watchdog per enqueued
+  job: one that exceeds its budget is marked failed with the canonical
+  504 :class:`~repro.exceptions.ExecutionTimeoutError` payload, and a
+  late result from its (unkillable) worker thread is discarded.
 
 Errors map through the typed taxonomy in :mod:`repro.exceptions` —
 invalid scenarios are 400s, schedule refusals 422s, unknown jobs 404s,
@@ -55,6 +61,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import logging
 import signal
 import threading
 import time
@@ -65,6 +72,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro import api
 from repro.exceptions import (
+    ExecutionTimeoutError,
     InvalidScenarioError,
     JobNotFoundError,
     ReproError,
@@ -72,6 +80,8 @@ from repro.exceptions import (
     ValidationError,
     error_payload,
 )
+
+_LOG = logging.getLogger("repro.serve")
 
 __all__ = ["ReproService", "ServerHandle", "main", "serve"]
 
@@ -86,6 +96,7 @@ _REASONS = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    504: "Gateway Timeout",
 }
 
 #: Largest accepted request body; scenarios are small JSON documents,
@@ -138,6 +149,9 @@ class _Job:
     finished: Optional[float] = None
     result: Optional[Dict[str, Any]] = None
     error: Optional[Dict[str, Any]] = None
+    #: Set by the --job-timeout watchdog; a worker thread cannot be
+    #: killed, so an expired job's eventual result is discarded instead.
+    expired: bool = False
 
     def payload(self) -> Dict[str, Any]:
         body: Dict[str, Any] = {
@@ -172,8 +186,15 @@ class ReproService:
         retain_jobs: int = 1024,
         max_queue: Optional[int] = None,
         store: Optional[str] = None,
+        job_timeout: Optional[float] = None,
     ):
+        if job_timeout is not None and not job_timeout > 0:
+            raise ValidationError(
+                f"job_timeout must be positive seconds, got {job_timeout!r}"
+            )
         self.started = time.time()
+        self._job_timeout = job_timeout
+        self._store_errors = 0
         self._executor = ThreadPoolExecutor(
             max_workers=max(1, int(workers)), thread_name_prefix="repro-job"
         )
@@ -496,9 +517,12 @@ class ReproService:
                 )
             self._jobs[job.id] = job
             self._evict_finished_locked()
-        asyncio.get_running_loop().run_in_executor(
-            self._executor, self._run_job, job
-        )
+        loop = asyncio.get_running_loop()
+        loop.run_in_executor(self._executor, self._run_job, job)
+        if self._job_timeout is not None:
+            # The watchdog fires on the event loop; a job that finished
+            # in time makes it a no-op.
+            loop.call_later(self._job_timeout, self._expire_job, job.id)
         return job.payload()
 
     def _evict_finished_locked(self) -> None:
@@ -514,30 +538,73 @@ class ReproService:
             del self._jobs[job_id]
 
     def _run_job(self, job: _Job) -> None:
-        """Worker-thread body: execute and record one job."""
-        job.started = time.time()
-        job.status = "running"
+        """Worker-thread body: execute and record one job.
+
+        Status transitions happen under the jobs lock so they compose
+        with the ``--job-timeout`` watchdog: a job the watchdog expired
+        while queued never starts, and one it expired mid-run keeps the
+        watchdog's 504 record — the late result is discarded (a thread
+        cannot be killed, so discarding is the strongest guarantee a
+        thread-pool job can offer).
+        """
+        with self._jobs_lock:
+            if job.status != "queued":
+                return  # expired (or otherwise finalized) while queued
+            job.started = time.time()
+            job.status = "running"
+        result: Optional[Dict[str, Any]] = None
+        error: Optional[Dict[str, Any]] = None
         try:
             if job.kind == "run":
-                result = api.run(job.scenario)
-                job.result = api.run_payload(api.digest_run(result))
+                outcome = api.run(job.scenario)
+                result = api.run_payload(api.digest_run(outcome))
             else:
-                result = api.audit(job.scenario, **job.options)
-                job.result = api.audit_payload(result)
+                outcome = api.audit(job.scenario, **job.options)
+                result = api.audit_payload(outcome)
             if self._spill_attached:
                 # Persist the materialization so a restarted service
                 # warms from disk instead of re-running the generator.
                 api.spill_graph(job.scenario)
-            job.status = "done"
-        except Exception as error:  # noqa: BLE001 — recorded, not raised
-            job.error = error_payload(error)
-            job.status = "error"
-        finally:
+        except Exception as exc:  # noqa: BLE001 — recorded, not raised
+            error = error_payload(exc)
+        with self._jobs_lock:
+            if job.expired:
+                return  # the watchdog already recorded (and persisted) 504
+            if error is not None:
+                job.error = error
+                job.status = "error"
+            else:
+                job.result = result
+                job.status = "done"
             job.finished = time.time()
-            self._persist_job(job)
+        self._persist_job(job)
+
+    def _expire_job(self, job_id: str) -> None:
+        """``--job-timeout`` watchdog: fail a job that outlived its budget."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.status in ("done", "error"):
+                return
+            job.expired = True
+            job.error = error_payload(
+                ExecutionTimeoutError(
+                    f"job {job_id} exceeded --job-timeout="
+                    f"{self._job_timeout}s; its eventual result is discarded"
+                )
+            )
+            job.status = "error"
+            job.finished = time.time()
+        self._persist_job(job)
 
     def _persist_job(self, job: _Job) -> None:
-        """Write a finished job's outcome to the store (if attached)."""
+        """Write a finished job's outcome to the store (if attached).
+
+        Persistence is best-effort — a store hiccup must not turn a
+        finished job into an error; the in-memory record stays
+        authoritative for this process — but not silent: each failure
+        is logged (once per job, since a job persists once) and counted
+        as ``store_errors`` in ``GET /stats``.
+        """
         if self._store is None:
             return
         try:
@@ -556,10 +623,12 @@ class ReproService:
                 submitted=job.submitted,
                 finished=job.finished,
             )
-        except Exception:  # noqa: BLE001 — persistence is best-effort
-            # A store hiccup must not turn a finished job into an error:
-            # the in-memory record stays authoritative for this process.
-            pass
+        except Exception as error:  # noqa: BLE001 — persistence is best-effort
+            with self._jobs_lock:
+                self._store_errors += 1
+            _LOG.warning(
+                "results store write failed for job %s: %s", job.id, error
+            )
 
     def _job_status(self, job_id: str) -> Dict[str, Any]:
         with self._jobs_lock:
@@ -591,6 +660,7 @@ class ReproService:
             "kernel_sampler": api.sampler_stats(),
             "jobs": {"retained": len(jobs), **by_status},
             "queue": {"depth": depth, "max": self._max_queue},
+            "store_errors": self._store_errors,
             "requests": {
                 route: metrics.payload()
                 for route, metrics in sorted(self._metrics.items())
@@ -642,6 +712,7 @@ async def serve(
     spill_dir: Optional[str] = None,
     max_queue: Optional[int] = None,
     store: Optional[str] = None,
+    job_timeout: Optional[float] = None,
     echo=print,
 ) -> None:
     """Run the service until SIGINT/SIGTERM (the CLI entry point)."""
@@ -650,6 +721,7 @@ async def serve(
         spill_dir=spill_dir,
         max_queue=max_queue,
         store=store,
+        job_timeout=job_timeout,
     )
     server = await service.start(host, port)
     stop = asyncio.Event()
@@ -665,6 +737,11 @@ async def serve(
         + (f", spill tier {spill_dir}" if spill_dir else "")
         + (f", results store {store}" if store else "")
         + (f", queue cap {max_queue}" if max_queue is not None else "")
+        + (
+            f", job timeout {job_timeout}s"
+            if job_timeout is not None
+            else ""
+        )
         + ") — GET /healthz /stats /results,"
         " POST /bound /stationary_bound /run /audit",
         flush=True,
@@ -755,14 +832,16 @@ class ServerHandle:
 
 def main(arguments: list) -> None:
     """``python -m repro serve [--host H] [--port P] [--workers N]
-    [--spill-dir DIR] [--store DB] [--max-queue N]``."""
+    [--spill-dir DIR] [--store DB] [--max-queue N] [--job-timeout S]``."""
     usage = (
         "usage: python -m repro serve [--host HOST] [--port PORT] "
-        "[--workers N] [--spill-dir DIR] [--store DB] [--max-queue N]"
+        "[--workers N] [--spill-dir DIR] [--store DB] [--max-queue N] "
+        "[--job-timeout SECONDS]"
     )
     host, port, workers, spill_dir = "127.0.0.1", 8777, 2, None
     store: Optional[str] = None
     max_queue: Optional[int] = None
+    job_timeout: Optional[float] = None
     index = 0
     while index < len(arguments):
         flag = arguments[index]
@@ -786,6 +865,8 @@ def main(arguments: list) -> None:
                 store = value
             elif flag == "--max-queue":
                 max_queue = int(value)
+            elif flag == "--job-timeout":
+                job_timeout = float(value)
             else:
                 raise SystemExit(usage)
         except ValueError:
@@ -799,6 +880,7 @@ def main(arguments: list) -> None:
                 spill_dir=spill_dir,
                 max_queue=max_queue,
                 store=store,
+                job_timeout=job_timeout,
             )
         )
     except KeyboardInterrupt:

@@ -22,9 +22,10 @@ Entry points: ``repro.sweep(store=...)`` for incremental sweeps,
 """
 
 from repro.store.fingerprint import code_version, source_tree_hash
-from repro.store.query import aggregate, diff, diff_is_empty
+from repro.store.query import aggregate, campaign_status, diff, diff_is_empty
 from repro.store.schema import SCHEMA_VERSION
 from repro.store.writer import (
+    CAMPAIGN_STATUSES,
     ResultsStore,
     open_store,
     outcome_from_payload,
@@ -32,9 +33,11 @@ from repro.store.writer import (
 )
 
 __all__ = [
+    "CAMPAIGN_STATUSES",
     "SCHEMA_VERSION",
     "ResultsStore",
     "aggregate",
+    "campaign_status",
     "code_version",
     "diff",
     "diff_is_empty",

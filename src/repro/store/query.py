@@ -31,6 +31,7 @@ from repro.store.writer import ResultsStore
 __all__ = [
     "aggregate",
     "axis_expression",
+    "campaign_status",
     "diff",
     "diff_is_empty",
     "metric_expression",
@@ -134,6 +135,22 @@ def aggregate(
         }
         for row in store._read(sql, tuple(parameters))
     ]
+
+
+def campaign_status(
+    store: ResultsStore, reference: Union[int, str]
+) -> str:
+    """One campaign's lifecycle status (by id, or by name — latest wins).
+
+    ``running`` on a campaign whose process no longer exists means the
+    sweep died hard (SIGKILL, power loss); re-running it resumes from
+    the checkpointed points and records a fresh campaign row.
+    """
+    rows = store._read(
+        "SELECT status FROM campaigns WHERE id = ?",
+        (store.campaign_id(reference),),
+    )
+    return str(rows[0]["status"])
 
 
 def _campaign_points(

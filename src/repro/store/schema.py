@@ -41,7 +41,7 @@ from repro.exceptions import StoreVersionError
 __all__ = ["SCHEMA_VERSION", "ensure_schema"]
 
 #: Current on-disk schema version (PRAGMA user_version).
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: DDL for a fresh store at :data:`SCHEMA_VERSION`.
 _DDL = """
@@ -51,7 +51,8 @@ CREATE TABLE IF NOT EXISTS campaigns (
     preset          TEXT,
     code_version    TEXT NOT NULL,
     created_at      TEXT NOT NULL,
-    meta            TEXT
+    meta            TEXT,
+    status          TEXT NOT NULL DEFAULT 'complete'
 );
 
 CREATE TABLE IF NOT EXISTS points (
@@ -132,9 +133,29 @@ def _migrate_1_to_2(connection: sqlite3.Connection) -> None:
     )
 
 
+def _migrate_2_to_3(connection: sqlite3.Connection) -> None:
+    """v2 campaigns had no lifecycle: add the ``status`` column.
+
+    Existing campaigns predate fault-tolerant sweeps, so they all ended
+    the only way a v2 sweep could persist anything — by finishing —
+    hence the ``'complete'`` default.  Guarded by ``table_info`` so a
+    half-applied upgrade (or a hand-patched store) migrates cleanly.
+    """
+    columns = {
+        row[1]
+        for row in connection.execute("PRAGMA table_info(campaigns)")
+    }
+    if "status" not in columns:
+        connection.execute(
+            "ALTER TABLE campaigns ADD COLUMN status TEXT NOT NULL"
+            " DEFAULT 'complete'"
+        )
+
+
 #: version -> in-place migration to version + 1, applied successively.
 MIGRATIONS: Dict[int, Callable[[sqlite3.Connection], None]] = {
     1: _migrate_1_to_2,
+    2: _migrate_2_to_3,
 }
 
 

@@ -44,6 +44,7 @@ from repro.store.fingerprint import code_version
 from repro.store.schema import ensure_schema
 
 __all__ = [
+    "CAMPAIGN_STATUSES",
     "ResultsStore",
     "open_store",
     "outcome_from_payload",
@@ -52,6 +53,22 @@ __all__ = [
 
 #: How long a connection waits on another writer before raising.
 _BUSY_TIMEOUT_SECONDS = 30.0
+
+#: How many times a write that still hits ``database is locked`` after
+#: the busy timeout is retried before surfacing a :class:`StoreError`.
+_LOCKED_RETRIES = 3
+
+#: Base of the exponential sleep between locked-write retries.
+_LOCKED_BACKOFF_SECONDS = 0.05
+
+#: Campaign lifecycle states recorded in ``campaigns.status``.
+CAMPAIGN_STATUSES = ("running", "complete", "interrupted")
+
+
+def _is_locked(error: sqlite3.OperationalError) -> bool:
+    """Whether an OperationalError is SQLite's lock/busy contention."""
+    text = str(error).lower()
+    return "database is locked" in text or "database is busy" in text
 
 
 def _now() -> str:
@@ -141,17 +158,47 @@ class ResultsStore:
         self.close()
 
     # -- low-level helpers ---------------------------------------------
+    def _transaction(self, body):
+        """Run ``body(connection)`` in one immediate transaction.
+
+        Lock contention that survives SQLite's own busy timeout (the
+        30s ``busy_timeout`` PRAGMA) is retried a bounded number of
+        times with exponential backoff, then surfaced as a
+        :class:`StoreError` naming the store file — callers never see a
+        raw ``sqlite3.OperationalError`` for a locked database.
+        """
+        for attempt in range(_LOCKED_RETRIES + 1):
+            with self._lock:
+                began = False
+                try:
+                    self._connection.execute("BEGIN IMMEDIATE")
+                    began = True
+                    result = body(self._connection)
+                    self._connection.execute("COMMIT")
+                    return result
+                except sqlite3.OperationalError as error:
+                    if began:
+                        self._connection.execute("ROLLBACK")
+                    if not _is_locked(error):
+                        raise
+                    if attempt >= _LOCKED_RETRIES:
+                        raise StoreError(
+                            f"results store {self.path} stayed locked "
+                            f"through {_LOCKED_RETRIES} retries (another "
+                            "long-running writer is holding it): "
+                            f"{error}"
+                        ) from error
+                except BaseException:
+                    if began:
+                        self._connection.execute("ROLLBACK")
+                    raise
+            time.sleep(_LOCKED_BACKOFF_SECONDS * (2 ** attempt))
+
     def _write(self, sql: str, parameters: tuple = ()) -> sqlite3.Cursor:
         """One write statement in its own immediate transaction."""
-        with self._lock:
-            self._connection.execute("BEGIN IMMEDIATE")
-            try:
-                cursor = self._connection.execute(sql, parameters)
-                self._connection.execute("COMMIT")
-                return cursor
-            except BaseException:
-                self._connection.execute("ROLLBACK")
-                raise
+        return self._transaction(
+            lambda connection: connection.execute(sql, parameters)
+        )
 
     def _read(self, sql: str, parameters: tuple = ()) -> List[sqlite3.Row]:
         with self._lock:
@@ -165,27 +212,58 @@ class ResultsStore:
         preset: Optional[str] = None,
         meta: Optional[Mapping[str, Any]] = None,
         fingerprint: Optional[str] = None,
+        status: str = "running",
     ) -> int:
-        """Record a new campaign row; returns its id."""
+        """Record a new campaign row (status ``running``); returns its id.
+
+        The caller that began the campaign owns its lifecycle: call
+        :meth:`finish_campaign` when it ends.  A campaign still
+        ``running`` in a process that no longer exists died hard —
+        which is exactly what the status column is for.
+        """
+        if status not in CAMPAIGN_STATUSES:
+            raise ValidationError(
+                f"campaign status must be one of {CAMPAIGN_STATUSES}, "
+                f"got {status!r}"
+            )
         cursor = self._write(
             "INSERT INTO campaigns (name, preset, code_version, created_at,"
-            " meta) VALUES (?, ?, ?, ?, ?)",
+            " meta, status) VALUES (?, ?, ?, ?, ?, ?)",
             (
                 str(name),
                 preset,
                 fingerprint or code_version(),
                 _now(),
                 None if meta is None else json.dumps(meta, sort_keys=True),
+                status,
             ),
         )
         return int(cursor.lastrowid)
+
+    def finish_campaign(
+        self, campaign_id: int, *, status: str = "complete"
+    ) -> None:
+        """Finalize a campaign's lifecycle status.
+
+        ``complete`` means its sweep ran to the end (collected failures
+        included); ``interrupted`` means it aborted with an error.
+        """
+        if status not in CAMPAIGN_STATUSES:
+            raise ValidationError(
+                f"campaign status must be one of {CAMPAIGN_STATUSES}, "
+                f"got {status!r}"
+            )
+        self._write(
+            "UPDATE campaigns SET status = ? WHERE id = ?",
+            (status, int(campaign_id)),
+        )
 
     def campaigns(self) -> List[Dict[str, Any]]:
         """Every campaign, newest first, with its observed point count."""
         rows = self._read(
             """
             SELECT c.id, c.name, c.preset, c.code_version, c.created_at,
-                   c.meta,
+                   c.meta, c.status,
                    (SELECT count(*) FROM campaign_points cp
                      WHERE cp.campaign_id = c.id) AS points,
                    (SELECT count(*) FROM artifacts a
@@ -265,44 +343,41 @@ class ResultsStore:
         """
         digest = scenario_hash(scenario)
         version = fingerprint or code_version()
-        with self._lock:
-            self._connection.execute("BEGIN IMMEDIATE")
-            try:
-                self._connection.execute(
-                    "INSERT OR IGNORE INTO points (scenario_hash, mode,"
-                    " code_version, graph_kind, scenario, axes, payload,"
-                    " elapsed_seconds, created_at)"
-                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        digest,
-                        mode,
-                        version,
-                        scenario.graph.kind,
-                        json.dumps(scenario.to_dict(), sort_keys=True),
-                        json.dumps(dict(coordinates or {}), sort_keys=True),
-                        json.dumps(dict(payload), sort_keys=True),
-                        elapsed_seconds,
-                        _now(),
-                    ),
+
+        def body(connection: sqlite3.Connection) -> int:
+            connection.execute(
+                "INSERT OR IGNORE INTO points (scenario_hash, mode,"
+                " code_version, graph_kind, scenario, axes, payload,"
+                " elapsed_seconds, created_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    digest,
+                    mode,
+                    version,
+                    scenario.graph.kind,
+                    json.dumps(scenario.to_dict(), sort_keys=True),
+                    json.dumps(dict(coordinates or {}), sort_keys=True),
+                    json.dumps(dict(payload), sort_keys=True),
+                    elapsed_seconds,
+                    _now(),
+                ),
+            )
+            point_id = int(
+                connection.execute(
+                    "SELECT id FROM points WHERE scenario_hash = ? AND"
+                    " mode = ? AND code_version = ?",
+                    (digest, mode, version),
+                ).fetchone()["id"]
+            )
+            if campaign_id is not None:
+                connection.execute(
+                    "INSERT OR IGNORE INTO campaign_points (campaign_id,"
+                    " point_id, reused) VALUES (?, ?, ?)",
+                    (int(campaign_id), point_id, int(bool(reused))),
                 )
-                point_id = int(
-                    self._connection.execute(
-                        "SELECT id FROM points WHERE scenario_hash = ? AND"
-                        " mode = ? AND code_version = ?",
-                        (digest, mode, version),
-                    ).fetchone()["id"]
-                )
-                if campaign_id is not None:
-                    self._connection.execute(
-                        "INSERT OR IGNORE INTO campaign_points (campaign_id,"
-                        " point_id, reused) VALUES (?, ?, ?)",
-                        (int(campaign_id), point_id, int(bool(reused))),
-                    )
-                self._connection.execute("COMMIT")
-            except BaseException:
-                self._connection.execute("ROLLBACK")
-                raise
-        return point_id
+            return point_id
+
+        return self._transaction(body)
 
     def point_count(self) -> int:
         """Total distinct stored points."""
@@ -355,20 +430,17 @@ class ResultsStore:
         """Append one run's benchmark means; returns rows written."""
         version = fingerprint or code_version()
         stamp = _now()
-        with self._lock:
-            self._connection.execute("BEGIN IMMEDIATE")
-            try:
-                for name, mean in means.items():
-                    self._connection.execute(
-                        "INSERT INTO bench_samples (name, mean_seconds,"
-                        " code_version, source, created_at)"
-                        " VALUES (?, ?, ?, ?, ?)",
-                        (str(name), float(mean), version, source, stamp),
-                    )
-                self._connection.execute("COMMIT")
-            except BaseException:
-                self._connection.execute("ROLLBACK")
-                raise
+
+        def body(connection: sqlite3.Connection) -> None:
+            for name, mean in means.items():
+                connection.execute(
+                    "INSERT INTO bench_samples (name, mean_seconds,"
+                    " code_version, source, created_at)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (str(name), float(mean), version, source, stamp),
+                )
+
+        self._transaction(body)
         return len(means)
 
     def bench_baseline(self) -> Dict[str, float]:
@@ -492,34 +564,32 @@ class ResultsStore:
         )[0]["n"])
         if dry_run:
             return counts
+
+        def body(connection: sqlite3.Connection) -> None:
+            connection.execute(
+                "DELETE FROM campaign_points WHERE point_id IN"
+                " (SELECT id FROM points WHERE code_version != ?)",
+                (keep,),
+            )
+            connection.execute(
+                "DELETE FROM points WHERE code_version != ?", (keep,)
+            )
+            connection.execute(
+                f"DELETE FROM campaigns WHERE id IN ({empty_campaigns})",
+                (keep,),
+            )
+            connection.execute(
+                "DELETE FROM bench_samples WHERE code_version != ? AND"
+                " id NOT IN (SELECT max(id) FROM bench_samples"
+                " GROUP BY name)",
+                (keep,),
+            )
+            connection.execute(
+                "DELETE FROM jobs WHERE code_version != ?", (keep,)
+            )
+
+        self._transaction(body)
         with self._lock:
-            self._connection.execute("BEGIN IMMEDIATE")
-            try:
-                self._connection.execute(
-                    "DELETE FROM campaign_points WHERE point_id IN"
-                    " (SELECT id FROM points WHERE code_version != ?)",
-                    (keep,),
-                )
-                self._connection.execute(
-                    "DELETE FROM points WHERE code_version != ?", (keep,)
-                )
-                self._connection.execute(
-                    f"DELETE FROM campaigns WHERE id IN ({empty_campaigns})",
-                    (keep,),
-                )
-                self._connection.execute(
-                    "DELETE FROM bench_samples WHERE code_version != ? AND"
-                    " id NOT IN (SELECT max(id) FROM bench_samples"
-                    " GROUP BY name)",
-                    (keep,),
-                )
-                self._connection.execute(
-                    "DELETE FROM jobs WHERE code_version != ?", (keep,)
-                )
-                self._connection.execute("COMMIT")
-            except BaseException:
-                self._connection.execute("ROLLBACK")
-                raise
             self._connection.execute("VACUUM")
         return counts
 

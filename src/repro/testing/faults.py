@@ -1,0 +1,233 @@
+"""Spec-driven fault injection for chaos-testing the sweep engine.
+
+A *fault plan* is a list of :class:`FaultRule` values — "at grid point
+3, raise", "at point 5, ``os._exit`` the worker, twice", "at point 2,
+hang for 60 seconds" — installed with the :func:`inject` context
+manager.  While a plan is active, the sweep engine's per-point
+execution hook (:func:`maybe_fire`) consults it before running each
+grid point and performs the matching action, which is what lets the
+chaos tests and the CI chaos-smoke drive *real* failures (dead worker
+processes, hung points, mid-sweep exceptions) through the
+fault-tolerance machinery instead of mocking them.
+
+Two design constraints shape the implementation:
+
+* **The plan must reach pool workers under every start method.**  A
+  module-level global survives ``fork`` but not ``spawn``; the plan
+  therefore travels in the :data:`ENV_VAR` environment variable as
+  JSON, which every child process inherits regardless of start method.
+* **Firing counts must survive worker death.**  "Fail the first N
+  attempts, then succeed" cannot be counted in worker memory — the
+  worker that fired the fault may be gone (that was the point).  Counts
+  live as one file per rule in a shared directory: a fire appends one
+  byte, the count is the file size, so retries landing in fresh worker
+  processes (or a rebuilt pool) keep counting where the dead worker
+  left off.
+
+The hook costs one environment-variable lookup per grid point when no
+plan is installed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.exceptions import ReproError, ValidationError
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFaultError",
+    "active_plan",
+    "inject",
+    "maybe_fire",
+]
+
+#: Environment variable carrying the active plan as JSON (inherited by
+#: pool workers under fork, spawn, and forkserver alike).
+ENV_VAR = "REPRO_FAULTS"
+
+#: What a rule can do to the point that matches it.
+_ACTIONS = ("raise", "exit", "hang")
+
+
+class InjectedFaultError(ReproError):
+    """The failure a fault rule with ``action="raise"`` injects."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injectable failure, keyed by grid-point index.
+
+    ``point`` is the index into the sweep's full grid (grid order, the
+    same index :func:`repro.scenario.sweep.sweep_scenarios` produces) —
+    reused points never execute, so a rule targeting one never fires.
+    ``times`` bounds the rule: it fires on the first ``times``
+    *attempts* of the point (retries count), then lets the point
+    succeed — which is exactly the shape crash-recovery tests need.
+    """
+
+    point: int
+    action: str = "raise"
+    times: int = 1
+    #: ``action="hang"``: how long the point sleeps before returning.
+    seconds: float = 3600.0
+    #: ``action="exit"``: the worker's ``os._exit`` status.
+    exit_code: int = 17
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValidationError(
+                f"fault action must be one of {_ACTIONS}, got {self.action!r}"
+            )
+        if int(self.times) < 1:
+            raise ValidationError(
+                f"fault times must be >= 1, got {self.times!r}"
+            )
+        if float(self.seconds) <= 0:
+            raise ValidationError(
+                f"fault seconds must be positive, got {self.seconds!r}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": int(self.point),
+            "action": self.action,
+            "times": int(self.times),
+            "seconds": float(self.seconds),
+            "exit_code": int(self.exit_code),
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An installed set of rules plus the shared firing-count directory."""
+
+    rules: Tuple[FaultRule, ...]
+    directory: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rules": [rule.to_dict() for rule in self.rules],
+            "directory": self.directory,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FaultPlan":
+        return cls(
+            rules=tuple(
+                FaultRule(**dict(rule)) for rule in payload["rules"]
+            ),
+            directory=str(payload["directory"]),
+        )
+
+    def _counter(self, rule_index: int) -> Path:
+        return Path(self.directory) / f"rule-{rule_index}.fired"
+
+    def fired(self, rule_index: int) -> int:
+        """How many times rule ``rule_index`` has fired (any process)."""
+        counter = self._counter(rule_index)
+        try:
+            return counter.stat().st_size
+        except OSError:
+            return 0
+
+
+def _coerce_rule(rule: Union[FaultRule, Mapping[str, Any]]) -> FaultRule:
+    if isinstance(rule, FaultRule):
+        return rule
+    return FaultRule(**dict(rule))
+
+
+@contextmanager
+def inject(
+    rules: Iterable[Union[FaultRule, Mapping[str, Any]]],
+    *,
+    directory: Optional[Union[str, Path]] = None,
+) -> Iterator[FaultPlan]:
+    """Install a fault plan for the duration of the ``with`` block.
+
+    ``directory`` holds the cross-process firing counters; by default a
+    temporary one is created and removed on exit.  Pass an explicit
+    directory when a *different* process must observe the plan (the
+    chaos-smoke's hard-interrupt child inherits the environment but
+    outlives this context).  The previous value of :data:`ENV_VAR` is
+    restored on exit, so plans nest and tests cannot leak faults.
+    """
+    coerced = tuple(_coerce_rule(rule) for rule in rules)
+    owns_directory = directory is None
+    if owns_directory:
+        directory = tempfile.mkdtemp(prefix="repro-faults-")
+    else:
+        Path(directory).mkdir(parents=True, exist_ok=True)
+    plan = FaultPlan(rules=coerced, directory=str(directory))
+    previous = os.environ.get(ENV_VAR)
+    os.environ[ENV_VAR] = json.dumps(plan.to_dict())
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        if owns_directory:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan this process (or its parent) installed, if any."""
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    try:
+        return FaultPlan.from_dict(json.loads(raw))
+    except (ValueError, TypeError, KeyError) as error:
+        # A malformed plan is a broken test harness, not a soft miss —
+        # silently ignoring it would turn chaos tests into no-ops.
+        raise ValidationError(
+            f"cannot parse the {ENV_VAR} fault plan: {error}"
+        ) from error
+
+
+def maybe_fire(point: int) -> None:
+    """The sweep engine's per-point hook: act on any matching rule.
+
+    No-op (one env lookup) without an installed plan.  With one, every
+    rule matching ``point`` that has fired fewer than ``times`` times
+    records the attempt and performs its action — raising
+    :class:`InjectedFaultError`, killing this process with
+    ``os._exit``, or sleeping ``seconds`` (then returning normally, so
+    a hang that nobody times out still completes).
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for rule_index, rule in enumerate(plan.rules):
+        if rule.point != int(point):
+            continue
+        counter = plan._counter(rule_index)
+        if plan.fired(rule_index) >= rule.times:
+            continue
+        # O_APPEND writes are atomic, so concurrent attempts cannot
+        # lose a count; the worst race is one extra fire, which chaos
+        # tests tolerate by budgeting retries, not exact counts.
+        with open(counter, "ab") as handle:
+            handle.write(b"x")
+        if rule.action == "raise":
+            raise InjectedFaultError(
+                rule.message or f"injected fault at grid point {rule.point}"
+            )
+        if rule.action == "exit":
+            os._exit(rule.exit_code)
+        time.sleep(rule.seconds)

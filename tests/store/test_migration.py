@@ -11,16 +11,37 @@ from repro.store import SCHEMA_VERSION, ResultsStore
 from repro.store.schema import _DDL
 
 
+def _historic_ddl(*, jobs: bool) -> str:
+    """Today's DDL rewound: no campaigns.status, optionally no jobs."""
+    ddl = _DDL.replace(
+        "meta            TEXT,\n"
+        "    status          TEXT NOT NULL DEFAULT 'complete'",
+        "meta            TEXT",
+    )
+    assert "DEFAULT 'complete'" not in ddl, "v2 rewind failed to apply"
+    if not jobs:
+        ddl = ";".join(
+            statement
+            for statement in ddl.split(";")
+            if "jobs" not in statement
+        )
+    return ddl
+
+
 def _make_v1_store(path) -> None:
-    """Write a version-1 store: today's DDL minus the jobs table."""
+    """Write a version-1 store: no jobs table, no campaign status."""
     connection = sqlite3.connect(path)
-    statements = [
-        statement
-        for statement in _DDL.split(";")
-        if "jobs" not in statement
-    ]
-    connection.executescript(";".join(statements))
+    connection.executescript(_historic_ddl(jobs=False))
     connection.execute("PRAGMA user_version = 1")
+    connection.commit()
+    connection.close()
+
+
+def _make_v2_store(path) -> None:
+    """Write a version-2 store: jobs table, but no campaign status."""
+    connection = sqlite3.connect(path)
+    connection.executescript(_historic_ddl(jobs=True))
+    connection.execute("PRAGMA user_version = 2")
     connection.commit()
     connection.close()
 
@@ -53,6 +74,39 @@ class TestMigration:
         connection.close()
         with ResultsStore(path) as store:
             assert store.point_count() == 1
+
+    def test_v2_gains_campaign_status(self, tmp_path):
+        path = tmp_path / "v2.sqlite"
+        _make_v2_store(path)
+        connection = sqlite3.connect(path)
+        connection.execute(
+            "INSERT INTO campaigns (name, code_version, created_at)"
+            " VALUES ('old-sweep', '1.0.0+x', 'now')"
+        )
+        connection.commit()
+        connection.close()
+        with ResultsStore(path) as store:
+            # Pre-migration campaigns finished the only way a v2 sweep
+            # could persist: by completing.
+            entries = store.campaigns()
+            assert entries[0]["status"] == "complete"
+            fresh = store.begin_campaign("new-sweep")
+            assert store.campaigns()[0]["id"] == fresh
+            assert store.campaigns()[0]["status"] == "running"
+        connection = sqlite3.connect(path)
+        assert (
+            connection.execute("PRAGMA user_version").fetchone()[0]
+            == SCHEMA_VERSION
+        )
+        connection.close()
+
+    def test_v1_campaigns_gain_status_too(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        _make_v1_store(path)
+        with ResultsStore(path) as store:
+            campaign = store.begin_campaign("post-migration")
+            store.finish_campaign(campaign, status="interrupted")
+            assert store.campaigns()[0]["status"] == "interrupted"
 
     def test_newer_schema_refuses_loudly(self, tmp_path):
         path = tmp_path / "future.sqlite"

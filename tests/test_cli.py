@@ -391,3 +391,63 @@ class TestResultsCommand:
             artifacts = handle.artifacts()
             assert [entry["name"] for entry in artifacts] == ["table3"]
             assert artifacts[0]["preset"] == "fast"
+
+
+class TestSweepFaultFlags:
+    def test_collect_prints_failures_and_exits_nonzero(
+        self, scenario_file, capsys
+    ):
+        from repro.testing import FaultRule, inject
+
+        with inject([FaultRule(point=0, message="wired to fail")]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(["sweep", scenario_file, "--axis", "rounds=1,2",
+                      "--mode", "stationary_bound",
+                      "--on-error", "collect"])
+        assert excinfo.value.code == 1
+        output = capsys.readouterr().out
+        assert "1 of 2 points failed:" in output
+        assert "InjectedFaultError (exception, 1 attempt(s))" in output
+        assert "wired to fail" in output
+        # The surviving point still renders in the grid table.
+        assert "central eps" in output
+
+    def test_invalid_on_error_fails_cleanly(self, scenario_file):
+        with pytest.raises(SystemExit, match="sweep failed"):
+            main(["sweep", scenario_file, "--axis", "rounds=1",
+                  "--mode", "stationary_bound", "--on-error", "ignore"])
+
+    def test_non_numeric_retries_is_usage_error(self, scenario_file):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["sweep", scenario_file, "--axis", "rounds=1",
+                  "--retries", "many"])
+
+    def test_non_numeric_point_timeout_is_usage_error(self, scenario_file):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["sweep", scenario_file, "--axis", "rounds=1",
+                  "--point-timeout", "soon"])
+
+    def test_campaigns_table_shows_status(self, scenario_file, tmp_path, capsys):
+        store = str(tmp_path / "results.sqlite")
+        main(["sweep", scenario_file, "--axis", "rounds=1",
+              "--mode", "stationary_bound", "--store", store,
+              "--campaign", "steady"])
+        capsys.readouterr()
+        main(["results", "campaigns", "--store", store])
+        output = capsys.readouterr().out
+        assert "status" in output
+        assert "complete" in output
+
+    def test_store_summary_counts_failed_points(
+        self, scenario_file, tmp_path, capsys
+    ):
+        from repro.testing import FaultRule, inject
+
+        store = str(tmp_path / "results.sqlite")
+        with inject([FaultRule(point=1)]):
+            with pytest.raises(SystemExit):
+                main(["sweep", scenario_file, "--axis", "rounds=1,2",
+                      "--mode", "stationary_bound", "--store", store,
+                      "--on-error", "collect"])
+        output = capsys.readouterr().out
+        assert "1 computed, 0 reused, 1 failed" in output

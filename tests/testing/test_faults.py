@@ -1,0 +1,106 @@
+"""The fault-injection harness itself: plans, counters, actions."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.testing import (
+    FaultPlan,
+    FaultRule,
+    InjectedFaultError,
+    active_plan,
+    inject,
+    maybe_fire,
+)
+from repro.testing.faults import ENV_VAR
+
+
+class TestFaultRule:
+    def test_unknown_action_refused(self):
+        with pytest.raises(ValidationError, match="fault action"):
+            FaultRule(point=0, action="explode")
+
+    def test_nonpositive_times_refused(self):
+        with pytest.raises(ValidationError, match="times"):
+            FaultRule(point=0, times=0)
+
+    def test_nonpositive_seconds_refused(self):
+        with pytest.raises(ValidationError, match="seconds"):
+            FaultRule(point=0, action="hang", seconds=0)
+
+    def test_round_trips_through_dict(self):
+        rule = FaultRule(point=3, action="exit", times=2, exit_code=9)
+        plan = FaultPlan(rules=(rule,), directory="/tmp/x")
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestInject:
+    def test_installs_and_restores_environment(self):
+        assert active_plan() is None
+        with inject([FaultRule(point=0)]) as plan:
+            assert json.loads(os.environ[ENV_VAR]) == plan.to_dict()
+            assert active_plan() == plan
+        assert ENV_VAR not in os.environ
+        assert active_plan() is None
+
+    def test_nested_plans_restore_the_outer_one(self):
+        with inject([FaultRule(point=0)]) as outer:
+            with inject([FaultRule(point=1)]) as inner:
+                assert active_plan() == inner
+            assert active_plan() == outer
+
+    def test_mapping_rules_are_coerced(self):
+        with inject([{"point": 2, "action": "raise"}]) as plan:
+            assert plan.rules[0] == FaultRule(point=2, action="raise")
+
+    def test_owned_counter_directory_is_removed(self):
+        with inject([FaultRule(point=0)]) as plan:
+            directory = plan.directory
+            assert os.path.isdir(directory)
+        assert not os.path.exists(directory)
+
+    def test_explicit_directory_is_kept(self, tmp_path):
+        target = tmp_path / "counters"
+        with inject([FaultRule(point=0)], directory=target) as plan:
+            assert plan.directory == str(target)
+        assert target.is_dir()
+
+    def test_malformed_plan_is_loud(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "{not json")
+        with pytest.raises(ValidationError, match="cannot parse"):
+            active_plan()
+
+
+class TestMaybeFire:
+    def test_no_plan_is_a_no_op(self):
+        maybe_fire(0)  # must not raise
+
+    def test_raise_fires_then_exhausts(self):
+        with inject([FaultRule(point=1, times=2, message="boom")]) as plan:
+            maybe_fire(0)  # different point: no-op
+            for _ in range(2):
+                with pytest.raises(InjectedFaultError, match="boom"):
+                    maybe_fire(1)
+            maybe_fire(1)  # budget spent: the point now succeeds
+            assert plan.fired(0) == 2
+
+    def test_counters_are_cross_process_files(self, tmp_path):
+        with inject(
+            [FaultRule(point=0, times=1)], directory=tmp_path
+        ) as plan:
+            with pytest.raises(InjectedFaultError):
+                maybe_fire(0)
+            counter = tmp_path / "rule-0.fired"
+            assert counter.stat().st_size == 1
+            assert plan.fired(0) == 1
+
+    def test_hang_sleeps_then_returns(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr("repro.testing.faults.time.sleep", naps.append)
+        with inject([FaultRule(point=0, action="hang", seconds=1.5)]):
+            maybe_fire(0)
+        assert naps == [1.5]
