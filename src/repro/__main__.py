@@ -17,14 +17,22 @@ Commands
 ``plan <n> <target_eps>``
     Deployment planning: local budgets achieving a central target on a
     regular graph of ``n`` users (both protocols).
-``run <scenario.json> [--json]``
+``run <scenario.json> [--json] [--profile-budget BYTES]``
     Execute one declarative scenario (simulate + account) and print the
     result digest (``--json`` emits machine-readable JSON).  ``-`` reads
     the scenario from stdin.  Time-varying topologies ride the same
     commands via the ``schedule`` graph spec (sub-specs plus a
     round-robin/epoch selector, or ``base`` + ``phases`` churn); such
     scenarios must set ``rounds`` explicitly and are accounted via the
-    exact scheduled collision mass.
+    exact scheduled collision mass.  ``--profile-budget`` caps the
+    memory schedule accounting may spend (``512M``, ``2G``, bytes);
+    over-budget schedules escalate to blocked/spilled evolution with
+    bit-identical results.
+``bound <scenario.json> [--json] [--profile-budget BYTES]``
+    Price a scenario without simulating: the closed-form guarantee plus
+    — for schedule scenarios — the ``accounting`` block reporting the
+    strategy (dense/blocked), block size, and truncation bound behind
+    the collision mass.
 ``audit <scenario.json> [--trials N] [--json]``
     Run the Theorem 6.1 distinguishing game against the scenario and
     print the measured epsilon lower bound.
@@ -178,11 +186,41 @@ def _print_digest(digest: dict, as_json: bool) -> None:
         print(f"  {key:<{width}} : {value}")
 
 
+def _take_profile_budget(arguments: list[str], usage: str) -> list[str]:
+    """Extract ``--profile-budget VALUE``; installs the policy if given.
+
+    The budget is process policy, not scenario data — it never changes
+    the computed bits, only how much memory schedule accounting may
+    spend getting them — so it is a flag here rather than a field in
+    the scenario JSON.
+    """
+    if "--profile-budget" not in arguments:
+        return arguments
+    index = arguments.index("--profile-budget")
+    if index + 1 >= len(arguments):
+        raise SystemExit(usage)
+    from repro.api import ProfilePolicy, parse_memory_budget, set_profile_policy
+
+    try:
+        budget = parse_memory_budget(arguments[index + 1])
+    except ReproError as error:
+        raise SystemExit(
+            f"--profile-budget: {error_payload(error)['message']}"
+        ) from None
+    set_profile_policy(ProfilePolicy(memory_budget=budget))
+    return arguments[:index] + arguments[index + 2:]
+
+
 def _run(arguments: list[str]) -> None:
+    usage = (
+        "usage: python -m repro run <scenario.json|-> [--json] "
+        "[--profile-budget BYTES|512M|2G]"
+    )
     as_json = "--json" in arguments
     arguments = [token for token in arguments if token != "--json"]
+    arguments = _take_profile_budget(arguments, usage)
     if len(arguments) != 1:
-        raise SystemExit("usage: python -m repro run <scenario.json|-> [--json]")
+        raise SystemExit(usage)
     from repro.scenario import run
 
     try:
@@ -192,6 +230,38 @@ def _run(arguments: list[str]) -> None:
             f"run failed: {error_payload(error)['message']}"
         ) from None
     _print_digest(result.summary(), as_json)
+
+
+def _bound(arguments: list[str]) -> None:
+    usage = (
+        "usage: python -m repro bound <scenario.json|-> [--json] "
+        "[--profile-budget BYTES|512M|2G]"
+    )
+    as_json = "--json" in arguments
+    arguments = [token for token in arguments if token != "--json"]
+    arguments = _take_profile_budget(arguments, usage)
+    if len(arguments) != 1:
+        raise SystemExit(usage)
+    from repro.api import bound, bound_payload
+
+    try:
+        payload = bound_payload(bound(_load_scenario(arguments[0])))
+    except ReproError as error:
+        raise SystemExit(
+            f"bound failed: {error_payload(error)['message']}"
+        ) from None
+    if as_json:
+        import json
+
+        print(json.dumps(payload, indent=2))
+        return
+    accounting = payload.pop("accounting", None)
+    _print_digest(payload, as_json=False)
+    if accounting is not None:
+        print("  accounting:")
+        width = max(len(key) for key in accounting)
+        for key, value in accounting.items():
+            print(f"    {key:<{width}} : {value}")
 
 
 def _audit(arguments: list[str]) -> None:
@@ -246,8 +316,10 @@ def _sweep(arguments: list[str]) -> None:
         "--axis path=v1,v2,... [--axis ...] "
         "[--mode run|bound|stationary_bound|audit] [--workers N] "
         "[--store DB] [--campaign NAME] "
-        "[--on-error raise|collect] [--retries N] [--point-timeout S]"
+        "[--on-error raise|collect] [--retries N] [--point-timeout S] "
+        "[--profile-budget BYTES|512M|2G]"
     )
+    arguments = _take_profile_budget(arguments, usage)
     source: str | None = None
     axis: dict[str, list] = {}
     mode = "run"
@@ -555,6 +627,8 @@ def main(argv: list[str] | None = None) -> None:
         _plan(rest)
     elif command == "run":
         _run(rest)
+    elif command == "bound":
+        _bound(rest)
     elif command == "audit":
         _audit(rest)
     elif command == "sweep":
@@ -568,7 +642,7 @@ def main(argv: list[str] | None = None) -> None:
     else:
         known = ", ".join(
             ("info", *_ARTIFACTS, "experiments", "runall", "plan", "run",
-             "audit", "sweep", "results", "serve")
+             "bound", "audit", "sweep", "results", "serve")
         )
         raise SystemExit(f"unknown command {command!r}; known: {known}")
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -117,6 +117,12 @@ class NetworkShuffleBound:
     epsilon0: float
     sum_squared: float
     n: int
+    #: How ``sum_squared`` was computed, when the accounting layer has
+    #: something to say (schedule accounting reports its strategy,
+    #: block geometry, and — in truncation mode — the provable additive
+    #: bound on the collision mass the dropped tails could hide).
+    #: ``None`` for closed-form/static bounds.
+    accounting: Optional[Mapping[str, Any]] = None
 
     @property
     def amplification_ratio(self) -> float:

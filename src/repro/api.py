@@ -26,6 +26,13 @@ Cache telemetry
     graph cache and kernel-sampler memo counters the serving tier's
     ``/stats`` reports; :func:`clear_graph_cache` to reset between
     tests.
+Schedule accounting
+    :class:`ProfilePolicy` plus :func:`get_profile_policy` /
+    :func:`set_profile_policy` / :func:`profile_policy` — the
+    process-wide memory budget that decides whether dynamic-schedule
+    collision profiles evolve dense, blocked, or blocked-with-spill;
+    :func:`profile_stats` / :func:`reset_profile_stats` for the
+    out-of-core engine's counters.
 Auditor planning
     :func:`resolve_method` / :func:`should_memoize` — the public
     replacements for the auditor's former private heuristics.
@@ -65,6 +72,16 @@ from repro.exceptions import (
 )
 from repro.scenario.auditing import audit
 from repro.scenario.cache import GRAPH_CACHE, seed_streams
+from repro.scenario.profile import (
+    DEFAULT_MEMORY_BUDGET,
+    ProfilePolicy,
+    get_profile_policy,
+    parse_memory_budget,
+    profile_policy,
+    profile_stats,
+    reset_profile_stats,
+    set_profile_policy,
+)
 from repro.scenario.runner import (
     RunResult,
     bound,
@@ -88,11 +105,13 @@ from repro.store import diff as store_diff
 
 __all__ = [
     "AuditResult",
+    "DEFAULT_MEMORY_BUDGET",
     "ExecutionTimeoutError",
     "InvalidScenarioError",
     "JobNotFoundError",
     "NetworkShuffleBound",
     "PointFailure",
+    "ProfilePolicy",
     "ReproError",
     "ResultsStore",
     "RunDigest",
@@ -112,15 +131,21 @@ __all__ = [
     "code_version",
     "digest_run",
     "error_payload",
+    "get_profile_policy",
     "http_status_for",
     "open_store",
+    "parse_memory_budget",
     "parse_scenario",
+    "profile_policy",
+    "profile_stats",
+    "reset_profile_stats",
     "resolve_method",
     "run",
     "run_payload",
     "run_summary_payload",
     "sampler_stats",
     "seed_streams",
+    "set_profile_policy",
     "should_memoize",
     "spill_graph",
     "stationary_bound",
@@ -160,7 +185,12 @@ def parse_scenario(payload: Union[Scenario, str, Mapping[str, Any]]) -> Scenario
 
 
 def bound_payload(result: NetworkShuffleBound) -> Dict[str, Any]:
-    """JSON-able rendering of a closed-form guarantee."""
+    """JSON-able rendering of a closed-form guarantee.
+
+    ``accounting`` describes how ``sum_squared`` was computed for
+    dynamic-schedule bounds (strategy, block size, truncation bound); it
+    is ``None`` for stationary and single-graph bounds.
+    """
     return {
         "epsilon": result.epsilon,
         "delta": result.delta,
@@ -170,6 +200,9 @@ def bound_payload(result: NetworkShuffleBound) -> Dict[str, Any]:
         "n": result.n,
         "amplification_ratio": result.amplification_ratio,
         "amplified": result.amplified,
+        "accounting": (
+            None if result.accounting is None else dict(result.accounting)
+        ),
     }
 
 

@@ -15,7 +15,8 @@ rather than spectral shortcuts.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.sparse as sp
@@ -25,6 +26,16 @@ from repro.graphs.graph import Graph
 from repro.graphs.walks import _HopContext, _hop_tokens, lazy_transition_matrix
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_probability, check_probability_vector
+
+#: A column panel of user distributions: dense ``(n, B)`` array, or a
+#: scipy sparse matrix of the same shape while the columns are still
+#: mostly one-hot (early rounds / truncated evolution).
+Panel = Union[np.ndarray, sp.spmatrix]
+
+#: Densify a sparse panel once its fill fraction crosses this: past it
+#: the sparse indices cost more than the dense array they index into,
+#: and the mat-products stop winning.
+_DENSIFY_FRACTION = 0.25
 
 
 class DynamicGraphSchedule:
@@ -64,6 +75,16 @@ class DynamicGraphSchedule:
         """Number of distinct topologies."""
         return len(self._graphs)
 
+    @property
+    def graphs(self) -> Tuple[Graph, ...]:
+        """The distinct topologies, in schedule order."""
+        return tuple(self._graphs)
+
+    @property
+    def selector(self) -> Optional[Callable[[int], int]]:
+        """The round→graph selector (``None`` means round-robin)."""
+        return self._selector
+
     def graph_at(self, round_index: int) -> Graph:
         """The topology in force at ``round_index``."""
         if round_index < 0:
@@ -79,6 +100,23 @@ class DynamicGraphSchedule:
         return self._graphs[index]
 
 
+@dataclass(frozen=True)
+class EpochSelector:
+    """Hold each scheduled graph for ``block`` consecutive rounds.
+
+    A module-level callable (not a lambda) so built schedules — and the
+    RunResults that carry them — stay picklable for pooled sweeps, and
+    so :func:`repro.graphs.io.save_schedule_npz` can serialize the
+    selector by its two integers.
+    """
+
+    block: int
+    count: int
+
+    def __call__(self, round_index: int) -> int:
+        return (round_index // self.block) % self.count
+
+
 class _TransitionCache:
     """Memoized per-graph transposed transition CSRs for one traversal.
 
@@ -87,21 +125,29 @@ class _TransitionCache:
     graph object* instead of once per round turns an O(rounds) rebuild
     cost into O(num_graphs).  The cached matrix is exactly the one the
     unmemoized loop would rebuild, so results stay bit-identical.
+
+    Entries key by ``id(graph)`` but *hold the graph object too*: a
+    schedule subclass may generate phase graphs lazily, and once such a
+    graph is garbage-collected its ``id`` is free for reuse — a bare
+    ``id -> matrix`` map could then silently hand a different topology
+    the wrong transition matrix.  Keeping the reference pins every
+    keyed graph alive for the cache's lifetime, so ids stay unique.
     """
 
     def __init__(self, schedule: DynamicGraphSchedule, laziness: float):
         self._schedule = schedule
         self._laziness = laziness
-        self._matrices: Dict[int, sp.csr_matrix] = {}
+        self._matrices: Dict[int, Tuple[Graph, sp.csr_matrix]] = {}
 
     def at(self, round_index: int) -> sp.csr_matrix:
         """``M_t^T`` (CSR) for the graph in force at ``round_index``."""
         graph = self._schedule.graph_at(round_index)
-        matrix = self._matrices.get(id(graph))
-        if matrix is None:
+        entry = self._matrices.get(id(graph))
+        if entry is None or entry[0] is not graph:
             matrix = lazy_transition_matrix(graph, self._laziness).T.tocsr()
-            self._matrices[id(graph)] = matrix
-        return matrix
+            self._matrices[id(graph)] = (graph, matrix)
+            return matrix
+        return entry[1]
 
 
 def evolve_on_schedule(
@@ -224,7 +270,209 @@ def collision_profile_on_schedule(
     profile = evolve_profile_on_schedule(
         schedule, np.eye(schedule.num_nodes), steps, laziness=laziness
     )
-    return np.einsum("ij,ij->j", profile, profile)
+    return panel_collisions(profile)
+
+
+# ----------------------------------------------------------------------
+# Blocked / sparsity-aware profile evolution (out-of-core accounting)
+# ----------------------------------------------------------------------
+def identity_panel(num_nodes: int, start: int, stop: int) -> sp.csc_matrix:
+    """Columns ``start .. stop`` of the ``(n, n)`` identity, as sparse CSC.
+
+    The starting state of one user block: column ``j`` is user
+    ``start + j``'s one-hot position distribution.  Rows are sorted and
+    the matrix is canonical, so the very first product sees the same
+    operand values the dense ``np.eye`` path sees.
+    """
+    if not 0 <= start < stop <= num_nodes:
+        raise ValidationError(
+            f"invalid column block [{start}, {stop}) for {num_nodes} nodes"
+        )
+    width = stop - start
+    return sp.csc_matrix(
+        (
+            np.ones(width, dtype=np.float64),
+            np.arange(start, stop, dtype=np.int64),
+            np.arange(width + 1, dtype=np.int64),
+        ),
+        shape=(num_nodes, width),
+    )
+
+
+def _sequential_sum(values: np.ndarray) -> float:
+    """Strictly left-to-right IEEE sum (no pairwise trees, no SIMD lanes).
+
+    ``np.add.accumulate`` is sequential *by definition* — every prefix
+    is the running partial — which makes the result a pure function of
+    the value sequence, independent of array width, stride, or SIMD
+    remainder handling.  That is the property the blocked accounting
+    leans on: a dense column (zeros included — adding ``0.0`` to a
+    non-negative partial is exact) reduces to the same bits as the
+    sparse column holding only its non-zeros.
+    """
+    if values.size == 0:
+        return 0.0
+    return float(np.add.accumulate(values)[-1])
+
+
+def panel_collisions(panel: Panel) -> np.ndarray:
+    """Per-column collision mass ``sum_i panel[i, j]^2``, shape ``(B,)``.
+
+    Bit-stable across representations and block widths: each column
+    reduces with :func:`_sequential_sum` in ascending row order,
+    whether its values live in a sparse CSC segment or a dense slice.
+    """
+    if sp.issparse(panel):
+        matrix = panel.tocsc()
+        matrix.sort_indices()
+        squares = matrix.data * matrix.data
+        return np.array([
+            _sequential_sum(squares[matrix.indptr[j]:matrix.indptr[j + 1]])
+            for j in range(matrix.shape[1])
+        ])
+    dense = np.asarray(panel, dtype=np.float64)
+    return np.array([
+        _sequential_sum(dense[:, j] * dense[:, j])
+        for j in range(dense.shape[1])
+    ])
+
+
+def _truncate_panel(
+    panel: Panel, tol: float, dropped: np.ndarray
+) -> Panel:
+    """Zero entries in ``(0, tol)``, accumulating the mass per column.
+
+    The truncated evolution stays an elementwise *lower* bound of the
+    exact one (the transition matrices are non-negative), so the mass
+    recorded in ``dropped`` prices the error: the exact collision of
+    column ``j`` lies within ``2 * dropped[j]`` above the truncated one.
+    Dropped mass accumulates with the same sequential reduction as
+    :func:`panel_collisions`, so it too is representation-independent.
+    """
+    if sp.issparse(panel):
+        matrix = panel.tocsc()
+        matrix.sort_indices()
+        mask = matrix.data < tol
+        if mask.any():
+            masked = np.where(mask, matrix.data, 0.0)
+            for j in range(matrix.shape[1]):
+                segment = masked[matrix.indptr[j]:matrix.indptr[j + 1]]
+                if segment.size:
+                    dropped[j] += _sequential_sum(segment)
+            matrix.data[mask] = 0.0
+            matrix.eliminate_zeros()
+        return matrix
+    mask = (panel > 0.0) & (panel < tol)
+    if mask.any():
+        masked = np.where(mask, panel, 0.0)
+        for j in range(panel.shape[1]):
+            dropped[j] += _sequential_sum(masked[:, j])
+        panel = np.where(mask, 0.0, panel)
+    return panel
+
+
+def evolve_panel_on_schedule(
+    schedule: DynamicGraphSchedule,
+    panel: Panel,
+    steps: int,
+    *,
+    laziness: float = 0.0,
+    start_round: int = 0,
+    transitions: Optional[_TransitionCache] = None,
+    truncation: Optional[float] = None,
+    dropped: Optional[np.ndarray] = None,
+) -> Tuple[Panel, np.ndarray]:
+    """Evolve one column block of user distributions across the schedule.
+
+    The blocked counterpart of :func:`evolve_profile_on_schedule`: the
+    panel holds ``B`` users' distributions and advances through the
+    same per-round transposed transition CSRs, so each column's value
+    sequence is **bit-identical** to the corresponding column of the
+    dense ``(n, n)`` evolution (sparse products accumulate each output
+    element over the same operands in the same order; the dense path
+    merely adds exact zeros).  One-hot columns stay sparse until the
+    fill fraction crosses ``_DENSIFY_FRACTION``, so early rounds (and
+    truncated evolutions, which never densify on bounded-degree churn)
+    cost ``O(nnz)`` instead of ``O(n * B)``.
+
+    ``truncation`` zeroes entries below the tolerance after every
+    round; the cumulative mass removed from each column is returned in
+    the second element (resuming evolutions pass the previous
+    ``dropped`` back in).  Without truncation that array is all zeros.
+    """
+    if steps < 0:
+        raise ValidationError(f"steps must be non-negative, got {steps}")
+    if truncation is not None and not 0.0 < truncation < 1.0:
+        raise ValidationError(
+            f"truncation must be in (0, 1), got {truncation}"
+        )
+    n = schedule.num_nodes
+    if panel.ndim != 2 or panel.shape[0] != n:
+        raise ValidationError(
+            f"panel must have shape ({n}, B), got {panel.shape}"
+        )
+    width = panel.shape[1]
+    dropped = (
+        np.zeros(width, dtype=np.float64)
+        if dropped is None
+        else np.asarray(dropped, dtype=np.float64).copy()
+    )
+    cache = transitions or _TransitionCache(schedule, laziness)
+    if not sp.issparse(panel):
+        panel = np.asarray(panel, dtype=np.float64)
+    for round_index in range(start_round, start_round + steps):
+        panel = cache.at(round_index) @ panel
+        if sp.issparse(panel):
+            panel = panel.tocsc()
+            panel.sort_indices()
+            panel.eliminate_zeros()
+            if panel.nnz > _DENSIFY_FRACTION * n * width:
+                panel = panel.toarray()
+        if truncation is not None:
+            panel = _truncate_panel(panel, truncation, dropped)
+    return panel, dropped
+
+
+def collision_profile_blocked(
+    schedule: DynamicGraphSchedule,
+    steps: int,
+    *,
+    block_size: int,
+    laziness: float = 0.0,
+    truncation: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-user collision mass evolved in column blocks of ``block_size``.
+
+    Returns ``(collisions, dropped)``, both shape ``(n,)``: the
+    (possibly truncated) collision mass per user, and the cumulative
+    probability mass truncation removed from each user's distribution
+    (all zeros when ``truncation`` is ``None``, in which case
+    ``collisions`` is bit-identical to
+    :func:`collision_profile_on_schedule` for every ``block_size``).
+    Memory high-water is one ``(n, block_size)`` panel plus the per-
+    distinct-topology transition CSRs — ``O(n * B)``, not ``O(n^2)``.
+    """
+    if block_size < 1:
+        raise ValidationError(
+            f"block_size must be positive, got {block_size}"
+        )
+    n = schedule.num_nodes
+    collisions = np.empty(n, dtype=np.float64)
+    dropped = np.zeros(n, dtype=np.float64)
+    cache = _TransitionCache(schedule, laziness)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        panel, block_dropped = evolve_panel_on_schedule(
+            schedule,
+            identity_panel(n, start, stop),
+            steps,
+            laziness=laziness,
+            transitions=cache,
+            truncation=truncation,
+        )
+        collisions[start:stop] = panel_collisions(panel)
+        dropped[start:stop] = block_dropped
+    return collisions, dropped
 
 
 def simulate_tokens_on_schedule(
@@ -257,15 +505,18 @@ def simulate_tokens_on_schedule(
     ):
         raise ValidationError("start_nodes out of range")
     generator = ensure_rng(rng)
-    contexts: Dict[int, _HopContext] = {}
+    # Like _TransitionCache, hold the graph alongside its context so a
+    # lazily generated phase graph's id cannot be recycled mid-walk.
+    contexts: Dict[int, Tuple[Graph, _HopContext]] = {}
 
     def context_for(round_index: int) -> _HopContext:
         graph = schedule.graph_at(round_index)
-        context = contexts.get(id(graph))
-        if context is None:
+        entry = contexts.get(id(graph))
+        if entry is None or entry[0] is not graph:
             context = _HopContext(graph)
-            contexts[id(graph)] = context
-        return context
+            contexts[id(graph)] = (graph, context)
+            return context
+        return entry[1]
 
     start_context = context_for(0)
     if holders.size and start_context.has_isolated and np.any(

@@ -143,6 +143,124 @@ def load_graph_npz(path: PathLike) -> Graph:
     return Graph.from_csr(num_nodes, indptr, indices)
 
 
+#: Format marker distinguishing a schedule archive from a plain graph
+#: archive in the shared spill directory (bumped on layout changes).
+_SCHEDULE_VERSION = 1
+
+
+def save_schedule_npz(schedule, path: PathLike) -> None:
+    """Persist a :class:`DynamicGraphSchedule` as one ``.npz`` archive.
+
+    Phase CSRs are stored side by side plus the selector spec — either
+    round-robin (the ``selector=None`` default) or an
+    :class:`~repro.graphs.dynamic.EpochSelector` (two integers).  An
+    arbitrary callable selector has no declarative form and is refused:
+    spill it by switching to ``EpochSelector`` or keep the sweep on
+    fork workers (which inherit the object).
+
+    Same atomicity discipline as :func:`save_graph_npz` — spawn-started
+    sweep workers sharing a spill directory must never observe a torn
+    archive.
+    """
+    from repro.graphs.dynamic import DynamicGraphSchedule, EpochSelector
+
+    if not isinstance(schedule, DynamicGraphSchedule):
+        raise ValidationError(
+            f"expected a DynamicGraphSchedule, got {type(schedule).__name__}"
+        )
+    selector = schedule.selector
+    payload: Dict[str, np.ndarray] = {
+        "schedule_version": np.int64(_SCHEDULE_VERSION),
+        "num_nodes": np.int64(schedule.num_nodes),
+        "num_graphs": np.int64(schedule.num_graphs),
+    }
+    if selector is None:
+        payload["selector_kind"] = np.array("round_robin")
+    elif isinstance(selector, EpochSelector):
+        payload["selector_kind"] = np.array("epoch")
+        payload["selector_block"] = np.int64(selector.block)
+        payload["selector_count"] = np.int64(selector.count)
+    else:
+        raise ValidationError(
+            "cannot serialize a schedule with a custom selector "
+            f"callable ({type(selector).__name__}); use the default "
+            "round-robin or an EpochSelector"
+        )
+    for index, graph in enumerate(schedule.graphs):
+        payload[f"graph{index}_indptr"] = graph.indptr
+        payload[f"graph{index}_indices"] = graph.indices
+    file_path = Path(path)
+    temp_path = file_path.with_name(
+        f".{file_path.stem}.tmp{os.getpid()}.npz"
+    )
+    try:
+        np.savez_compressed(temp_path, **payload)
+        os.replace(temp_path, file_path)
+    finally:
+        if temp_path.exists():
+            temp_path.unlink()
+
+
+def load_schedule_npz(path: PathLike):
+    """Inverse of :func:`save_schedule_npz`."""
+    from repro.graphs.dynamic import DynamicGraphSchedule, EpochSelector
+
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ValidationError(f"no such file: {file_path}")
+    with np.load(file_path) as payload:
+        try:
+            version = int(payload["schedule_version"])
+            num_nodes = int(payload["num_nodes"])
+            num_graphs = int(payload["num_graphs"])
+            selector_kind = str(payload["selector_kind"])
+            graphs = [
+                Graph.from_csr(
+                    num_nodes,
+                    np.asarray(payload[f"graph{i}_indptr"], dtype=np.int64),
+                    np.asarray(payload[f"graph{i}_indices"], dtype=np.int64),
+                )
+                for i in range(num_graphs)
+            ]
+            if selector_kind == "epoch":
+                selector = EpochSelector(
+                    block=int(payload["selector_block"]),
+                    count=int(payload["selector_count"]),
+                )
+            elif selector_kind == "round_robin":
+                selector = None
+            else:
+                raise ValidationError(
+                    f"{file_path}: unknown selector kind {selector_kind!r}"
+                )
+        except KeyError as error:
+            raise ValidationError(
+                f"{file_path} is not a schedule cache file (missing {error})"
+            ) from None
+    if version != _SCHEDULE_VERSION:
+        raise ValidationError(
+            f"{file_path}: schedule format v{version}, expected "
+            f"v{_SCHEDULE_VERSION}"
+        )
+    return DynamicGraphSchedule(graphs, selector)
+
+
+def load_spill(path: PathLike):
+    """Load a spill-directory archive: a graph or a schedule.
+
+    The graph cache's disk tier holds both kinds under one naming
+    scheme; the ``schedule_version`` marker tells them apart.
+    """
+    file_path = Path(path)
+    if not file_path.exists():
+        raise ValidationError(f"no such file: {file_path}")
+    with np.load(file_path) as payload:
+        is_schedule = "schedule_version" in payload
+    if is_schedule:
+        return load_schedule_npz(file_path)
+    return load_graph_npz(file_path)
+
+
 def write_edge_list(
     graph: Graph,
     path: PathLike,

@@ -45,6 +45,18 @@ from repro.scenario.cache import (
     GraphBundle,
     GraphCache,
 )
+from repro.scenario.profile import (
+    DEFAULT_MEMORY_BUDGET,
+    ProfilePolicy,
+    ProfileStore,
+    ScheduleAccounting,
+    get_profile_policy,
+    plan_profile,
+    profile_policy,
+    profile_stats,
+    reset_profile_stats,
+    set_profile_policy,
+)
 from repro.scenario.registry import Registration, Registry
 from repro.scenario.runner import (
     RunResult,
@@ -88,6 +100,7 @@ __all__ = [
     "AuditSpec",
     "CacheCounters",
     "ComponentSpec",
+    "DEFAULT_MEMORY_BUDGET",
     "DummySpec",
     "DUMMIES",
     "FaultSpec",
@@ -103,12 +116,15 @@ __all__ = [
     "MechanismSpec",
     "MECHANISMS",
     "PointFailure",
+    "ProfilePolicy",
+    "ProfileStore",
     "REGISTRIES",
     "Registration",
     "Registry",
     "RunDigest",
     "RunResult",
     "Scenario",
+    "ScheduleAccounting",
     "SeedStreams",
     "SweepPoint",
     "SweepResult",
@@ -123,9 +139,15 @@ __all__ = [
     "build_values",
     "clear_graph_cache",
     "digest_run",
+    "get_profile_policy",
     "graph_summary",
+    "plan_profile",
+    "profile_policy",
+    "profile_stats",
+    "reset_profile_stats",
     "run",
     "seed_streams",
+    "set_profile_policy",
     "spill_graph",
     "stationary_bound",
     "sweep",

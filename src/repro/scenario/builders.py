@@ -34,7 +34,7 @@ from repro.datasets.synthetic import build_dataset
 from repro.estimation.mean import generate_bimodal_unit_vectors, make_dummy_factory
 from repro.exceptions import ValidationError
 from repro.graphs import generators
-from repro.graphs.dynamic import DynamicGraphSchedule
+from repro.graphs.dynamic import DynamicGraphSchedule, EpochSelector
 from repro.graphs.graph import Graph
 from repro.scenario.spec import GraphSpec
 from repro.utils.rng import spawn_rngs
@@ -149,19 +149,10 @@ def _dataset(
 _SCHEDULE_SELECTORS = ("round_robin", "epoch")
 
 
-@dataclass(frozen=True)
-class _EpochSelector:
-    """Hold each scheduled graph for ``block`` consecutive rounds.
-
-    A module-level callable (not a lambda) so built schedules — and the
-    RunResults that carry them — stay picklable for pooled sweeps.
-    """
-
-    block: int
-    count: int
-
-    def __call__(self, round_index: int) -> int:
-        return (round_index // self.block) % self.count
+# The picklable epoch selector now lives beside the schedule class
+# (graphs.dynamic.EpochSelector) so graphs/io.py can serialize it for
+# the disk spill; this alias keeps old imports working.
+_EpochSelector = EpochSelector
 
 
 @GRAPHS.register(
@@ -238,7 +229,7 @@ def _schedule(
     ]
     if selector == "epoch" and block > 1:
         return DynamicGraphSchedule(
-            built, selector=_EpochSelector(block, len(built))
+            built, selector=EpochSelector(block, len(built))
         )
     return DynamicGraphSchedule(built)
 

@@ -43,11 +43,21 @@ from repro.exceptions import ScheduleRefusedError, ValidationError
 from repro.graphs.dynamic import (
     DynamicGraphSchedule,
     evolve_profile_on_schedule,
+    panel_collisions,
 )
 from repro.graphs.graph import Graph
-from repro.graphs.io import load_graph_npz, save_graph_npz
+from repro.graphs.io import load_spill, save_graph_npz, save_schedule_npz
 from repro.graphs.spectral import SpectralSummary, spectral_summary
 from repro.graphs.walks import evolve_distribution, position_distribution
+from repro.scenario.profile import (
+    ProfileStore,
+    ScheduleAccounting,
+    _count,
+    get_profile_policy,
+    plan_profile,
+    store_identity,
+    worst_user_mass,
+)
 from repro.utils.rng import spawn_rngs
 
 
@@ -79,13 +89,6 @@ def seed_streams(seed: int) -> SeedStreams:
     )
 
 
-#: Largest schedule (node count) the exact dense collision profile will
-#: track: the accounting evolves an (n, n) matrix, so past this the
-#: memory/products cost is no longer incidental.  Refused loudly —
-#: there is no sound spectral shortcut on a time-varying topology.
-_SCHEDULE_PROFILE_MAX_NODES = 4096
-
-
 class GraphBundle:
     """A materialized graph plus its lazily computed derivatives.
 
@@ -102,6 +105,12 @@ class GraphBundle:
     #: hundreds of megabytes.
     _KERNEL_SAMPLER_CAP = 2
 
+    #: How many profile stores stay resident per schedule bundle (one
+    #: per distinct (laziness, truncation, block size) — the stores
+    #: themselves hold no panels between calls, only the last collision
+    #: vector, so the cap guards dict growth, not memory).
+    _PROFILE_STORE_CAP = 2
+
     def __init__(self, graph: Union[Graph, DynamicGraphSchedule]):
         self.graph = graph
         self._summary: Optional[SpectralSummary] = None
@@ -113,11 +122,24 @@ class GraphBundle:
         self._walks: Dict[float, tuple] = {}
         # Schedule analogue of the walk cache, but bounded to ONE entry:
         # laziness -> (steps, dense (n, n) profile whose column i is
-        # user i's exact position distribution).  A profile near the
-        # node cap is ~134 MB, so only the most recent laziness is
+        # user i's exact position distribution).  A dense profile can
+        # run hundreds of MB, so only the most recent laziness is
         # retained — ascending-rounds sweeps (the common shape) still
         # evolve incrementally; a laziness sweep recomputes per value.
+        # Used only when plan_profile picks the dense strategy; the
+        # blocked/spilled strategies go through _profile_stores.
         self._profiles: Dict[float, tuple] = {}
+        # Blocked-accounting stores keyed by the knobs that change a
+        # panel's bits (laziness, truncation, block size) plus the
+        # spill root they write under.
+        self._profile_stores: "OrderedDict[tuple, ProfileStore]" = (
+            OrderedDict()
+        )
+        #: The graph-cache key this bundle was published under (set by
+        #: GraphCache.bundle).  Profile spills derive their on-disk
+        #: identity from it, so every process resolving the same
+        #: resolved spec shares one block directory.
+        self.cache_key: Optional[str] = None
         # Auditor kernel samplers keyed (rounds, laziness), plus the
         # per-laziness power cache the samplers extend incrementally.
         self._kernel_samplers: OrderedDict[Tuple[int, float], Any] = (
@@ -153,43 +175,125 @@ class GraphBundle:
                 self._summary = spectral_summary(self.graph)
             return self._summary
 
-    def schedule_collision(self, steps: int, laziness: float) -> float:
-        """Worst-user exact collision mass after ``steps`` scheduled rounds.
+    def schedule_collision(
+        self, steps: int, laziness: float, *,
+        truncation: Optional[float] = None,
+    ) -> ScheduleAccounting:
+        """Worst-user collision mass after ``steps`` scheduled rounds.
 
-        Evolves every user's position distribution at once (one dense
-        (n, n) profile, one sparse-dense product per round, transition
-        CSRs memoized per distinct topology) and returns
+        Tracks every user's exact position distribution and returns
         ``max_i sum_j P^i_j(t)^2`` — the sound per-user value the
         Theorem 5.3/5.5 bounds consume, with no stationarity
-        assumption.  Ascending-``rounds`` sweeps evolve incrementally
-        from the cached longest profile, bit-identical to from-scratch.
+        assumption — wrapped in a :class:`ScheduleAccounting` that
+        records how it was computed.
+
+        *How* is planned per call from the process-wide
+        :class:`~repro.scenario.profile.ProfilePolicy`: schedules whose
+        dense ``(n, n)`` profile fits the memory budget keep the
+        in-memory incremental memo (ascending-``rounds`` sweeps evolve
+        from the cached longest profile, bit-identical to
+        from-scratch); larger ones evolve in column blocks spilled to
+        (and resumed from) the graph cache's spill directory.  Both
+        paths — and every block size — produce bit-identical masses.
+        With ``truncation`` set, the panel path drops sub-tolerance
+        entries each round and the returned accounting carries the
+        provable additive bound on the mass that error can hide.
         """
         schedule = self.graph
         n = schedule.num_nodes
-        if n > _SCHEDULE_PROFILE_MAX_NODES:
-            raise ScheduleRefusedError(
-                f"exact schedule accounting tracks an (n, n) profile; "
-                f"n={n} exceeds the {_SCHEDULE_PROFILE_MAX_NODES}-node "
-                "cap. Run the scenario simulation-only (no mechanism / "
-                "epsilon0) and account offline."
+        plan = plan_profile(n, get_profile_policy())
+        if truncation is None and plan.strategy == "dense":
+            with self._derive_lock:
+                key = float(laziness)
+                cached = self._profiles.get(key)
+                if cached is not None and cached[0] <= steps:
+                    done, profile = cached
+                else:
+                    # A descending-rounds request recomputes from
+                    # scratch without downgrading the cache for later,
+                    # longer requests.
+                    done, profile = 0, np.eye(n)
+                profile = evolve_profile_on_schedule(
+                    schedule, profile, steps - done,
+                    laziness=laziness, start_round=done,
+                )
+                if cached is None or steps >= cached[0]:
+                    self._profiles.clear()
+                    self._profiles[key] = (steps, profile)
+                collisions = panel_collisions(profile)
+            _count("dense_profiles")
+            return ScheduleAccounting(
+                sum_squared=float(collisions.max()),
+                strategy="dense",
+                block_size=n,
+                blocks=1,
+                steps=int(steps),
+                truncation=None,
+                truncation_bound=0.0,
+                exact=True,
             )
+        # Panel path: the blocked plan, or any truncated run (dropped
+        # mass is tracked per block regardless of how many blocks).
+        block_size = plan.block_size if plan.strategy == "blocked" else n
         with self._derive_lock:
-            key = float(laziness)
-            cached = self._profiles.get(key)
-            if cached is not None and cached[0] <= steps:
-                done, profile = cached
-            else:
-                # A descending-rounds request recomputes from scratch
-                # without downgrading the cache for later, longer requests.
-                done, profile = 0, np.eye(n)
-            profile = evolve_profile_on_schedule(
-                schedule, profile, steps - done,
-                laziness=laziness, start_round=done,
+            store = self._profile_store(laziness, truncation, block_size)
+        collisions, dropped = store.collisions(steps)
+        _count("blocked_profiles")
+        if truncation is not None:
+            _count("truncated_profiles")
+        sum_squared, truncation_bound = worst_user_mass(
+            collisions, dropped, truncation
+        )
+        return ScheduleAccounting(
+            sum_squared=sum_squared,
+            strategy=plan.strategy,
+            block_size=block_size,
+            blocks=store.num_blocks,
+            steps=int(steps),
+            truncation=truncation,
+            truncation_bound=truncation_bound,
+            exact=truncation is None,
+        )
+
+    def _profile_store(
+        self,
+        laziness: float,
+        truncation: Optional[float],
+        block_size: int,
+    ) -> ProfileStore:
+        """The (memoized) block store for one set of accounting knobs.
+
+        The spill root is resolved at call time from the process-wide
+        cache, so attaching a spill directory mid-session (sweep
+        setup, serve ``--spill-dir``) redirects subsequent profiles
+        without rebuilding bundles.
+        """
+        root = GRAPH_CACHE.spill_dir
+        key = (
+            float(laziness),
+            None if truncation is None else float(truncation),
+            int(block_size),
+            None if root is None else str(root),
+        )
+        store = self._profile_stores.get(key)
+        if store is None:
+            store = ProfileStore(
+                self.graph,
+                identity=store_identity(
+                    self.cache_key, float(laziness), truncation,
+                    int(block_size),
+                ),
+                block_size=block_size,
+                laziness=laziness,
+                truncation=truncation,
+                directory=root,
             )
-            if cached is None or steps >= cached[0]:
-                self._profiles.clear()
-                self._profiles[key] = (steps, profile)
-            return float(np.einsum("ij,ij->j", profile, profile).max())
+            self._profile_stores[key] = store
+            while len(self._profile_stores) > self._PROFILE_STORE_CAP:
+                self._profile_stores.popitem(last=False)
+        else:
+            self._profile_stores.move_to_end(key)
+        return store
 
     def walk_distribution(self, steps: int, laziness: float) -> np.ndarray:
         """Exact ``P(t)`` from node 0, memoized per laziness.
@@ -431,7 +535,7 @@ class GraphCache:
             if spill_dir is not None:
                 path = self.spill_path(key, spill_dir)
                 if path.exists():
-                    graph = load_graph_npz(path)
+                    graph = load_spill(path)
                     from_disk = True
                 elif spec_key is not None:
                     # Spec-keyed files exist only for graphs a previous
@@ -439,13 +543,21 @@ class GraphCache:
                     # safe to share across seeds.
                     spec_path = self.spill_path(spec_key, spill_dir)
                     if spec_path.exists():
-                        graph = load_graph_npz(spec_path)
+                        graph = load_spill(spec_path)
                         seed_independent = True
                         from_disk = True
             if graph is None:
                 graph, seed_independent = builder()
             bundle = GraphBundle(graph)
             bundle.seed_independent = bool(seed_independent)
+            # The profile spill identity: deterministic across
+            # processes (workers resolve the same resolved spec to the
+            # same key), and seedless when the build provably ignored
+            # the seed so replicas share one block directory.
+            bundle.cache_key = (
+                spec_key if (seed_independent and spec_key is not None)
+                else key
+            )
         except BaseException as error:
             with self._lock:
                 self._pending.pop(key, None)
@@ -475,18 +587,24 @@ class GraphCache:
 
         A seed-independent bundle spills under its ``spec_key`` instead,
         so a seed axis writes (and workers load) one copy rather than
-        one per seed.  Returns the written path, or ``None`` for a
-        dynamic schedule — schedules have no single CSR; spawn-started
-        workers rebuild them (fork-started workers still inherit the
-        bundle).
+        one per seed.  Dynamic schedules spill too (phase CSRs plus the
+        selector spec, :func:`repro.graphs.io.save_schedule_npz`) —
+        except the rare schedule with a custom selector *callable*,
+        which has no declarative form and returns ``None``
+        (spawn-started workers rebuild those; fork workers inherit the
+        bundle either way).
         """
-        if bundle.is_schedule:
-            return None
         if bundle.seed_independent and spec_key is not None:
             key = spec_key
         path = self.spill_path(key, directory)
         if not path.exists():
-            save_graph_npz(bundle.graph, path)
+            if bundle.is_schedule:
+                try:
+                    save_schedule_npz(bundle.graph, path)
+                except ValidationError:
+                    return None
+            else:
+                save_graph_npz(bundle.graph, path)
         return path
 
     def stats(self) -> CacheCounters:

@@ -1,0 +1,627 @@
+"""Out-of-core schedule accounting: policy, planning, and block store.
+
+Exact per-user accounting on a dynamic schedule evolves every user's
+position distribution — an ``(n, n)`` profile that dominated memory and
+capped schedules at 4096 nodes.  This module lifts the ceiling with a
+three-rung escalation ladder governed by one knob, the **profile memory
+budget**:
+
+* **dense** — the profile fits the budget: evolve it in memory exactly
+  as before (one incremental memo per laziness).
+* **blocked** — evolve the profile in column blocks of ``B`` users
+  (``B`` chosen so one panel plus product headroom fits the budget);
+  one-hot columns stay sparse until they mix, so early rounds cost
+  ``O(nnz)`` not ``O(n·B)``.
+* **spilled** — every completed block is written to an ``.npz`` under
+  the spill directory (atomic temp+replace, like the graph spill), so
+  the memory high-water is ``O(n·B)`` and an ascending-``rounds`` sweep
+  resumes each block from disk instead of restarting from one-hot.
+
+All three rungs produce **bit-identical** collision masses: the panel
+kernels apply the same per-round products over the same operand bits
+(:mod:`repro.graphs.dynamic` documents why), and every path reduces
+columns with the same strictly-sequential summation.
+
+For the million-node churn regime an optional **truncation** tolerance
+(a *scenario* field — it changes results, so it is hashed and swept
+like any other knob) drops per-entry mass below ``tol`` after every
+round, keeping panels sparse on bounded-degree schedules.  The dropped
+mass prices the error: truncated distributions are an elementwise lower
+bound of the exact ones, so with per-user dropped mass ``δ_i`` the
+exact collision lies in ``[‖Q_i‖², ‖Q_i‖² + 2·δ_i]``.  The accounting
+feeds the theorems the conservative upper end and surfaces
+``truncation_bound = 2·max_i δ_i`` in the payload.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import itertools
+import os
+import shutil
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import ScheduleRefusedError, ValidationError
+from repro.graphs.dynamic import (
+    DynamicGraphSchedule,
+    _TransitionCache,
+    evolve_panel_on_schedule,
+    identity_panel,
+    panel_collisions,
+)
+from repro.testing import faults
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET",
+    "ProfilePolicy",
+    "ProfilePlan",
+    "ProfileStore",
+    "ScheduleAccounting",
+    "get_profile_policy",
+    "set_profile_policy",
+    "profile_policy",
+    "plan_profile",
+    "profile_stats",
+    "reset_profile_stats",
+    "profile_spill_root",
+    "parse_memory_budget",
+]
+
+#: Default profile memory budget: laptop-class.  Dense stays the
+#: strategy up to n ≈ 5792 (so every schedule the old 4096-node cap
+#: admitted keeps its exact in-memory path), blocked/spilled takes
+#: over beyond that.
+DEFAULT_MEMORY_BUDGET = 512 * 1024 * 1024
+
+#: Bytes budgeted per profile entry: the float64 panel itself plus
+#: equal headroom for the per-round product that briefly coexists
+#: with it.
+_BYTES_PER_ENTRY = 16
+
+_STRATEGIES = ("auto", "dense", "blocked")
+
+#: Fault-injection channel the block loop fires after each spill
+#: (chaos tests kill the process mid-profile and assert the resume).
+FAULT_CHANNEL = "profile"
+
+
+@dataclass(frozen=True)
+class ProfilePolicy:
+    """How schedule accounting may spend memory (never what it computes).
+
+    The policy steers *strategy*, not results: every strategy returns
+    bit-identical collision masses, so the policy lives process-wide
+    (settable per worker, per serve process, per CLI flag) instead of
+    inside the hashed :class:`~repro.scenario.spec.Scenario`.
+
+    ``strategy="auto"`` escalates dense → blocked → spilled as ``n``
+    outgrows ``memory_budget``; ``"dense"`` insists on the in-memory
+    profile and refuses loudly over budget; ``"blocked"`` forces the
+    panel path (tests use it to cross-check parity).  ``block_size``
+    overrides the derived panel width.
+    """
+
+    memory_budget: int = DEFAULT_MEMORY_BUDGET
+    strategy: str = "auto"
+    block_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in _STRATEGIES:
+            raise ValidationError(
+                f"profile strategy must be one of {_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if int(self.memory_budget) < 1:
+            raise ValidationError(
+                f"profile memory budget must be positive, "
+                f"got {self.memory_budget!r}"
+            )
+        if self.block_size is not None and int(self.block_size) < 1:
+            raise ValidationError(
+                f"profile block size must be >= 1, got {self.block_size!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ProfilePlan:
+    """The strategy :func:`plan_profile` chose for one schedule size."""
+
+    strategy: str  # "dense" | "blocked"
+    block_size: int
+    spill: bool
+    blocks: int
+
+
+_POLICY_LOCK = threading.Lock()
+_POLICY = ProfilePolicy()
+
+
+def get_profile_policy() -> ProfilePolicy:
+    """The process-wide policy schedule accounting plans against."""
+    with _POLICY_LOCK:
+        return _POLICY
+
+
+def set_profile_policy(policy: ProfilePolicy) -> ProfilePolicy:
+    """Install ``policy`` process-wide; returns the previous one."""
+    global _POLICY
+    if not isinstance(policy, ProfilePolicy):
+        raise ValidationError(
+            f"expected a ProfilePolicy, got {type(policy).__name__}"
+        )
+    with _POLICY_LOCK:
+        previous, _POLICY = _POLICY, policy
+        return previous
+
+
+@contextmanager
+def profile_policy(**overrides: Any) -> Iterator[ProfilePolicy]:
+    """Temporarily override policy fields for the ``with`` block.
+
+    >>> with profile_policy(strategy="blocked", block_size=7):
+    ...     repro.bound(scenario)
+    """
+    current = get_profile_policy()
+    merged = ProfilePolicy(**{**asdict(current), **overrides})
+    previous = set_profile_policy(merged)
+    try:
+        yield merged
+    finally:
+        set_profile_policy(previous)
+
+
+_BUDGET_SUFFIXES = {
+    "k": 1024,
+    "m": 1024**2,
+    "g": 1024**3,
+    "t": 1024**4,
+}
+
+
+def parse_memory_budget(text: Union[str, int]) -> int:
+    """Parse a human byte count — ``"512M"``, ``"2G"``, ``"4096"`` — to int.
+
+    The one parser behind every ``--profile-budget`` flag.  Accepts a
+    bare byte count or a number with a K/M/G/T binary suffix (optionally
+    followed by ``B`` or ``iB``), case-insensitive.
+    """
+    if isinstance(text, int):
+        value = text
+    else:
+        token = str(text).strip().lower()
+        for tail in ("ib", "b"):
+            if token.endswith(tail) and token != tail:
+                token = token[: -len(tail)]
+                break
+        multiplier = 1
+        if token and token[-1] in _BUDGET_SUFFIXES:
+            multiplier = _BUDGET_SUFFIXES[token[-1]]
+            token = token[:-1]
+        try:
+            value = int(float(token) * multiplier)
+        except ValueError:
+            raise ValidationError(
+                f"cannot parse memory budget {text!r}; expected bytes "
+                "or a K/M/G/T-suffixed size like '512M'"
+            ) from None
+    if value < 1:
+        raise ValidationError(
+            f"profile memory budget must be positive, got {text!r}"
+        )
+    return value
+
+
+def plan_profile(
+    num_nodes: int, policy: Optional[ProfilePolicy] = None
+) -> ProfilePlan:
+    """Pick dense vs blocked (and the panel width) for an ``n``-node schedule.
+
+    The only refusal left in schedule accounting: an explicit
+    ``strategy="dense"`` whose ``(n, n)`` profile exceeds the budget.
+    Everything else escalates automatically.
+    """
+    policy = policy or get_profile_policy()
+    n = int(num_nodes)
+    budget = int(policy.memory_budget)
+    dense_bytes = _BYTES_PER_ENTRY * n * n
+    derived = max(1, min(n, budget // (_BYTES_PER_ENTRY * n)))
+
+    def blocked(width: int) -> ProfilePlan:
+        width = max(1, min(n, int(width)))
+        return ProfilePlan(
+            strategy="blocked",
+            block_size=width,
+            spill=True,
+            blocks=-(-n // width),
+        )
+
+    if policy.strategy == "dense":
+        if dense_bytes > budget:
+            raise ScheduleRefusedError(
+                f"strategy='dense' schedule accounting of n={n} needs "
+                f"~{dense_bytes // (1024 * 1024)} MiB for the (n, n) "
+                f"profile, over the {budget // (1024 * 1024)} MiB "
+                "profile memory budget; use strategy='auto' (blocked "
+                "evolution with disk spill, bit-identical results) or "
+                "raise the profile_memory_budget."
+            )
+        return ProfilePlan(
+            strategy="dense", block_size=n, spill=False, blocks=1
+        )
+    if policy.strategy == "blocked":
+        return blocked(policy.block_size or derived)
+    # auto: an explicit block size opts into the panel path outright.
+    if policy.block_size is not None:
+        return blocked(policy.block_size)
+    if dense_bytes <= budget:
+        return ProfilePlan(
+            strategy="dense", block_size=n, spill=False, blocks=1
+        )
+    return blocked(derived)
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+# ----------------------------------------------------------------------
+_STATS_LOCK = threading.Lock()
+
+
+def _zero_stats() -> Dict[str, int]:
+    return {
+        "dense_profiles": 0,
+        "blocked_profiles": 0,
+        "blocks_evolved": 0,
+        "blocks_resumed": 0,
+        "blocks_spilled": 0,
+        "spill_bytes": 0,
+        "truncated_profiles": 0,
+    }
+
+
+_STATS = _zero_stats()
+
+
+def _count(name: str, amount: int = 1) -> None:
+    with _STATS_LOCK:
+        _STATS[name] += amount
+
+
+def profile_stats() -> Dict[str, int]:
+    """Process-wide profile-store counters (serve reports these)."""
+    with _STATS_LOCK:
+        return dict(_STATS)
+
+
+def reset_profile_stats() -> None:
+    """Zero the counters (tests assert deltas from a clean slate)."""
+    with _STATS_LOCK:
+        _STATS.update(_zero_stats())
+
+
+# ----------------------------------------------------------------------
+# Spill root
+# ----------------------------------------------------------------------
+_FALLBACK_LOCK = threading.Lock()
+_FALLBACK_ROOT: Optional[Path] = None
+
+
+def _fallback_root() -> Path:
+    global _FALLBACK_ROOT
+    with _FALLBACK_LOCK:
+        if _FALLBACK_ROOT is None or not _FALLBACK_ROOT.exists():
+            root = Path(tempfile.mkdtemp(prefix="repro-profiles-"))
+            atexit.register(shutil.rmtree, str(root), ignore_errors=True)
+            _FALLBACK_ROOT = root
+        return _FALLBACK_ROOT
+
+
+def profile_spill_root(
+    spill_dir: Optional[Union[str, Path]] = None
+) -> Path:
+    """Where profile blocks spill: the graph spill dir, or a temp dir.
+
+    With an attached GraphCache spill directory, blocks land under
+    ``<spill_dir>/profiles/`` — the same directory pooled sweep workers
+    mount, which is how a block evolved by one worker is resumed by
+    another (and how a killed process's completed blocks survive it).
+    Without one, a per-process temporary directory (removed at exit)
+    still caps the memory high-water.
+    """
+    if spill_dir is not None:
+        return Path(spill_dir) / "profiles"
+    return _fallback_root()
+
+
+# ----------------------------------------------------------------------
+# Accounting result
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ScheduleAccounting:
+    """What :meth:`GraphBundle.schedule_collision` computed, and how.
+
+    ``sum_squared`` is the worst-user collision mass fed to the
+    Theorem 5.3/5.5 bounds.  With ``truncation`` set it is the
+    *conservative upper end* ``min(1, max_i(‖Q_i‖² + 2·δ_i))`` of the
+    provable interval around the truncated mass — larger collision
+    masses weaken amplification, so the reported epsilon stays sound —
+    and ``truncation_bound`` is the interval width ``2·max_i δ_i``.
+    Exact runs (``truncation=None``) report the mass itself and a zero
+    bound.
+    """
+
+    sum_squared: float
+    strategy: str
+    block_size: int
+    blocks: int
+    steps: int
+    truncation: Optional[float]
+    truncation_bound: float
+    exact: bool
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-ready form (the ``accounting`` key of bound payloads)."""
+        return {
+            "sum_squared": self.sum_squared,
+            "strategy": self.strategy,
+            "block_size": self.block_size,
+            "blocks": self.blocks,
+            "steps": self.steps,
+            "truncation": self.truncation,
+            "truncation_bound": self.truncation_bound,
+            "exact": self.exact,
+        }
+
+
+def worst_user_mass(
+    collisions: np.ndarray,
+    dropped: np.ndarray,
+    truncation: Optional[float],
+) -> Tuple[float, float]:
+    """The sound ``(sum_squared, truncation_bound)`` pair.
+
+    Exact evolutions pass ``truncation=None`` and get the plain max.
+    Truncated ones get the per-user upper end ``‖Q_i‖² + 2·δ_i`` (each
+    user's exact mass provably lies below it), maxed and clamped to 1 —
+    a collision mass can never exceed 1, and clamping toward larger
+    values is the conservative direction anyway.
+    """
+    if truncation is None:
+        return float(collisions.max()), 0.0
+    upper = collisions + 2.0 * dropped
+    return float(min(1.0, upper.max())), float(2.0 * dropped.max())
+
+
+# ----------------------------------------------------------------------
+# Block spill format
+# ----------------------------------------------------------------------
+_ANON_IDS = itertools.count()
+
+
+def anonymous_identity() -> str:
+    """A fresh store identity for bundles built outside the graph cache."""
+    return f"anon-{os.getpid()}-{next(_ANON_IDS)}"
+
+
+def store_identity(
+    cache_key: Optional[str],
+    laziness: float,
+    truncation: Optional[float],
+    block_size: int,
+) -> str:
+    """Stable on-disk identity of one (schedule, accounting-knobs) store.
+
+    Everything that changes the bits of a spilled panel is in the key;
+    ``steps`` is deliberately *not* — that is the resume axis.
+    """
+    if cache_key is None:
+        return anonymous_identity()
+    raw = f"{cache_key}|{laziness!r}|{truncation!r}|{block_size}"
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:32]
+
+
+def _write_panel(
+    path: Path,
+    panel: Union[np.ndarray, sp.spmatrix],
+    dropped: np.ndarray,
+    steps: int,
+    start: int,
+) -> int:
+    """Atomically persist one evolved block; returns bytes written."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "steps": np.int64(steps),
+        "start": np.int64(start),
+        "dropped": np.asarray(dropped, dtype=np.float64),
+    }
+    if sp.issparse(panel):
+        matrix = panel.tocsc()
+        matrix.sort_indices()
+        payload = {
+            "kind": np.array("csc"),
+            "data": matrix.data,
+            "indices": matrix.indices,
+            "indptr": matrix.indptr,
+            "shape": np.asarray(matrix.shape, dtype=np.int64),
+            **meta,
+        }
+    else:
+        payload = {
+            "kind": np.array("dense"),
+            "values": np.asarray(panel, dtype=np.float64),
+            **meta,
+        }
+    # Same atomicity discipline as the graph spill: a unique temp name
+    # in the final directory (np.savez requires the .npz suffix), then
+    # os.replace — concurrent writers race benignly to identical bytes
+    # and readers never observe a partial file.
+    temp = path.with_name(f".{path.stem}.tmp{os.getpid()}.npz")
+    try:
+        np.savez(temp, **payload)
+        os.replace(temp, path)
+    finally:
+        temp.unlink(missing_ok=True)
+    return path.stat().st_size
+
+
+def _read_panel(
+    path: Path, num_nodes: int, width: int
+) -> Optional[Tuple[Union[np.ndarray, sp.csc_matrix], np.ndarray, int]]:
+    """Load a spilled block, or ``None`` if absent/foreign/corrupt.
+
+    A block that fails to parse is treated as a cache miss, not an
+    error — the store recomputes it from one-hot (bit-identical), so a
+    torn or stale file can slow a resume but never poison it.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            kind = str(archive["kind"])
+            steps = int(archive["steps"])
+            dropped = np.asarray(archive["dropped"], dtype=np.float64)
+            if kind == "csc":
+                panel: Union[np.ndarray, sp.csc_matrix] = sp.csc_matrix(
+                    (
+                        archive["data"],
+                        archive["indices"],
+                        archive["indptr"],
+                    ),
+                    shape=tuple(archive["shape"]),
+                )
+            elif kind == "dense":
+                panel = np.asarray(archive["values"], dtype=np.float64)
+            else:
+                return None
+    except (OSError, KeyError, ValueError):
+        return None
+    if panel.shape != (num_nodes, width) or dropped.shape != (width,):
+        return None
+    if steps < 0:
+        return None
+    return panel, dropped, steps
+
+
+# ----------------------------------------------------------------------
+# The block store
+# ----------------------------------------------------------------------
+class ProfileStore:
+    """Block-granular evolve/spill/resume for one schedule's profile.
+
+    One store binds a schedule to one set of result-affecting knobs
+    (laziness, truncation, block size).  :meth:`collisions` walks the
+    column blocks: each block resumes from its spilled ``.npz`` when
+    one exists at fewer (or equal) rounds, evolves the remainder, is
+    re-spilled, reduced to per-user collision mass, and **released**
+    before the next block starts — the memory high-water is one panel.
+
+    Resume is bit-identical to a cold run: the spilled operand bytes
+    are exact (float64 ``.npz`` round-trips), and continuing a panel
+    applies precisely the products a longer cold evolution would.
+    A *descending* rounds request recomputes from one-hot without
+    downgrading the file, mirroring the dense memo's semantics.
+    """
+
+    def __init__(
+        self,
+        schedule: DynamicGraphSchedule,
+        *,
+        identity: str,
+        block_size: int,
+        laziness: float = 0.0,
+        truncation: Optional[float] = None,
+        directory: Optional[Union[str, Path]] = None,
+        spill: bool = True,
+    ):
+        if int(block_size) < 1:
+            raise ValidationError(
+                f"block_size must be >= 1, got {block_size!r}"
+            )
+        self.schedule = schedule
+        self.identity = str(identity)
+        self.block_size = int(block_size)
+        self.laziness = float(laziness)
+        self.truncation = None if truncation is None else float(truncation)
+        self.spill = bool(spill)
+        self._root = profile_spill_root(directory) / self.identity
+        self._last: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
+        self._lock = threading.Lock()
+
+    @property
+    def directory(self) -> Path:
+        """Where this store's blocks live on disk."""
+        return self._root
+
+    def block_path(self, start: int) -> Path:
+        return self._root / f"block_{int(start):08d}.npz"
+
+    @property
+    def num_blocks(self) -> int:
+        return -(-self.schedule.num_nodes // self.block_size)
+
+    def collisions(self, steps: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-user ``(collision mass, dropped mass)`` after ``steps`` rounds.
+
+        Both arrays have shape ``(n,)``; without truncation the second
+        is all zeros.
+        """
+        if int(steps) < 0:
+            raise ValidationError(
+                f"steps must be non-negative, got {steps}"
+            )
+        steps = int(steps)
+        with self._lock:
+            if self._last is not None and self._last[0] == steps:
+                return self._last[1].copy(), self._last[2].copy()
+        n = self.schedule.num_nodes
+        out = np.empty(n, dtype=np.float64)
+        dropped_out = np.zeros(n, dtype=np.float64)
+        transitions = _TransitionCache(self.schedule, self.laziness)
+        for index, start in enumerate(range(0, n, self.block_size)):
+            stop = min(start + self.block_size, n)
+            panel = None
+            dropped = None
+            done = 0
+            if self.spill:
+                loaded = _read_panel(
+                    self.block_path(start), n, stop - start
+                )
+                if loaded is not None and loaded[2] <= steps:
+                    panel, dropped, done = loaded
+                    _count("blocks_resumed")
+            if panel is None:
+                panel = identity_panel(n, start, stop)
+                dropped = np.zeros(stop - start, dtype=np.float64)
+            if done < steps:
+                panel, dropped = evolve_panel_on_schedule(
+                    self.schedule,
+                    panel,
+                    steps - done,
+                    laziness=self.laziness,
+                    start_round=done,
+                    transitions=transitions,
+                    truncation=self.truncation,
+                    dropped=dropped,
+                )
+                _count("blocks_evolved")
+                if self.spill:
+                    written = _write_panel(
+                        self.block_path(start), panel, dropped,
+                        steps, start,
+                    )
+                    _count("blocks_spilled")
+                    _count("spill_bytes", written)
+            out[start:stop] = panel_collisions(panel)
+            dropped_out[start:stop] = dropped
+            # Chaos hook: lets tests kill this process between blocks
+            # and assert the next run resumes from the spilled prefix.
+            faults.maybe_fire(index, channel=FAULT_CHANNEL)
+        with self._lock:
+            self._last = (steps, out.copy(), dropped_out.copy())
+        return out, dropped_out

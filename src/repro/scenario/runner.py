@@ -18,6 +18,7 @@ either engine; the scenario tests assert this.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Union
@@ -331,6 +332,12 @@ def bound(scenario: Scenario, *, rounds: Optional[int] = None) -> NetworkShuffle
     steps = _resolve_rounds(scenario, bundle, rounds)
     delta0 = _mechanism_delta0(mechanism)
     laziness = _accounting_laziness(scenario)
+    if scenario.truncation is not None and not bundle.is_schedule:
+        raise ValidationError(
+            "truncation applies only to schedule accounting (it prices "
+            "dropped profile mass on a time-varying topology); static "
+            "graphs are exact — remove the truncation field"
+        )
     if scenario.analysis == "symmetric":
         _require_regular(bundle.graph)
         distribution = bundle.walk_distribution(steps, laziness)
@@ -338,9 +345,15 @@ def bound(scenario: Scenario, *, rounds: Optional[int] = None) -> NetworkShuffle
             scenario, epsilon0, n, distribution=distribution, delta0=delta0
         )
     if bundle.is_schedule:
-        sum_squared = bundle.schedule_collision(steps, laziness)
-    else:
-        sum_squared = _lazy_sum_squared(bundle.summary, steps, laziness)
+        accounting = bundle.schedule_collision(
+            steps, laziness, truncation=scenario.truncation
+        )
+        result = _theorem_bound(
+            scenario, epsilon0, n,
+            sum_squared=accounting.sum_squared, delta0=delta0,
+        )
+        return dataclasses.replace(result, accounting=accounting.payload())
+    sum_squared = _lazy_sum_squared(bundle.summary, steps, laziness)
     return _theorem_bound(
         scenario, epsilon0, n, sum_squared=sum_squared, delta0=delta0
     )
@@ -500,6 +513,9 @@ class RunResult:
             ),
             max_peak_items=(
                 None if meters is None else int(meters.max_peak_items())
+            ),
+            schedule_accounting=(
+                None if self.bound is None else self.bound.accounting
             ),
         )
 

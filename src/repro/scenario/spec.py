@@ -281,6 +281,18 @@ class Scenario:
         Local budget for accounting when no mechanism is given.  When a
         mechanism is present its ``epsilon`` wins and this must match
         (or be ``None``).
+    truncation:
+        Schedule-accounting sparsity tolerance in ``(0, 1)``: per-entry
+        profile mass below it is dropped each round, keeping panels
+        sparse on bounded-degree churn so million-node schedules stay
+        tractable.  The reported bound feeds the theorems a *provable
+        upper end* of the resulting interval (sound, slightly
+        conservative) and surfaces ``truncation_bound`` in the
+        accounting payload.  It changes results, so it is a scenario
+        field (hashed, sweepable) — memory strategy knobs, which do
+        not, live in :class:`repro.scenario.profile.ProfilePolicy`.
+        Only valid on ``schedule`` graphs with
+        ``analysis="stationary"``.
     delta / delta2:
         Central composition and Lemma 5.1 failure probabilities.
     seed:
@@ -301,6 +313,7 @@ class Scenario:
     dummies: Optional[DummySpec] = None
     audit: Optional[AuditSpec] = None
     epsilon0: Optional[float] = None
+    truncation: Optional[float] = None
     delta: float = DEFAULT_CONFIG.delta
     delta2: float = DEFAULT_CONFIG.delta2
     seed: int = 0
@@ -340,6 +353,13 @@ class Scenario:
                 "epsilon0",
                 check_epsilon(_number(self.epsilon0, float, "epsilon0"), "epsilon0"),
             )
+        if self.truncation is not None:
+            truncation = _number(self.truncation, float, "truncation")
+            if not 0.0 < truncation < 1.0:
+                raise ValidationError(
+                    f"truncation must be in (0, 1), got {truncation}"
+                )
+            object.__setattr__(self, "truncation", truncation)
         check_delta(_number(self.delta, float, "delta"), "delta")
         check_delta(_number(self.delta2, float, "delta2"), "delta2")
         seed = _number(self.seed, int, "seed")

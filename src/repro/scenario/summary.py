@@ -16,6 +16,8 @@ Presence rules
 * ``empirical_epsilon`` appears iff the Theorem 6.1 estimate exists
   (``A_all`` with a pure-DP mechanism).
 * The meter aggregates appear together iff the run was metered.
+* ``schedule_accounting`` appears iff the bound came from dynamic-
+  schedule accounting (strategy, block geometry, truncation bound).
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ def run_summary_payload(
     empirical_epsilon: Optional[float] = None,
     total_messages_sent: Optional[int] = None,
     max_peak_items: Optional[int] = None,
+    schedule_accounting: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Build the canonical JSON-able digest of one scenario execution."""
     payload: Dict[str, Any] = {
@@ -64,4 +67,6 @@ def run_summary_payload(
         payload["max_peak_items"] = (
             None if max_peak_items is None else int(max_peak_items)
         )
+    if schedule_accounting is not None:
+        payload["schedule_accounting"] = dict(schedule_accounting)
     return payload

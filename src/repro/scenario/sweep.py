@@ -83,6 +83,11 @@ from repro.scenario.cache import (
     graph_cache_key,
     spec_cache_key,
 )
+from repro.scenario.profile import (
+    ProfilePolicy,
+    get_profile_policy,
+    set_profile_policy,
+)
 from repro.scenario.registry import Registration
 from repro.scenario.runner import (
     RunResult,
@@ -145,6 +150,7 @@ class RunDigest:
     total_messages_sent: Optional[int] = None
     max_messages_sent: Optional[int] = None
     max_peak_items: Optional[int] = None
+    schedule_accounting: Optional[Dict[str, Any]] = None
 
     def summary(self) -> Dict[str, Any]:
         """JSON-able digest (one code path with ``RunResult.summary``)."""
@@ -162,6 +168,7 @@ class RunDigest:
             empirical_epsilon=self.empirical_epsilon,
             total_messages_sent=self.total_messages_sent,
             max_peak_items=self.max_peak_items,
+            schedule_accounting=self.schedule_accounting,
         )
 
 
@@ -189,6 +196,10 @@ def digest_run(result: RunResult) -> RunDigest:
         ),
         max_peak_items=(
             None if meters is None else int(meters.max_peak_items())
+        ),
+        schedule_accounting=(
+            None if bound_ is None or bound_.accounting is None
+            else dict(bound_.accounting)
         ),
     )
 
@@ -445,16 +456,24 @@ def _execute(scenario: Scenario, mode: str, results: str) -> Outcome:
 
 
 def _initialize_worker(
-    registrations: List[_RecordedRegistration], spill_dir: Optional[str]
+    registrations: List[_RecordedRegistration],
+    spill_dir: Optional[str],
+    profile_policy: Optional[Dict[str, Any]] = None,
 ) -> None:
     """Pool-worker initializer: replay registrations, attach the spill.
 
     Runs once per worker process (not per grid point), so the recorded
     registrations and cache configuration cross the pool exactly once.
+    ``profile_policy`` carries the parent's schedule-accounting policy
+    with the memory budget divided by the worker count, so ``workers``
+    concurrent profile evolutions respect the *host's* budget (the
+    strategy choice changes, the resulting bits never do).
     """
     _replay_registrations(registrations)
     if spill_dir is not None:
         GRAPH_CACHE.spill_dir = Path(spill_dir)
+    if profile_policy is not None:
+        set_profile_policy(ProfilePolicy(**profile_policy))
 
 
 def _execute_serialized(
@@ -508,6 +527,7 @@ def _run_pooled(
     context,
     registrations: List[_RecordedRegistration],
     spill_path: Optional[str],
+    worker_policy: Optional[Dict[str, Any]],
     on_error: str,
     retries: int,
     point_timeout: Optional[float],
@@ -550,7 +570,7 @@ def _run_pooled(
             max_workers=workers,
             mp_context=context,
             initializer=_initialize_worker,
-            initargs=(registrations, spill_path),
+            initargs=(registrations, spill_path, worker_policy),
         )
         futures = {
             pool.submit(
@@ -721,6 +741,32 @@ def _materializing_grid(
     ]
 
 
+#: Floor on a pool worker's profile memory budget: below this the
+#: panels degenerate to a handful of columns and the spill churn
+#: dominates — a worker always gets at least 8 MiB to plan with.
+_MIN_WORKER_PROFILE_BUDGET = 8 * 1024 * 1024
+
+
+def _worker_profile_policy(workers: int) -> Dict[str, Any]:
+    """The parent's profile policy with a per-worker budget share.
+
+    ``workers`` profile evolutions can run concurrently, so each worker
+    plans against ``budget // workers`` (floored) — the host's memory
+    high-water stays within the configured budget.  Returned as a dict
+    so it pickles under every start method.
+    """
+    policy = get_profile_policy()
+    share = max(
+        _MIN_WORKER_PROFILE_BUDGET,
+        int(policy.memory_budget) // max(1, int(workers)),
+    )
+    return {
+        "memory_budget": share,
+        "strategy": policy.strategy,
+        "block_size": policy.block_size,
+    }
+
+
 def _prepare_pool_graphs(
     grid: Sequence[Tuple[Dict[str, Any], Scenario]],
     spill_dir: Path,
@@ -731,9 +777,13 @@ def _prepare_pool_graphs(
     started workers load the ``.npz`` CSR files.  Either way the
     generator runs exactly once per distinct (graph spec, seed) on this
     host — and seed-independent graphs (shared across a seed axis)
-    spill exactly one spec-keyed copy.  Dynamic schedules cannot spill
-    (no single CSR) — they are still pre-built for fork inheritance and
-    rebuilt under spawn.
+    spill exactly one spec-keyed copy.  Dynamic schedules spill too
+    (phase CSRs + selector spec), so spawn workers stop rebuilding
+    them; only a schedule with a custom selector callable is rebuilt
+    per spawn worker (fork workers always inherit the bundle).  The
+    spill directory doubles as the profile-block root: any schedule
+    accounting blocks the parent (or one worker) evolves under
+    ``<spill_dir>/profiles/`` are resumed by the others.
     """
     seen = set()
     for _, scenario in grid:
@@ -1017,6 +1067,7 @@ def sweep(
                     spill_path=(
                         None if spill_path is None else str(spill_path)
                     ),
+                    worker_policy=_worker_profile_policy(workers),
                     on_error=on_error,
                     retries=retries,
                     point_timeout=point_timeout,

@@ -187,6 +187,7 @@ class ReproService:
         max_queue: Optional[int] = None,
         store: Optional[str] = None,
         job_timeout: Optional[float] = None,
+        profile_budget: Optional[int] = None,
     ):
         if job_timeout is not None and not job_timeout > 0:
             raise ValidationError(
@@ -206,6 +207,13 @@ class ReproService:
         self._spill_attached = spill_dir is not None
         if spill_dir is not None:
             api.attach_spill(spill_dir)
+        if profile_budget is not None:
+            # Schedule-accounting memory cap for every job this process
+            # runs; with a spill tier attached, profile blocks land
+            # under it and survive restarts alongside the graphs.
+            api.set_profile_policy(
+                api.ProfilePolicy(memory_budget=int(profile_budget))
+            )
         self._store = None
         next_job_number = 1
         if store is not None:
@@ -658,6 +666,7 @@ class ReproService:
             "uptime_seconds": round(time.time() - self.started, 3),
             "graph_cache": api.cache_stats(),
             "kernel_sampler": api.sampler_stats(),
+            "profile_store": api.profile_stats(),
             "jobs": {"retained": len(jobs), **by_status},
             "queue": {"depth": depth, "max": self._max_queue},
             "store_errors": self._store_errors,
@@ -713,6 +722,7 @@ async def serve(
     max_queue: Optional[int] = None,
     store: Optional[str] = None,
     job_timeout: Optional[float] = None,
+    profile_budget: Optional[int] = None,
     echo=print,
 ) -> None:
     """Run the service until SIGINT/SIGTERM (the CLI entry point)."""
@@ -722,6 +732,7 @@ async def serve(
         max_queue=max_queue,
         store=store,
         job_timeout=job_timeout,
+        profile_budget=profile_budget,
     )
     server = await service.start(host, port)
     stop = asyncio.Event()
@@ -740,6 +751,11 @@ async def serve(
         + (
             f", job timeout {job_timeout}s"
             if job_timeout is not None
+            else ""
+        )
+        + (
+            f", profile budget {profile_budget} bytes"
+            if profile_budget is not None
             else ""
         )
         + ") — GET /healthz /stats /results,"
@@ -832,16 +848,18 @@ class ServerHandle:
 
 def main(arguments: list) -> None:
     """``python -m repro serve [--host H] [--port P] [--workers N]
-    [--spill-dir DIR] [--store DB] [--max-queue N] [--job-timeout S]``."""
+    [--spill-dir DIR] [--store DB] [--max-queue N] [--job-timeout S]
+    [--profile-budget BYTES]``."""
     usage = (
         "usage: python -m repro serve [--host HOST] [--port PORT] "
         "[--workers N] [--spill-dir DIR] [--store DB] [--max-queue N] "
-        "[--job-timeout SECONDS]"
+        "[--job-timeout SECONDS] [--profile-budget BYTES|512M|2G]"
     )
     host, port, workers, spill_dir = "127.0.0.1", 8777, 2, None
     store: Optional[str] = None
     max_queue: Optional[int] = None
     job_timeout: Optional[float] = None
+    profile_budget: Optional[int] = None
     index = 0
     while index < len(arguments):
         flag = arguments[index]
@@ -867,9 +885,11 @@ def main(arguments: list) -> None:
                 max_queue = int(value)
             elif flag == "--job-timeout":
                 job_timeout = float(value)
+            elif flag == "--profile-budget":
+                profile_budget = api.parse_memory_budget(value)
             else:
                 raise SystemExit(usage)
-        except ValueError:
+        except (ValueError, ValidationError):
             raise SystemExit(usage) from None
     try:
         asyncio.run(
@@ -881,6 +901,7 @@ def main(arguments: list) -> None:
                 max_queue=max_queue,
                 store=store,
                 job_timeout=job_timeout,
+                profile_budget=profile_budget,
             )
         )
     except KeyboardInterrupt:

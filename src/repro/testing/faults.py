@@ -74,11 +74,17 @@ class FaultRule:
     ``times`` bounds the rule: it fires on the first ``times``
     *attempts* of the point (retries count), then lets the point
     succeed — which is exactly the shape crash-recovery tests need.
+
+    ``channel`` namespaces the index: the sweep engine fires on the
+    default ``"sweep"`` channel, the out-of-core profile store fires
+    per completed block on ``"profile"`` — so a plan can kill block 2
+    of a profile evolution without colliding with grid point 2.
     """
 
     point: int
     action: str = "raise"
     times: int = 1
+    channel: str = "sweep"
     #: ``action="hang"``: how long the point sleeps before returning.
     seconds: float = 3600.0
     #: ``action="exit"``: the worker's ``os._exit`` status.
@@ -104,6 +110,7 @@ class FaultRule:
             "point": int(self.point),
             "action": self.action,
             "times": int(self.times),
+            "channel": self.channel,
             "seconds": float(self.seconds),
             "exit_code": int(self.exit_code),
             "message": self.message,
@@ -200,13 +207,13 @@ def active_plan() -> Optional[FaultPlan]:
         ) from error
 
 
-def maybe_fire(point: int) -> None:
-    """The sweep engine's per-point hook: act on any matching rule.
+def maybe_fire(point: int, channel: str = "sweep") -> None:
+    """The per-point execution hook: act on any matching rule.
 
     No-op (one env lookup) without an installed plan.  With one, every
-    rule matching ``point`` that has fired fewer than ``times`` times
-    records the attempt and performs its action — raising
-    :class:`InjectedFaultError`, killing this process with
+    rule matching ``(point, channel)`` that has fired fewer than
+    ``times`` times records the attempt and performs its action —
+    raising :class:`InjectedFaultError`, killing this process with
     ``os._exit``, or sleeping ``seconds`` (then returning normally, so
     a hang that nobody times out still completes).
     """
@@ -214,7 +221,7 @@ def maybe_fire(point: int) -> None:
     if plan is None:
         return
     for rule_index, rule in enumerate(plan.rules):
-        if rule.point != int(point):
+        if rule.point != int(point) or rule.channel != channel:
             continue
         counter = plan._counter(rule_index)
         if plan.fired(rule_index) >= rule.times:

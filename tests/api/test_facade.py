@@ -86,10 +86,12 @@ class TestPayloads:
         payload = api.bound_payload(api.bound(api.parse_scenario(SCENARIO_DICT)))
         assert set(payload) == {
             "epsilon", "delta", "theorem", "epsilon0", "sum_squared", "n",
-            "amplification_ratio", "amplified",
+            "amplification_ratio", "amplified", "accounting",
         }
         assert payload["n"] == 64
         assert payload["epsilon0"] == 1.0
+        # Single-graph scenario: no schedule, so no accounting block.
+        assert payload["accounting"] is None
 
     def test_run_payload_is_the_summary(self):
         result = api.run(api.parse_scenario(SCENARIO_DICT))

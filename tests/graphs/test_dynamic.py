@@ -8,9 +8,15 @@ import pytest
 from repro.exceptions import ValidationError
 from repro.graphs.dynamic import (
     DynamicGraphSchedule,
+    EpochSelector,
+    _TransitionCache,
+    collision_profile_blocked,
     collision_profile_on_schedule,
     evolve_on_schedule,
+    evolve_panel_on_schedule,
     evolve_profile_on_schedule,
+    identity_panel,
+    panel_collisions,
     position_distribution_on_schedule,
     simulate_tokens_on_schedule,
     simulate_trial_walks_on_schedule,
@@ -206,6 +212,138 @@ class TestProfileEvolution:
         schedule = DynamicGraphSchedule(two_graphs)
         with pytest.raises(ValidationError):
             evolve_profile_on_schedule(schedule, np.eye(10), 2)
+
+
+class TestTransitionCacheIdentity:
+    """The memo keys by ``id(graph)`` but must pin the graph it keyed.
+
+    Regression: a bare ``id -> matrix`` map let a garbage-collected
+    graph's reused ``id`` silently answer with the *old* topology's
+    transition matrix.
+    """
+
+    def test_reused_id_never_returns_stale_matrix(self):
+        class LazyPhases(DynamicGraphSchedule):
+            """Generates each phase graph on demand, keeping no refs."""
+
+            def __init__(self):
+                super().__init__([cycle_graph(8)])
+
+            def graph_at(self, round_index):
+                if round_index % 2 == 0:
+                    return cycle_graph(8)
+                return random_regular_graph(4, 8, rng=1)
+
+        schedule = LazyPhases()
+        cache = _TransitionCache(schedule, 0.0)
+        expected = []
+        for round_index in range(6):
+            # Hold our own reference so the comparison graph can't be
+            # collected; the *cache's* correctness under collection is
+            # what the loop below exercises.
+            graph = schedule.graph_at(round_index)
+            from repro.graphs.walks import lazy_transition_matrix
+
+            expected.append(lazy_transition_matrix(graph, 0.0).T.tocsr())
+        for round_index in range(6):
+            got = cache.at(round_index)
+            want = expected[round_index]
+            assert (got != want).nnz == 0, f"round {round_index}"
+
+    def test_cache_pins_keyed_graphs(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        cache = _TransitionCache(schedule, 0.0)
+        cache.at(0)
+        cache.at(1)
+        held = [entry[0] for entry in cache._matrices.values()]
+        assert two_graphs[0] in held and two_graphs[1] in held
+
+
+class TestEpochSelector:
+    def test_holds_each_graph_for_block_rounds(self, two_graphs):
+        schedule = DynamicGraphSchedule(
+            two_graphs, selector=EpochSelector(3, 2)
+        )
+        picks = [schedule.graph_at(r) for r in range(8)]
+        assert picks[:3] == [two_graphs[0]] * 3
+        assert picks[3:6] == [two_graphs[1]] * 3
+        assert picks[6:] == [two_graphs[0]] * 2
+
+
+class TestBlockedCollisionParity:
+    """Property: blocked accounting is bit-identical to dense, any B."""
+
+    @pytest.mark.parametrize("block_size", [1, 7, 60])
+    @pytest.mark.parametrize("laziness", [0.0, 0.3])
+    def test_bit_identical_across_block_sizes(
+        self, two_graphs, block_size, laziness
+    ):
+        schedule = DynamicGraphSchedule(two_graphs)
+        dense = collision_profile_on_schedule(schedule, 6, laziness=laziness)
+        blocked, dropped = collision_profile_blocked(
+            schedule, 6, block_size=block_size, laziness=laziness
+        )
+        np.testing.assert_array_equal(blocked, dense)
+        assert not dropped.any()
+
+    def test_zero_steps_is_one_hot_collision(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        collisions, _ = collision_profile_blocked(
+            schedule, 0, block_size=13
+        )
+        np.testing.assert_array_equal(collisions, np.ones(60))
+
+    def test_panel_resume_matches_cold_run(self, two_graphs):
+        """Evolving 3+3 rounds through ``start_round`` equals 6 cold."""
+        schedule = DynamicGraphSchedule(two_graphs)
+        cold, _ = evolve_panel_on_schedule(
+            schedule, identity_panel(60, 10, 20), 6
+        )
+        prefix, dropped = evolve_panel_on_schedule(
+            schedule, identity_panel(60, 10, 20), 3
+        )
+        resumed, _ = evolve_panel_on_schedule(
+            schedule, prefix, 3, start_round=3, dropped=dropped
+        )
+        np.testing.assert_array_equal(
+            panel_collisions(resumed), panel_collisions(cold)
+        )
+
+    def test_rejects_bad_block_size(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        with pytest.raises(ValidationError):
+            collision_profile_blocked(schedule, 2, block_size=0)
+
+
+class TestTruncation:
+    """Truncated accounting lower-bounds exact, priced by dropped mass."""
+
+    @pytest.mark.parametrize("tol", [1e-6, 1e-3, 1e-2])
+    def test_soundness_bracket(self, two_graphs, tol):
+        schedule = DynamicGraphSchedule(two_graphs)
+        exact = collision_profile_on_schedule(schedule, 6)
+        truncated, dropped = collision_profile_blocked(
+            schedule, 6, block_size=17, truncation=tol
+        )
+        assert np.all(truncated <= exact + 1e-15)
+        assert np.all(exact <= truncated + 2.0 * dropped + 1e-15)
+
+    def test_tiny_tolerance_drops_nothing(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        exact = collision_profile_on_schedule(schedule, 4)
+        truncated, dropped = collision_profile_blocked(
+            schedule, 4, block_size=60, truncation=1e-300
+        )
+        np.testing.assert_array_equal(truncated, exact)
+        assert not dropped.any()
+
+    def test_rejects_out_of_range_tolerance(self, two_graphs):
+        schedule = DynamicGraphSchedule(two_graphs)
+        for tol in (0.0, 1.0, -0.5):
+            with pytest.raises(ValidationError):
+                evolve_panel_on_schedule(
+                    schedule, identity_panel(60, 0, 4), 2, truncation=tol
+                )
 
 
 class TestSimulateTokens:

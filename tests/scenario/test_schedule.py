@@ -26,6 +26,7 @@ from repro.scenario import (
     bound,
     build_graph,
     clear_graph_cache,
+    profile_policy,
     run,
     stationary_bound,
     sweep,
@@ -245,7 +246,10 @@ class TestScheduleBound:
         with pytest.raises(ValidationError, match="symmetric"):
             bound(_schedule_scenario(analysis="symmetric"))
 
-    def test_oversized_schedule_accounting_refused(self):
+    def test_oversized_schedule_escalates_to_blocked(self):
+        """The old 4096-node cap is gone: a schedule whose dense
+        profile exceeds the memory budget silently escalates to
+        blocked/spilled accounting and still prices exactly."""
         scenario = _schedule_scenario(
             graph={
                 "kind": "schedule",
@@ -255,9 +259,20 @@ class TestScheduleBound:
                          "params": {"degree": 4, "num_nodes": 5000}},
                     ]
                 },
-            }
+            },
+            rounds=2,
         )
-        with pytest.raises(ValidationError, match="cap"):
+        with profile_policy(memory_budget=2 * 1024 * 1024):
+            result = bound(scenario)
+        assert result.accounting["strategy"] == "blocked"
+        assert result.accounting["exact"] is True
+        assert result.epsilon > 0.0
+
+    def test_explicit_dense_over_budget_is_the_only_refusal(self):
+        scenario = _schedule_scenario(rounds=2)
+        with profile_policy(
+            memory_budget=16 * 1024, strategy="dense"
+        ), pytest.raises(ValidationError, match="profile memory budget"):
             bound(scenario)
 
 

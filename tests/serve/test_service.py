@@ -87,7 +87,7 @@ class TestIntrospection:
         assert status == 200
         assert set(payload) == {
             "uptime_seconds", "graph_cache", "kernel_sampler", "jobs",
-            "queue", "store_errors", "requests",
+            "queue", "store_errors", "requests", "profile_store",
         }
         assert payload["store_errors"] == 0
         assert set(payload["queue"]) == {"depth", "max"}
@@ -95,6 +95,11 @@ class TestIntrospection:
             "builds", "memory_hits", "disk_hits", "requests", "resident",
         }
         assert set(payload["kernel_sampler"]) == {"builds", "hits"}
+        assert set(payload["profile_store"]) == {
+            "dense_profiles", "blocked_profiles", "blocks_evolved",
+            "blocks_resumed", "blocks_spilled", "spill_bytes",
+            "truncated_profiles",
+        }
 
     def test_stats_records_route_latencies(self, client):
         request(client, "GET", "/healthz")

@@ -120,6 +120,62 @@ class TestScenarioCommands:
         output = capsys.readouterr().out
         assert "epsilon_lower_bound" in output
 
+    def test_bound_prints_guarantee(self, scenario_file, capsys):
+        main(["bound", scenario_file])
+        output = capsys.readouterr().out
+        assert "epsilon" in output
+        assert "theorem" in output
+
+    def test_bound_schedule_scenario_shows_accounting(
+        self, schedule_scenario_file, capsys
+    ):
+        main(["bound", schedule_scenario_file])
+        output = capsys.readouterr().out
+        assert "accounting:" in output
+        assert "strategy" in output
+
+    def test_bound_json(self, schedule_scenario_file, capsys):
+        import json
+
+        main(["bound", schedule_scenario_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["accounting"]["strategy"] in ("dense", "blocked")
+        assert payload["epsilon"] > 0
+
+    def test_bound_profile_budget_escalates(
+        self, schedule_scenario_file, capsys
+    ):
+        import json
+
+        from repro.api import ProfilePolicy, set_profile_policy
+
+        try:
+            main([
+                "bound", schedule_scenario_file, "--json",
+                "--profile-budget", "16K",
+            ])
+        finally:
+            # The flag installs process policy; restore for other tests.
+            set_profile_policy(ProfilePolicy())
+        payload = json.loads(capsys.readouterr().out)
+        # 16*64*64 bytes of dense profile exceed a 16 KiB budget.
+        assert payload["accounting"]["strategy"] == "blocked"
+
+    def test_bound_rejects_bad_budget(self, scenario_file):
+        from repro.api import ProfilePolicy, set_profile_policy
+
+        try:
+            with pytest.raises(SystemExit, match="profile-budget"):
+                main([
+                    "bound", scenario_file, "--profile-budget", "lots",
+                ])
+        finally:
+            set_profile_policy(ProfilePolicy())
+
+    def test_bound_usage_error(self):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["bound"])
+
     def test_sweep_schedule_scenario(self, schedule_scenario_file, capsys):
         main([
             "sweep", schedule_scenario_file,
