@@ -1,9 +1,12 @@
-"""Exchange-backend shootout: vectorized vs per-message on 10k nodes.
+"""Exchange-backend shootout: faithful vs vectorized vs compiled.
 
 The acceptance target for the vectorized engine is a >=10x speedup over
 the faithful backend on a 10,000-node, 16-round exchange, while
 producing the *identical* seeded held-count vector (the shared RNG
-contract makes the comparison exact, not statistical).
+contract makes the comparison exact, not statistical).  The compiled
+backend must reproduce the same vector too; with numba installed it
+must beat the vectorized engine by >=3x on the fused multi-round path,
+and the pure-NumPy fallback must not be slower.
 """
 
 from __future__ import annotations
@@ -14,6 +17,7 @@ import numpy as np
 import pytest
 
 from repro.graphs.generators import random_regular_graph
+from repro.netsim.kernels import NUMBA_AVAILABLE, resolve_implementation
 from repro.netsim.network import RoundBasedNetwork
 
 _NUM_NODES = 10_000
@@ -51,14 +55,49 @@ def test_vectorized_speedup_over_faithful(shootout_graph):
     )
 
 
-def test_bench_vectorized_exchange(benchmark, shootout_graph):
-    """pytest-benchmark timing of the vectorized exchange (JSON artifact)."""
+def test_compiled_matches_vectorized_and_is_not_slower(shootout_graph):
+    vectorized_time, vectorized_counts = _timed_exchange(
+        shootout_graph, "vectorized"
+    )
+    compiled_time, compiled_counts = _timed_exchange(
+        shootout_graph, "compiled"
+    )
+    speedup = vectorized_time / compiled_time
+    implementation = resolve_implementation()
+    print(
+        f"\nvectorized: {vectorized_time:.3f}s  "
+        f"compiled[{implementation}]: {compiled_time:.3f}s  "
+        f"speedup: {speedup:.1f}x ({_NUM_NODES} nodes, {_ROUNDS} rounds)"
+    )
+    # Same seed => bit-identical allocation on every backend.
+    np.testing.assert_array_equal(vectorized_counts, compiled_counts)
+    if NUMBA_AVAILABLE:
+        assert speedup >= 3.0, (
+            f"JIT-compiled backend only {speedup:.1f}x faster than vectorized"
+        )
+    else:
+        # The NumPy fallback must not regress (x1.5 timing-noise slack).
+        assert compiled_time <= vectorized_time * 1.5, (
+            f"compiled fallback {1 / speedup:.2f}x slower than vectorized"
+        )
 
+
+def _bench_backend(benchmark, graph, backend):
     def exchange():
-        network = RoundBasedNetwork(shootout_graph, rng=0, backend="vectorized")
-        network.seed_items({i: [i] for i in range(shootout_graph.num_nodes)})
+        network = RoundBasedNetwork(graph, rng=0, backend=backend)
+        network.seed_items({i: [i] for i in range(graph.num_nodes)})
         network.run_exchange(_ROUNDS)
         return network.held_counts()
 
     counts = benchmark(exchange)
     assert counts.sum() == _NUM_NODES
+
+
+def test_bench_vectorized_exchange(benchmark, shootout_graph):
+    """pytest-benchmark timing of the vectorized exchange (JSON artifact)."""
+    _bench_backend(benchmark, shootout_graph, "vectorized")
+
+
+def test_bench_compiled_exchange(benchmark, shootout_graph):
+    """pytest-benchmark timing of the compiled exchange (JSON artifact)."""
+    _bench_backend(benchmark, shootout_graph, "compiled")

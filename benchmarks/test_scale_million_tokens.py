@@ -15,6 +15,11 @@ import pytest
 
 from repro.graphs.generators import random_regular_graph
 from repro.netsim.engine import VectorizedExchange
+from repro.netsim.kernels import (
+    NUMBA_AVAILABLE,
+    CompiledExchange,
+    resolve_implementation,
+)
 
 _NUM_NODES = 100_000
 _TOKENS_PER_NODE = 10
@@ -54,6 +59,47 @@ def test_million_token_exchange_runs_in_seconds(big_graph):
     assert engine.meters.total_messages_sent() == origins.size * _ROUNDS
 
 
+def test_million_token_compiled_speedup(big_graph):
+    """The compiled backend's acceptance floor at the north-star scale.
+
+    Identical seeded allocation to the vectorized engine, and: with
+    numba, >=3x faster on the fused multi-round path; without it, the
+    pure-NumPy fallback must not be slower (modest timing slack).
+    """
+    origins = np.repeat(
+        np.arange(_NUM_NODES, dtype=np.int64), _TOKENS_PER_NODE
+    )
+    timings = {}
+    counts = {}
+    for engine_cls in (VectorizedExchange, CompiledExchange):
+        engine = engine_cls(big_graph, rng=0)
+        engine.seed_tokens(origins)
+        start = time.perf_counter()
+        engine.run(_ROUNDS)
+        timings[engine_cls.__name__] = time.perf_counter() - start
+        counts[engine_cls.__name__] = engine.held_counts()
+    vectorized = timings["VectorizedExchange"]
+    compiled = timings["CompiledExchange"]
+    speedup = vectorized / compiled
+    print(
+        f"\n{origins.size:,} tokens x {_ROUNDS} rounds: vectorized "
+        f"{vectorized:.2f}s, compiled[{resolve_implementation()}] "
+        f"{compiled:.2f}s -> {speedup:.1f}x"
+    )
+    np.testing.assert_array_equal(
+        counts["VectorizedExchange"], counts["CompiledExchange"]
+    )
+    assert compiled < _TIME_BUDGET_SECONDS
+    if NUMBA_AVAILABLE:
+        assert speedup >= 3.0, (
+            f"JIT-compiled backend only {speedup:.1f}x faster than vectorized"
+        )
+    else:
+        assert compiled <= vectorized * 1.5, (
+            f"compiled fallback {1 / speedup:.2f}x slower than vectorized"
+        )
+
+
 def test_bench_million_token_round(benchmark, big_graph):
     """pytest-benchmark timing of single million-token rounds."""
     origins = np.repeat(
@@ -62,4 +108,15 @@ def test_bench_million_token_round(benchmark, big_graph):
     engine = VectorizedExchange(big_graph, rng=0)
     engine.seed_tokens(origins)
     benchmark.pedantic(engine.run_round, rounds=5, iterations=1)
+    assert engine.held_counts().sum() == origins.size
+
+
+def test_bench_million_token_compiled_run(benchmark, big_graph):
+    """pytest-benchmark timing of the fused compiled multi-round driver."""
+    origins = np.repeat(
+        np.arange(_NUM_NODES, dtype=np.int64), _TOKENS_PER_NODE
+    )
+    engine = CompiledExchange(big_graph, rng=0)
+    engine.seed_tokens(origins)
+    benchmark.pedantic(lambda: engine.run(5), rounds=3, iterations=1)
     assert engine.held_counts().sum() == origins.size

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Backend comparison: one scenario, three engines, identical results.
+
+The exchange engine is a per-scenario knob: ``"faithful"`` replays the
+paper's per-message loop, ``"fast"``/``"vectorized"`` runs flat-array
+rounds, and ``"compiled"`` fuses the whole campaign into a single
+kernel call (numba-JIT when the ``[compiled]`` extra is installed,
+pure-NumPy fallback otherwise).  All three share one RNG contract, so
+every trajectory, meter, and payload is bit-identical — this example
+runs the same seeded scenario on each backend, checks that, and prints
+the wall-clock alongside which compiled kernels were resolved.
+
+Run:  python examples/backend_comparison.py
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro import Scenario, run
+from repro.netsim.kernels import backend_info
+
+EPSILON0 = 1.0
+NUM_USERS = 5_000
+ROUNDS = 12
+
+ENGINES = ("faithful", "vectorized", "compiled")
+
+
+def main() -> None:
+    base = Scenario(
+        graph={"kind": "k_regular", "params": {"degree": 8, "num_nodes": NUM_USERS}},
+        mechanism={"kind": "rr", "params": {"epsilon": EPSILON0}},
+        values={"kind": "bernoulli", "params": {"rate": 0.3}},
+        rounds=ROUNDS,
+        seed=7,
+    )
+
+    info = backend_info()
+    print(f"compiled kernels: {info['compiled_kernels']} "
+          f"(numba available: {info['numba_available']})")
+
+    results = {}
+    for engine in ENGINES:
+        start = time.perf_counter()
+        result = run(replace(base, engine=engine))
+        elapsed = time.perf_counter() - start
+        results[engine] = result
+        backend = result.summary()["backend"]
+        print(f"{engine:>10} [{backend:>14}]: {elapsed * 1000:7.1f} ms")
+
+    # The RNG contract makes the backends interchangeable, not merely
+    # statistically similar: same seed -> same bits on every engine.
+    reference = results["faithful"]
+    for engine in ("vectorized", "compiled"):
+        assert results[engine].payloads() == reference.payloads(), engine
+        assert results[engine].central_epsilon == reference.central_epsilon
+    print(f"all {len(ENGINES)} backends bit-identical "
+          f"(eps = {reference.central_epsilon:.3f})")
+
+
+if __name__ == "__main__":
+    main()

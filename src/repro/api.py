@@ -26,6 +26,12 @@ Cache telemetry
     graph cache and kernel-sampler memo counters the serving tier's
     ``/stats`` reports; :func:`clear_graph_cache` to reset between
     tests.
+Exchange backends
+    :func:`backend_info` — which kernels the ``compiled`` engine
+    resolves to in this process (numba JIT vs NumPy fallback);
+    :func:`set_require_jit` to make a missing JIT raise
+    :class:`BackendUnavailableError` (HTTP 501) instead of silently
+    falling back.
 Schedule accounting
     :class:`ProfilePolicy` plus :func:`get_profile_policy` /
     :func:`set_profile_policy` / :func:`profile_policy` — the
@@ -60,6 +66,7 @@ from repro.auditing.auditor import (
     should_memoize,
 )
 from repro.exceptions import (
+    BackendUnavailableError,
     ExecutionTimeoutError,
     InvalidScenarioError,
     JobNotFoundError,
@@ -70,6 +77,7 @@ from repro.exceptions import (
     error_payload,
     http_status_for,
 )
+from repro.netsim.kernels import backend_info, set_require_jit
 from repro.scenario.auditing import audit
 from repro.scenario.cache import GRAPH_CACHE, seed_streams
 from repro.scenario.profile import (
@@ -105,6 +113,7 @@ from repro.store import diff as store_diff
 
 __all__ = [
     "AuditResult",
+    "BackendUnavailableError",
     "DEFAULT_MEMORY_BUDGET",
     "ExecutionTimeoutError",
     "InvalidScenarioError",
@@ -124,6 +133,7 @@ __all__ = [
     "attach_spill",
     "audit",
     "audit_payload",
+    "backend_info",
     "bound",
     "bound_payload",
     "cache_stats",
@@ -146,6 +156,7 @@ __all__ = [
     "sampler_stats",
     "seed_streams",
     "set_profile_policy",
+    "set_require_jit",
     "should_memoize",
     "spill_graph",
     "stationary_bound",

@@ -152,6 +152,20 @@ class SimulationError(ReproError):
     """The network simulator reached an inconsistent state."""
 
 
+class BackendUnavailableError(SimulationError):
+    """A requested exchange backend cannot run in this environment.
+
+    Raised when the ``compiled`` backend is asked to JIT but numba
+    cannot (the ``repro[compiled]`` extra is missing while a caller
+    required JIT, or numba is installed but fails to compile the
+    kernels).  Without a JIT requirement the compiled backend falls
+    back to its pure-NumPy kernels silently — this error is the *loud*
+    path for deployments that asked for compiled speed and would
+    otherwise get a silent 10x regression.  Mapped to HTTP 501: the
+    request is well-formed, this deployment just cannot serve it.
+    """
+
+
 # ----------------------------------------------------------------------
 # Exception -> HTTP mapping (shared by the CLI and the serving tier)
 # ----------------------------------------------------------------------
@@ -164,6 +178,7 @@ HTTP_STATUS_MAP = (
     (InvalidScenarioError, 400),
     (ValidationError, 400),
     (BudgetExceededError, 409),
+    (BackendUnavailableError, 501),
     (ExecutionTimeoutError, 504),
     (WorkerCrashError, 500),
     (ReproError, 500),

@@ -35,7 +35,8 @@ order the per-message simulator's inboxes realize.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from collections import OrderedDict
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +47,15 @@ from repro.netsim.faults import DropoutModel, NoFaults
 from repro.netsim.message import SERVER_ID
 from repro.netsim.metrics import VectorMeterBoard
 from repro.utils.rng import RngLike, ensure_rng
+
+#: Ceiling on memoized degree vectors for schedule-driven engines.  A
+#: round-robin schedule cycles a handful of graphs (all hit); a churn
+#: schedule that generates a fresh topology per phase would otherwise
+#: pin one O(n) degree vector — and the graph it belongs to — per phase,
+#: growing without limit over a 10^5-phase run.  Beyond the cap the
+#: least-recently-used entry is evicted (a miss just recomputes
+#: ``graph.degrees()``, an O(n) ``np.diff``).
+_DEGREE_CACHE_LIMIT = 64
 
 
 class VectorizedExchange:
@@ -81,14 +91,23 @@ class VectorizedExchange:
     ):
         if isinstance(graph, DynamicGraphSchedule):
             self.schedule: Optional[DynamicGraphSchedule] = graph
+            self._degree_cache_limit = max(
+                1, min(graph.num_graphs, _DEGREE_CACHE_LIMIT)
+            )
             graph = graph.graph_at(0)
         else:
             self.schedule = None
+            self._degree_cache_limit = 1
         # Schedule swaps cycle a handful of graph objects; memoize their
         # degree vectors so each swap is a pure rebind, not an O(n)
         # np.diff per round.  (graph, degrees) pairs: holding the graph
         # pins its id, so a recycled id can never alias a stale entry.
-        self._degree_cache: dict = {}
+        # Bounded LRU: capped by the schedule's distinct-graph count and
+        # ``_DEGREE_CACHE_LIMIT``, so lazily generated phase graphs
+        # can't grow the cache (or pin graphs) without limit.
+        self._degree_cache: OrderedDict[int, Tuple[Graph, np.ndarray]] = (
+            OrderedDict()
+        )
         self.graph = graph
         self.faults = faults if faults is not None else NoFaults()
         self.rng = ensure_rng(rng)
@@ -148,10 +167,14 @@ class VectorizedExchange:
             self._degree_cache.get(id(graph))
             if self.schedule is not None else None
         )
-        if cached is None or cached[0] is not graph:
+        if cached is not None and cached[0] is graph:
+            self._degree_cache.move_to_end(id(graph))
+        else:
             cached = (graph, graph.degrees())
             if self.schedule is not None:
                 self._degree_cache[id(graph)] = cached
+                while len(self._degree_cache) > self._degree_cache_limit:
+                    self._degree_cache.popitem(last=False)
         self._degrees = cached[1]
         self._indptr = graph.indptr
         self._indices = graph.indices

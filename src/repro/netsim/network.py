@@ -11,8 +11,12 @@ start of the next round.  Two interchangeable backends realize this:
 * ``backend="vectorized"`` — the flat-array engine of
   :mod:`repro.netsim.engine`: all tokens hop in a few NumPy kernels per
   round, meters aggregated with ``np.bincount``.
+* ``backend="compiled"`` — the fused-kernel engine of
+  :mod:`repro.netsim.kernels`: one single-pass kernel per round (numba
+  JIT when installed, pre-allocated pure-NumPy kernels otherwise) and a
+  multi-round driver that stays out of the interpreter between rounds.
 
-The two backends share an exact RNG contract — a seeded run produces
+All backends share an exact RNG contract — a seeded run produces
 identical per-round held counts, meters, and server deliveries on
 either — so the faithful path doubles as a cross-validation oracle for
 the fast one (see ``tests/netsim/test_engine.py``).
@@ -29,6 +33,7 @@ from repro.graphs.dynamic import DynamicGraphSchedule
 from repro.graphs.graph import Graph
 from repro.netsim.engine import VectorizedExchange
 from repro.netsim.faults import DropoutModel, NoFaults
+from repro.netsim.kernels import CompiledExchange
 from repro.netsim.message import SERVER_ID
 from repro.netsim.metrics import MeterBoard, VectorMeterBoard
 from repro.netsim.node import Node
@@ -36,7 +41,7 @@ from repro.netsim.server import Server
 from repro.utils.rng import RngLike, ensure_rng
 
 #: Valid values for ``RoundBasedNetwork(backend=...)``.
-BACKENDS = ("faithful", "vectorized")
+BACKENDS = ("faithful", "vectorized", "compiled")
 
 
 class RoundBasedNetwork:
@@ -58,8 +63,9 @@ class RoundBasedNetwork:
         Seed or generator.
     backend:
         ``"faithful"`` (per-message ``Node`` objects, default for direct
-        construction) or ``"vectorized"`` (flat-array engine — what the
-        protocol simulators pick by default).
+        construction), ``"vectorized"`` (flat-array engine — what the
+        protocol simulators pick by default), or ``"compiled"``
+        (fused kernels, numba-JIT when available).
     """
 
     def __init__(
@@ -100,7 +106,11 @@ class RoundBasedNetwork:
             }
             self.server = Server(self.meters.meter(SERVER_ID))
         else:
-            self._engine = VectorizedExchange(
+            engine_cls = (
+                CompiledExchange if backend == "compiled"
+                else VectorizedExchange
+            )
+            self._engine = engine_cls(
                 graph if self.schedule is None else self.schedule,
                 faults=self.faults,
                 rng=self.rng,
@@ -233,9 +243,18 @@ class RoundBasedNetwork:
         self._round_index += 1
 
     def run_exchange(self, rounds: int) -> None:
-        """Run ``rounds`` exchange rounds."""
+        """Run ``rounds`` exchange rounds.
+
+        Engine-backed networks delegate the whole span to the engine so
+        the compiled backend can fuse multi-round execution into single
+        kernel calls; results are identical to looping
+        :meth:`run_exchange_round`.
+        """
         if rounds < 0:
             raise SimulationError(f"rounds must be non-negative, got {rounds}")
+        if self._engine is not None:
+            self._engine.run(rounds)
+            return
         for _ in range(rounds):
             self.run_exchange_round()
 

@@ -24,7 +24,7 @@ from repro.utils.validation import check_non_negative_int
 
 #: Valid ``engine=`` choices for the protocol runners (and the Scenario
 #: spec layer, which imports this so the two never drift).
-ENGINES = ("fast", "vectorized", "faithful")
+ENGINES = ("fast", "vectorized", "faithful", "compiled")
 
 
 def resolve_backend(
@@ -35,14 +35,16 @@ def resolve_backend(
     """Map a protocol ``engine`` choice to a network backend + faults.
 
     ``"fast"`` (and its explicit alias ``"vectorized"``) select the
-    flat-array engine; ``"faithful"`` selects the per-message path.
-    ``laziness`` is sugar for ``IndependentDropout`` on either backend
+    flat-array engine; ``"faithful"`` selects the per-message path;
+    ``"compiled"`` selects the fused-kernel engine (numba JIT when the
+    ``repro[compiled]`` extra is installed, pure-NumPy otherwise).
+    ``laziness`` is sugar for ``IndependentDropout`` on any backend
     (the paper's lazy-walk fault model); passing both is ambiguous.
     """
     if engine in ("fast", "vectorized"):
         backend = "vectorized"
-    elif engine == "faithful":
-        backend = "faithful"
+    elif engine in ("faithful", "compiled"):
+        backend = engine
     else:
         raise ValidationError(
             f"unknown engine {engine!r}; use one of {ENGINES}"

@@ -96,6 +96,7 @@ _REASONS = {
     422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    501: "Not Implemented",
     504: "Gateway Timeout",
 }
 
@@ -188,11 +189,22 @@ class ReproService:
         store: Optional[str] = None,
         job_timeout: Optional[float] = None,
         profile_budget: Optional[int] = None,
+        engine: Optional[str] = None,
     ):
         if job_timeout is not None and not job_timeout > 0:
             raise ValidationError(
                 f"job_timeout must be positive seconds, got {job_timeout!r}"
             )
+        if engine is not None:
+            from repro.protocols.all_protocol import ENGINES
+
+            if engine not in ENGINES:
+                raise ValidationError(
+                    f"unknown engine {engine!r}; use one of {ENGINES}"
+                )
+        #: Deployment-wide engine override applied to every submitted
+        #: job scenario (``--engine``); None keeps each scenario's own.
+        self._engine = engine
         self.started = time.time()
         self._job_timeout = job_timeout
         self._store_errors = 0
@@ -498,6 +510,10 @@ class ReproService:
 
     def _enqueue(self, kind: str, body: Mapping[str, Any]) -> Dict[str, Any]:
         scenario = self._scenario_of(body)
+        if self._engine is not None:
+            # Deployment override: this host decides which exchange
+            # backend executes its jobs (e.g. compiled on a numba host).
+            scenario = scenario.updated(engine=self._engine)
         options: Dict[str, Any] = {}
         if kind == "audit":
             for name in ("trials", "rounds"):
@@ -662,11 +678,17 @@ class ReproService:
         by_status: Dict[str, int] = {}
         for job in jobs:
             by_status[job.status] = by_status.get(job.status, 0) + 1
+        from repro.netsim.kernels import backend_info
+
         return {
             "uptime_seconds": round(time.time() - self.started, 3),
             "graph_cache": api.cache_stats(),
             "kernel_sampler": api.sampler_stats(),
             "profile_store": api.profile_stats(),
+            "exchange_backend": {
+                **backend_info(),
+                "engine_override": self._engine,
+            },
             "jobs": {"retained": len(jobs), **by_status},
             "queue": {"depth": depth, "max": self._max_queue},
             "store_errors": self._store_errors,
@@ -723,6 +745,7 @@ async def serve(
     store: Optional[str] = None,
     job_timeout: Optional[float] = None,
     profile_budget: Optional[int] = None,
+    engine: Optional[str] = None,
     echo=print,
 ) -> None:
     """Run the service until SIGINT/SIGTERM (the CLI entry point)."""
@@ -733,6 +756,7 @@ async def serve(
         store=store,
         job_timeout=job_timeout,
         profile_budget=profile_budget,
+        engine=engine,
     )
     server = await service.start(host, port)
     stop = asyncio.Event()
@@ -758,6 +782,7 @@ async def serve(
             if profile_budget is not None
             else ""
         )
+        + (f", engine {engine}" if engine is not None else "")
         + ") — GET /healthz /stats /results,"
         " POST /bound /stationary_bound /run /audit",
         flush=True,
@@ -849,23 +874,30 @@ class ServerHandle:
 def main(arguments: list) -> None:
     """``python -m repro serve [--host H] [--port P] [--workers N]
     [--spill-dir DIR] [--store DB] [--max-queue N] [--job-timeout S]
-    [--profile-budget BYTES]``."""
+    [--profile-budget BYTES] [--engine NAME] [--require-jit]``."""
     usage = (
         "usage: python -m repro serve [--host HOST] [--port PORT] "
         "[--workers N] [--spill-dir DIR] [--store DB] [--max-queue N] "
-        "[--job-timeout SECONDS] [--profile-budget BYTES|512M|2G]"
+        "[--job-timeout SECONDS] [--profile-budget BYTES|512M|2G] "
+        "[--engine fast|vectorized|faithful|compiled] [--require-jit]"
     )
     host, port, workers, spill_dir = "127.0.0.1", 8777, 2, None
     store: Optional[str] = None
     max_queue: Optional[int] = None
     job_timeout: Optional[float] = None
     profile_budget: Optional[int] = None
+    engine: Optional[str] = None
     index = 0
     while index < len(arguments):
         flag = arguments[index]
         index += 1
         if flag in ("-h", "--help"):
             raise SystemExit(usage)
+        if flag == "--require-jit":
+            from repro.netsim.kernels import set_require_jit
+
+            set_require_jit(True)
+            continue
         if index >= len(arguments):
             raise SystemExit(usage)
         value = arguments[index]
@@ -887,6 +919,8 @@ def main(arguments: list) -> None:
                 job_timeout = float(value)
             elif flag == "--profile-budget":
                 profile_budget = api.parse_memory_budget(value)
+            elif flag == "--engine":
+                engine = value
             else:
                 raise SystemExit(usage)
         except (ValueError, ValidationError):
@@ -902,6 +936,7 @@ def main(arguments: list) -> None:
                 store=store,
                 job_timeout=job_timeout,
                 profile_budget=profile_budget,
+                engine=engine,
             )
         )
     except KeyboardInterrupt:

@@ -12,6 +12,7 @@ import pytest
 
 from repro import api
 from repro.exceptions import (
+    BackendUnavailableError,
     BudgetExceededError,
     InvalidScenarioError,
     JobNotFoundError,
@@ -115,6 +116,7 @@ class TestHttpContract:
             (InvalidScenarioError("bad body"), 400),
             (ValidationError("bad arg"), 400),
             (BudgetExceededError("spent"), 409),
+            (BackendUnavailableError("no jit"), 501),
             (ReproError("boom"), 500),
             (RuntimeError("not ours"), 500),
         ],

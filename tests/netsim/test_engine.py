@@ -1,9 +1,14 @@
-"""Backend equivalence: vectorized engine vs the per-message oracle.
+"""Backend equivalence: the three-way exchange oracle.
 
-The vectorized engine promises an *exact* RNG contract with the faithful
-simulator — a seeded run must produce identical per-round held counts,
-meters, and server deliveries — plus statistical agreement with the
-exact distribution evolution of :mod:`repro.graphs.walks`.
+The vectorized and compiled engines both promise an *exact* RNG
+contract with the faithful simulator — a seeded run must produce
+identical per-round held counts, meters, and server deliveries on all
+three backends (``faithful`` ≡ ``vectorized`` ≡ ``compiled``) — plus
+statistical agreement with the exact distribution evolution of
+:mod:`repro.graphs.walks`.  The compiled backend is additionally
+exercised through its fused multi-round path (``run(rounds)`` on a
+static graph under ``NoFaults``), which must be bit-identical to its
+own per-round loop.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.graphs.generators import (
 from repro.graphs.graph import Graph
 from repro.graphs.walks import position_distribution, simulate_token_walks
 from repro.netsim.engine import VectorizedExchange
+from repro.netsim.kernels import CompiledExchange
 from repro.netsim.faults import (
     AdversarialDropout,
     IndependentDropout,
@@ -31,16 +37,19 @@ from repro.protocols.all_protocol import run_all_protocol
 from repro.protocols.single_protocol import run_single_protocol
 
 
+ALL_BACKENDS = ("faithful", "vectorized", "compiled")
+
+
 def _paired_networks(graph, faults_factory, seed):
-    """One faithful and one vectorized network with identical seeds."""
-    pair = []
-    for backend in ("faithful", "vectorized"):
+    """Identically seeded networks, one per exchange backend."""
+    nets = []
+    for backend in ALL_BACKENDS:
         network = RoundBasedNetwork(
             graph, faults=faults_factory(), rng=seed, backend=backend
         )
         network.seed_items({i: [("r", i)] for i in range(graph.num_nodes)})
-        pair.append(network)
-    return pair
+        nets.append(network)
+    return nets
 
 
 FAULT_FACTORIES = [
@@ -56,75 +65,87 @@ class TestSeededEquivalence:
     def test_identical_held_counts_every_round(
         self, small_regular, faults_factory, seed
     ):
-        faithful, vectorized = _paired_networks(
+        faithful, vectorized, compiled = _paired_networks(
             small_regular, faults_factory, seed
         )
         for _ in range(10):
             faithful.run_exchange_round()
-            vectorized.run_exchange_round()
-            np.testing.assert_array_equal(
-                faithful.held_counts(), vectorized.held_counts()
-            )
+            for other in (vectorized, compiled):
+                other.run_exchange_round()
+                np.testing.assert_array_equal(
+                    faithful.held_counts(), other.held_counts()
+                )
 
     @pytest.mark.parametrize("faults_factory", FAULT_FACTORIES)
     def test_identical_meters(self, small_regular, faults_factory):
-        faithful, vectorized = _paired_networks(
+        faithful, vectorized, compiled = _paired_networks(
             small_regular, faults_factory, 11
         )
+        # run_exchange(8) lets the compiled backend take its fused
+        # multi-round path when the fault model permits.
         faithful.run_exchange(8)
-        vectorized.run_exchange(8)
-        for user in range(small_regular.num_nodes):
-            a = faithful.meters.meter(user)
-            b = vectorized.meters.meter(user)
-            assert a.messages_sent == b.messages_sent
-            assert a.messages_received == b.messages_received
-            assert a.current_items == b.current_items
-            assert a.peak_items == b.peak_items
-        assert (
-            faithful.meters.max_peak_items()
-            == vectorized.meters.max_peak_items()
-        )
-        assert (
-            faithful.meters.total_messages_sent()
-            == vectorized.meters.total_messages_sent()
-        )
+        for other in (vectorized, compiled):
+            other.run_exchange(8)
+            for user in range(small_regular.num_nodes):
+                a = faithful.meters.meter(user)
+                b = other.meters.meter(user)
+                assert a.messages_sent == b.messages_sent
+                assert a.messages_received == b.messages_received
+                assert a.current_items == b.current_items
+                assert a.peak_items == b.peak_items
+            assert (
+                faithful.meters.max_peak_items()
+                == other.meters.max_peak_items()
+            )
+            assert (
+                faithful.meters.total_messages_sent()
+                == other.meters.total_messages_sent()
+            )
 
     def test_identical_server_delivery(self, small_regular):
-        faithful, vectorized = _paired_networks(small_regular, NoFaults, 3)
-        faithful.run_exchange(6)
-        vectorized.run_exchange(6)
-        faithful.deliver_to_server()
-        vectorized.deliver_to_server()
-        assert faithful.server.delivered_by == vectorized.server.delivered_by
-        assert faithful.server.reports == vectorized.server.reports
-        assert faithful.held_counts().sum() == 0
-        assert vectorized.held_counts().sum() == 0
+        nets = _paired_networks(small_regular, NoFaults, 3)
+        for net in nets:
+            net.run_exchange(6)
+            net.deliver_to_server()
+            assert net.held_counts().sum() == 0
+        faithful, vectorized, compiled = nets
+        for other in (vectorized, compiled):
+            assert faithful.server.delivered_by == other.server.delivered_by
+            assert faithful.server.reports == other.server.reports
 
     def test_identical_drain_held(self, small_regular):
-        faithful, vectorized = _paired_networks(small_regular, NoFaults, 5)
-        faithful.run_exchange(4)
-        vectorized.run_exchange(4)
-        assert faithful.drain_held() == vectorized.drain_held()
+        faithful, vectorized, compiled = _paired_networks(
+            small_regular, NoFaults, 5
+        )
+        for net in (faithful, vectorized, compiled):
+            net.run_exchange(4)
+        reference = faithful.drain_held()
+        assert reference == vectorized.drain_held()
+        assert reference == compiled.drain_held()
 
     def test_all_protocol_identical_across_engines(self, small_regular):
         fast = run_all_protocol(small_regular, 7, rng=9)
-        faithful = run_all_protocol(small_regular, 7, engine="faithful", rng=9)
-        np.testing.assert_array_equal(fast.allocation, faithful.allocation)
-        np.testing.assert_array_equal(fast.delivered_by, faithful.delivered_by)
-        assert [r.origin for r in fast.server_reports] == [
-            r.origin for r in faithful.server_reports
-        ]
+        for engine in ("faithful", "compiled"):
+            other = run_all_protocol(small_regular, 7, engine=engine, rng=9)
+            np.testing.assert_array_equal(fast.allocation, other.allocation)
+            np.testing.assert_array_equal(
+                fast.delivered_by, other.delivered_by
+            )
+            assert [r.origin for r in fast.server_reports] == [
+                r.origin for r in other.server_reports
+            ]
 
     def test_single_protocol_identical_across_engines(self, small_regular):
         fast = run_single_protocol(small_regular, 7, rng=9)
-        faithful = run_single_protocol(
-            small_regular, 7, engine="faithful", rng=9
-        )
-        np.testing.assert_array_equal(fast.allocation, faithful.allocation)
-        assert fast.dummy_count == faithful.dummy_count
-        assert [r.origin for r in fast.server_reports] == [
-            r.origin for r in faithful.server_reports
-        ]
+        for engine in ("faithful", "compiled"):
+            other = run_single_protocol(
+                small_regular, 7, engine=engine, rng=9
+            )
+            np.testing.assert_array_equal(fast.allocation, other.allocation)
+            assert fast.dummy_count == other.dummy_count
+            assert [r.origin for r in fast.server_reports] == [
+                r.origin for r in other.server_reports
+            ]
 
     def test_laziness_equivalent_to_dropout(self, small_regular):
         lazy = run_all_protocol(small_regular, 6, laziness=0.4, rng=2)
@@ -137,7 +158,7 @@ class TestSeededEquivalence:
 class TestDistributionMatch:
     """Both backends must match the exact walk-engine marginals."""
 
-    @pytest.mark.parametrize("backend", ["faithful", "vectorized"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_marginal_matches_evolve_distribution(self, backend):
         graph = random_regular_graph(4, 30, rng=1)
         steps, start, samples = 4, 0, 4000
@@ -214,8 +235,8 @@ class TestVectorizedEngineApi:
         np.testing.assert_array_equal(engine.token_origin, origins)
 
     def test_double_delivery_is_idempotent(self, k4):
-        """A second final delivery must deliver nothing (both backends)."""
-        for backend in ("faithful", "vectorized"):
+        """A second final delivery must deliver nothing (all backends)."""
+        for backend in ALL_BACKENDS:
             network = RoundBasedNetwork(k4, rng=0, backend=backend)
             network.seed_items({i: [f"p{i}"] for i in range(4)})
             network.run_exchange(2)
@@ -223,12 +244,12 @@ class TestVectorizedEngineApi:
             network.deliver_to_server()
             assert len(network.server) == 4, backend
 
-    def test_post_delivery_rounds_are_noops_on_both_backends(self):
+    def test_post_delivery_rounds_are_noops_on_all_backends(self):
         """Rounds after final delivery move nothing, meter nothing, and
         keep the backends in lockstep (including fault-model draws)."""
         graph = cycle_graph(6)
         nets = {}
-        for backend in ("faithful", "vectorized"):
+        for backend in ALL_BACKENDS:
             net = RoundBasedNetwork(
                 graph, faults=IndependentDropout(0.3), rng=0, backend=backend
             )
@@ -239,20 +260,22 @@ class TestVectorizedEngineApi:
             net.seed_items({i: [("n", i)] for i in range(6)})
             net.run_exchange(2)
             nets[backend] = net
-        faithful, vectorized = nets["faithful"], nets["vectorized"]
-        np.testing.assert_array_equal(
-            faithful.held_counts(), vectorized.held_counts()
-        )
-        assert (
-            faithful.meters.total_messages_sent()
-            == vectorized.meters.total_messages_sent()
-        )
-        for user in range(6):
-            a = faithful.meters.meter(user)
-            b = vectorized.meters.meter(user)
-            assert a.messages_sent == b.messages_sent
-            assert a.current_items == b.current_items
-            assert a.peak_items == b.peak_items
+        faithful = nets["faithful"]
+        for backend in ("vectorized", "compiled"):
+            other = nets[backend]
+            np.testing.assert_array_equal(
+                faithful.held_counts(), other.held_counts()
+            )
+            assert (
+                faithful.meters.total_messages_sent()
+                == other.meters.total_messages_sent()
+            )
+            for user in range(6):
+                a = faithful.meters.meter(user)
+                b = other.meters.meter(user)
+                assert a.messages_sent == b.messages_sent
+                assert a.current_items == b.current_items
+                assert a.peak_items == b.peak_items
 
     def test_reseed_after_delivery_maps_new_payloads(self, k4):
         """A second campaign must not see the first campaign's payloads."""
@@ -285,7 +308,7 @@ class TestVectorizedEngineApi:
         with pytest.raises(SimulationError):
             engine.seed_tokens(np.arange(2))
 
-    @pytest.mark.parametrize("backend", ["faithful", "vectorized"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_mid_run_seed_items_rejected_on_both_backends(self, k4, backend):
         """The network enforces the seeding rule identically per backend."""
         network = RoundBasedNetwork(k4, rng=0, backend=backend)
@@ -349,37 +372,41 @@ class TestDynamicScheduleEquivalence:
     @pytest.mark.parametrize("seed", [0, 11])
     def test_identical_held_counts_across_swaps(self, faults_factory, seed):
         schedule = _three_phase_schedule()
-        faithful, vectorized = _paired_networks(schedule, faults_factory, seed)
+        faithful, vectorized, compiled = _paired_networks(
+            schedule, faults_factory, seed
+        )
         for _ in range(9):
             faithful.run_exchange_round()
-            vectorized.run_exchange_round()
-            np.testing.assert_array_equal(
-                faithful.held_counts(), vectorized.held_counts()
-            )
+            for other in (vectorized, compiled):
+                other.run_exchange_round()
+                np.testing.assert_array_equal(
+                    faithful.held_counts(), other.held_counts()
+                )
 
     def test_identical_meters_and_delivery_across_swaps(self):
         schedule = _three_phase_schedule()
-        faithful, vectorized = _paired_networks(schedule, NoFaults, 5)
-        faithful.run_exchange(7)
-        vectorized.run_exchange(7)
-        for user in range(schedule.num_nodes):
-            a = faithful.meters.meter(user)
-            b = vectorized.meters.meter(user)
-            assert a.messages_sent == b.messages_sent
-            assert a.messages_received == b.messages_received
-            assert a.peak_items == b.peak_items
-        faithful.deliver_to_server()
-        vectorized.deliver_to_server()
-        assert faithful.server.delivered_by == vectorized.server.delivered_by
-        assert faithful.server.reports == vectorized.server.reports
+        nets = _paired_networks(schedule, NoFaults, 5)
+        for net in nets:
+            net.run_exchange(7)
+            net.deliver_to_server()
+        faithful, vectorized, compiled = nets
+        for other in (vectorized, compiled):
+            for user in range(schedule.num_nodes):
+                a = faithful.meters.meter(user)
+                b = other.meters.meter(user)
+                assert a.messages_sent == b.messages_sent
+                assert a.messages_received == b.messages_received
+                assert a.peak_items == b.peak_items
+            assert faithful.server.delivered_by == other.server.delivered_by
+            assert faithful.server.reports == other.server.reports
 
     def test_drain_then_reseed_across_swap_boundary(self):
         """A second campaign seeded mid-schedule must stay in lockstep:
         the reseed validates against (and the next round walks) the
-        topology in force at that round, on both backends."""
+        topology in force at that round, on every backend."""
         schedule = _three_phase_schedule()
         nets = {}
-        for backend in ("faithful", "vectorized"):
+        for backend in ALL_BACKENDS:
             net = RoundBasedNetwork(
                 schedule, faults=IndependentDropout(0.2), rng=3, backend=backend
             )
@@ -389,11 +416,14 @@ class TestDynamicScheduleEquivalence:
             net.seed_items({i: [("second", i)] for i in range(50)})
             net.run_exchange(4)          # crosses two more swaps
             nets[backend] = net
-        faithful, vectorized = nets["faithful"], nets["vectorized"]
-        np.testing.assert_array_equal(
-            faithful.held_counts(), vectorized.held_counts()
-        )
-        assert faithful.drain_held() == vectorized.drain_held()
+        faithful = nets["faithful"]
+        for backend in ("vectorized", "compiled"):
+            np.testing.assert_array_equal(
+                faithful.held_counts(), nets[backend].held_counts()
+            )
+        reference = faithful.drain_held()
+        for backend in ("vectorized", "compiled"):
+            assert reference == nets[backend].drain_held()
 
     def test_schedule_of_one_matches_static_graph(self, small_regular):
         """A single-graph schedule is bit-identical to the static run —
@@ -449,7 +479,7 @@ class TestDynamicScheduleEquivalence:
                     network.nodes[0].neighbors, replacement.neighbors(0)
                 )
 
-    @pytest.mark.parametrize("backend", ["faithful", "vectorized"])
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
     def test_isolated_node_under_swap_raises(self, backend):
         """An item stranded on a node the new topology isolates must
         fail loudly — with the same exception type on both backends —
@@ -503,14 +533,32 @@ class TestOffsetBoundaryClamp:
     without the clamp — the regression the fix guards.
     """
 
+    @pytest.mark.parametrize(
+        "engine_cls", [VectorizedExchange, CompiledExchange]
+    )
     @pytest.mark.parametrize("value", [1.0 - 2.0**-53, 1.0])
-    def test_vectorized_boundary_draw_hits_last_neighbor(self, value):
+    def test_vectorized_boundary_draw_hits_last_neighbor(
+        self, engine_cls, value
+    ):
         graph = cycle_graph(7)
         last = graph.num_nodes - 1  # pre-fix, u=1.0 indexes past indices
-        engine = VectorizedExchange(graph, rng=_PinnedRng(value))
+        engine = engine_cls(graph, rng=_PinnedRng(value))
         engine.seed_tokens(np.array([last]))
         engine.run_round()
         assert int(engine.token_position[0]) == int(graph.neighbors(last)[-1])
+
+    @pytest.mark.parametrize("value", [1.0 - 2.0**-53, 1.0])
+    def test_compiled_fused_boundary_draw_hits_last_neighbor(self, value):
+        """The fused multi-round kernel applies the same clamp."""
+        graph = cycle_graph(7)
+        last = graph.num_nodes - 1
+        engine = CompiledExchange(graph, rng=_PinnedRng(value))
+        engine.seed_tokens(np.array([last]))
+        engine.run(3)  # static + NoFaults: takes the fused path
+        walked = last
+        for _ in range(3):
+            walked = int(graph.neighbors(walked)[-1])
+        assert int(engine.token_position[0]) == walked
 
     @pytest.mark.parametrize("value", [1.0 - 2.0**-53, 1.0])
     def test_faithful_boundary_draw_hits_last_neighbor(self, value):

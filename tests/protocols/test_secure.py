@@ -7,7 +7,9 @@ import pytest
 
 from repro.exceptions import ProtocolError
 from repro.graphs.generators import complete_graph, random_regular_graph
+from repro.graphs.graph import Graph
 from repro.ldp.randomized_response import BinaryRandomizedResponse
+from repro.netsim.message import SERVER_ID
 from repro.protocols.secure import run_secure_protocol
 
 
@@ -54,5 +56,77 @@ class TestSecureProtocol:
         graph = complete_graph(8)
         a = run_secure_protocol(graph, 3, list(range(8)), rng=9)
         b = run_secure_protocol(graph, 3, list(range(8)), rng=9)
+        assert a.decrypted_payloads == b.decrypted_payloads
+        np.testing.assert_array_equal(a.delivered_by, b.delivered_by)
+
+
+class TestBatchedParity:
+    """``batched=True`` must reproduce the per-message loop exactly.
+
+    Trajectories, delivery order, payloads, and every meter depend only
+    on the randomness schedule Pass A replays — not on the throwaway
+    encryption ephemerals — so a seeded batched run is message-for-
+    message identical to the reference realization.
+    """
+
+    @pytest.mark.parametrize(
+        ("num_nodes", "rounds", "seed"),
+        [(8, 0, 0), (8, 1, 1), (12, 4, 2), (20, 7, 3)],
+    )
+    def test_outputs_identical(self, num_nodes, rounds, seed):
+        graph = random_regular_graph(4, num_nodes, rng=seed)
+        values = list(range(num_nodes))
+        loop = run_secure_protocol(
+            graph, rounds, values, rng=seed, batched=False
+        )
+        batched = run_secure_protocol(
+            graph, rounds, values, rng=seed, batched=True
+        )
+        assert batched.decrypted_payloads == loop.decrypted_payloads
+        np.testing.assert_array_equal(
+            batched.delivered_by, loop.delivered_by
+        )
+
+    @pytest.mark.parametrize("rounds", [1, 5])
+    def test_meters_identical(self, rounds):
+        graph = random_regular_graph(4, 16, rng=7)
+        values = list(range(16))
+        loop = run_secure_protocol(
+            graph, rounds, values, rng=11, batched=False
+        )
+        batched = run_secure_protocol(
+            graph, rounds, values, rng=11, batched=True
+        )
+        for user in list(range(16)) + [SERVER_ID]:
+            a = loop.meters.meter(user)
+            b = batched.meters.meter(user)
+            assert a.messages_sent == b.messages_sent, user
+            assert a.messages_received == b.messages_received, user
+            assert a.current_items == b.current_items, user
+            assert a.peak_items == b.peak_items, user
+
+    def test_randomizer_draws_in_same_order(self):
+        graph = complete_graph(10)
+        randomizer = BinaryRandomizedResponse(0.6)
+        loop = run_secure_protocol(
+            graph, 3, [0] * 10, randomizer, rng=5, batched=False
+        )
+        batched = run_secure_protocol(
+            graph, 3, [0] * 10, randomizer, rng=5, batched=True
+        )
+        assert batched.decrypted_payloads == loop.decrypted_payloads
+
+    def test_no_neighbor_raises_in_both_modes(self):
+        graph = Graph(3, [(0, 1)])  # user 2 cannot relay
+        for batched in (False, True):
+            with pytest.raises(ProtocolError):
+                run_secure_protocol(
+                    graph, 2, [1, 2, 3], rng=0, batched=batched
+                )
+
+    def test_batched_deterministic(self):
+        graph = random_regular_graph(4, 12, rng=1)
+        a = run_secure_protocol(graph, 3, list(range(12)), rng=4)
+        b = run_secure_protocol(graph, 3, list(range(12)), rng=4)
         assert a.decrypted_payloads == b.decrypted_payloads
         np.testing.assert_array_equal(a.delivered_by, b.delivered_by)

@@ -78,7 +78,7 @@ def _hand_wired(protocol: str, engine: str):
     return result, theorem, empirical
 
 
-@pytest.mark.parametrize("engine", ["fast", "faithful"])
+@pytest.mark.parametrize("engine", ["fast", "faithful", "compiled"])
 @pytest.mark.parametrize("protocol", ["all", "single"])
 class TestHandWiredEquivalence:
     def test_reports_meters_and_accounting_identical(self, protocol, engine):

@@ -176,15 +176,16 @@ class TestScheduleRun:
 
     def test_engines_bit_identical_on_schedules(self):
         fast = run(_schedule_scenario())
-        faithful = run(_schedule_scenario(engine="faithful"))
-        np.testing.assert_array_equal(
-            fast.protocol_result.allocation,
-            faithful.protocol_result.allocation,
-        )
-        assert [r.origin for r in fast.protocol_result.server_reports] == [
-            r.origin for r in faithful.protocol_result.server_reports
-        ]
-        assert fast.central_epsilon == faithful.central_epsilon
+        for engine in ("faithful", "compiled"):
+            other = run(_schedule_scenario(engine=engine))
+            np.testing.assert_array_equal(
+                fast.protocol_result.allocation,
+                other.protocol_result.allocation,
+            )
+            assert [
+                r.origin for r in fast.protocol_result.server_reports
+            ] == [r.origin for r in other.protocol_result.server_reports]
+            assert fast.central_epsilon == other.central_epsilon
 
     def test_single_protocol_runs_on_schedule(self):
         result = run(_schedule_scenario(protocol="single"))

@@ -67,9 +67,10 @@ class TestPresenceRules:
             dummy_count=0, elapsed_seconds=0.5,
         )
         assert list(payload) == [
-            "protocol", "engine", "num_users", "rounds", "dummy_count",
-            "elapsed_seconds",
+            "protocol", "engine", "backend", "num_users", "rounds",
+            "dummy_count", "elapsed_seconds",
         ]
+        assert payload["backend"] == "vectorized"
 
     def test_accounting_quartet_travels_together(self):
         payload = run_summary_payload(

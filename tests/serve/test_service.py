@@ -88,8 +88,17 @@ class TestIntrospection:
         assert set(payload) == {
             "uptime_seconds", "graph_cache", "kernel_sampler", "jobs",
             "queue", "store_errors", "requests", "profile_store",
+            "exchange_backend",
         }
         assert payload["store_errors"] == 0
+        assert set(payload["exchange_backend"]) == {
+            "numba_available", "compiled_kernels", "require_jit",
+            "engine_override",
+        }
+        assert payload["exchange_backend"]["engine_override"] is None
+        assert payload["exchange_backend"]["compiled_kernels"] in (
+            "numba", "numpy", "broken"
+        )
         assert set(payload["queue"]) == {"depth", "max"}
         assert set(payload["graph_cache"]) == {
             "builds", "memory_hits", "disk_hits", "requests", "resident",
@@ -510,3 +519,35 @@ class TestStoreErrorAccounting:
             assert "results store write failed for job job-1" in caplog.text
         finally:
             service.close()
+
+
+class TestEngineOverride:
+    """``serve --engine`` pins the exchange backend for every job."""
+
+    def test_service_pins_engine_for_all_jobs(self):
+        clear_graph_cache()
+        with ServerHandle.start(engine="compiled") as handle:
+            connection = http.client.HTTPConnection(
+                handle.host, handle.port, timeout=30
+            )
+            try:
+                status, job = request(
+                    connection, "POST", "/run", {"scenario": SCENARIO}
+                )
+                assert status == 202
+                finished = wait_for_job(connection, job["id"])
+                assert finished["status"] == "done"
+                assert finished["result"]["engine"] == "compiled"
+                assert finished["result"]["backend"].startswith("compiled-")
+                _, stats = request(connection, "GET", "/stats")
+                backend = stats["exchange_backend"]
+                assert backend["engine_override"] == "compiled"
+            finally:
+                connection.close()
+        clear_graph_cache()
+
+    def test_unknown_engine_rejected_at_construction(self):
+        from repro.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            ReproService(engine="quantum")

@@ -507,3 +507,66 @@ class TestSweepFaultFlags:
                       "--on-error", "collect"])
         output = capsys.readouterr().out
         assert "1 computed, 0 reused, 1 failed" in output
+
+
+class TestEngineFlag:
+    """``--engine`` / ``--require-jit`` on run and sweep."""
+
+    def test_run_engine_override_recorded_in_summary(
+        self, scenario_file, capsys
+    ):
+        import json
+
+        main(["run", scenario_file, "--json", "--engine", "compiled"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "compiled"
+        assert payload["backend"].startswith("compiled-")
+
+    def test_run_default_engine_backend_recorded(self, scenario_file, capsys):
+        import json
+
+        main(["run", scenario_file, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "fast"
+        assert payload["backend"] == "vectorized"
+
+    def test_run_rejects_unknown_engine(self, scenario_file):
+        with pytest.raises(SystemExit, match="engine"):
+            main(["run", scenario_file, "--engine", "quantum"])
+
+    def test_run_engine_flag_requires_value(self, scenario_file):
+        with pytest.raises(SystemExit, match="usage"):
+            main(["run", scenario_file, "--engine"])
+
+    def test_require_jit_fails_loudly_without_numba(
+        self, scenario_file, monkeypatch
+    ):
+        from repro.netsim import kernels
+
+        monkeypatch.setitem(kernels._RESOLVED, "implementation", "numpy")
+        try:
+            with pytest.raises(SystemExit, match="run failed"):
+                main([
+                    "run", scenario_file,
+                    "--engine", "compiled", "--require-jit",
+                ])
+        finally:
+            kernels.set_require_jit(False)
+
+    def test_sweep_engine_override(self, scenario_file, capsys):
+        main([
+            "sweep", scenario_file,
+            "--axis", "rounds=2,3",
+            "--engine", "compiled",
+        ])
+        output = capsys.readouterr().out
+        assert "empirical eps" in output
+
+    def test_engine_is_sweepable_axis(self, scenario_file, capsys):
+        main([
+            "sweep", scenario_file,
+            "--axis", "engine=vectorized,compiled",
+            "--mode", "bound",
+        ])
+        output = capsys.readouterr().out
+        assert "compiled" in output
